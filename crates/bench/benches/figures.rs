@@ -1,0 +1,101 @@
+//! One benchmark per reproduced paper artifact: tracks the cost of
+//! regenerating each figure/table (in representative slices — a full
+//! Figure 3 sweep is minutes of simulation and belongs to `repro`, not
+//! criterion).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wormsim_bench::{bench_sim_config, bench_traffic};
+use wormsim_core::bft::BftModel;
+use wormsim_core::hypercube as cube_model;
+use wormsim_core::options::ModelOptions;
+use wormsim_sim::router::{BftRouter, HypercubeRouter};
+use wormsim_sim::runner::run_simulation;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::hypercube::Hypercube;
+use wormsim_topology::render;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Figure 2: topology construction + rendering.
+    group.bench_function("fig2_build_and_render", |b| {
+        b.iter(|| {
+            let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+            render::bft_to_ascii(&tree).len() + render::bft_to_dot(&tree).len()
+        })
+    });
+
+    // Figure 3: one (model curve + one simulated point) slice at N=1024.
+    let params = BftParams::paper(1024).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let model = BftModel::new(params, 16.0);
+    let cfg = bench_sim_config(11);
+    group.bench_function("fig3_point_model_plus_sim", |b| {
+        b.iter(|| {
+            let m = model.latency_at_flit_load(black_box(0.02)).unwrap().total;
+            let s = run_simulation(&router, &cfg, &bench_traffic(0.02)).avg_latency;
+            (m, s)
+        })
+    });
+
+    // Throughput table: the analytical knee plus one stability probe.
+    group.bench_function("throughput_knee_plus_probe", |b| {
+        b.iter(|| {
+            let knee = model.saturation_flit_load().unwrap();
+            let r = run_simulation(&router, &cfg, &bench_traffic(knee * 0.7));
+            (knee, r.saturated)
+        })
+    });
+
+    // Channel audit: model resolution + audited simulation at N=256.
+    let params256 = BftParams::paper(256).unwrap();
+    let tree256 = ButterflyFatTree::new(params256);
+    let router256 = BftRouter::new(&tree256);
+    let model256 = BftModel::new(params256, 32.0);
+    group.bench_function("channel_audit_model_plus_sim", |b| {
+        b.iter(|| {
+            let audit = model256.audit_at_message_rate(black_box(0.000625)).unwrap();
+            let sim = run_simulation(&router256, &cfg, &bench_traffic(0.02));
+            (audit.x_up[0], sim.class_stats.len())
+        })
+    });
+
+    // Framework demo: hypercube model + simulation.
+    let cube = Hypercube::new(6);
+    let cube_router = HypercubeRouter::new(&cube);
+    group.bench_function("framework_demo_hypercube", |b| {
+        b.iter(|| {
+            let m = cube_model::latency_at_message_rate(6, 16.0, 0.002, &ModelOptions::paper())
+                .unwrap()
+                .total;
+            let s = run_simulation(&cube_router, &cfg, &bench_traffic(0.03)).avg_latency;
+            (m, s)
+        })
+    });
+
+    // Ablations: all four model variants at one operating point.
+    group.bench_function("ablation_variants_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for opts in [
+                ModelOptions::paper(),
+                ModelOptions::single_server_up(),
+                ModelOptions::no_blocking_correction(),
+                ModelOptions::prior_art(),
+            ] {
+                acc += BftModel::with_options(params, 32.0, opts)
+                    .latency_at_flit_load(black_box(0.02))
+                    .unwrap()
+                    .total;
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the queueing kernels (paper Eqs. 4–10). These are
+//! evaluated millions of times inside saturation scans and sweep
+//! regressions, so their cost matters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wormsim_queueing::{blocking, mg1, mgm, mmm, wormhole};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queueing");
+    group.sample_size(60);
+
+    group.bench_function("mg1_pollaczek_khinchine", |b| {
+        b.iter(|| mg1::waiting_time(black_box(0.02), black_box(18.0), black_box(0.4)).unwrap())
+    });
+
+    group.bench_function("hokstad_mg2", |b| {
+        b.iter(|| {
+            mgm::hokstad_mg2_waiting_time(black_box(0.05), black_box(18.0), black_box(0.4))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("mgm_4_servers", |b| {
+        b.iter(|| mgm::waiting_time(4, black_box(0.2), black_box(18.0), black_box(0.4)).unwrap())
+    });
+
+    group.bench_function("erlang_c_m32", |b| {
+        b.iter(|| mmm::erlang_c(32, black_box(24.0)).unwrap())
+    });
+
+    group.bench_function("wormhole_scv", |b| {
+        b.iter(|| wormhole::wormhole_scv(black_box(22.5), black_box(16.0)))
+    });
+
+    group.bench_function("blocking_probability", |b| {
+        b.iter(|| {
+            blocking::blocking_probability(2, black_box(0.01), black_box(0.05), black_box(0.8))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

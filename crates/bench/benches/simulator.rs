@@ -1,0 +1,48 @@
+//! Flit-level simulator throughput: how fast the engine turns cycles at
+//! the paper's operating points (per-machine-size, per-load), plus the
+//! parallel sweep machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wormsim_bench::{bench_sim_config, bench_traffic};
+use wormsim_sim::router::BftRouter;
+use wormsim_sim::runner::{run_simulation, sweep_flit_loads};
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    for n in [64usize, 256, 1024] {
+        let params = BftParams::paper(n).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let cfg = bench_sim_config(3);
+        let cycles = cfg.warmup_cycles + cfg.measure_cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::new("bft_run_low_load", n), &router, |b, r| {
+            b.iter(|| run_simulation(r, &cfg, &bench_traffic(0.01)).messages_completed)
+        });
+    }
+
+    let params = BftParams::paper(256).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let cfg = bench_sim_config(5);
+    group.bench_function("bft256_near_knee", |b| {
+        b.iter(|| run_simulation(&router, &cfg, &bench_traffic(0.035)).messages_completed)
+    });
+
+    group.bench_function("bft256_parallel_sweep_4pts", |b| {
+        b.iter(|| {
+            sweep_flit_loads(&router, &cfg, 16, &[0.005, 0.01, 0.02, 0.03])
+                .iter()
+                .map(|r| r.messages_completed)
+                .sum::<u64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Error type for model evaluations.
+
+use std::fmt;
+use wormsim_queueing::QueueingError;
+
+/// Errors raised while evaluating an analytical model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A queueing computation failed at a specific channel class — most
+    /// commonly saturation of that class at the requested load.
+    Queueing {
+        /// Human-readable channel-class label (paper notation, e.g. `<0,1>`).
+        class: String,
+        /// The underlying queueing error.
+        source: QueueingError,
+    },
+    /// The network specification was internally inconsistent.
+    Spec(String),
+    /// The saturation search could not bracket a solution.
+    Saturation(String),
+}
+
+impl ModelError {
+    /// Convenience constructor tagging a queueing error with its channel.
+    pub fn at(class: impl Into<String>, source: QueueingError) -> Self {
+        ModelError::Queueing { class: class.into(), source }
+    }
+
+    /// True when the failure is a saturation (as opposed to a usage error).
+    #[must_use]
+    pub fn is_saturation(&self) -> bool {
+        matches!(
+            self,
+            ModelError::Queueing { source: QueueingError::Saturated { .. }, .. }
+                | ModelError::Saturation(_)
+        )
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Queueing { class, source } => {
+                write!(f, "channel class {class}: {source}")
+            }
+            ModelError::Spec(msg) => write!(f, "invalid network specification: {msg}"),
+            ModelError::Saturation(msg) => write!(f, "saturation search failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Queueing { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_context() {
+        let err = ModelError::at("<0,1>", QueueingError::Saturated { utilization: 1.2 });
+        let msg = err.to_string();
+        assert!(msg.contains("<0,1>"));
+        assert!(msg.contains("saturated"));
+    }
+
+    #[test]
+    fn saturation_detection() {
+        assert!(ModelError::at("<1,0>", QueueingError::Saturated { utilization: 1.0 })
+            .is_saturation());
+        assert!(ModelError::Saturation("no bracket".into()).is_saturation());
+        assert!(!ModelError::Spec("bad".into()).is_saturation());
+        assert!(!ModelError::at("<1,0>", QueueingError::InvalidServerCount).is_saturation());
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error as _;
+        let err = ModelError::at("x", QueueingError::InvalidServerCount);
+        assert!(err.source().is_some());
+        assert!(ModelError::Spec("s".into()).source().is_none());
+    }
+}

@@ -1,0 +1,659 @@
+//! The general wormhole-routing model of paper §2, for arbitrary networks
+//! described as symmetric channel classes.
+//!
+//! # Model inputs
+//!
+//! A network is specified as a set of **channel classes**. All channels of
+//! a class are statistically identical by symmetry (the paper exploits the
+//! same symmetry per level of the fat-tree). Each class carries:
+//!
+//! * the per-channel Poisson arrival rate `λ`,
+//! * a **station multiplicity** `m`: how many channels of this class are
+//!   bundled into one multi-server arbitration station (the fat-tree's
+//!   up-link pairs have `m = 2`; ordinary links `m = 1`),
+//! * either a fixed terminal service time (ejection channels: `x̄ = s/f`,
+//!   Eq. 16) or a list of forwarding entries.
+//!
+//! A forwarding entry says: a worm arriving over a channel of this class
+//! continues into one of `multiplicity` stations of class `to`, each with
+//! probability `prob_each` (`R(i|j)` of the paper). The entries of a class
+//! must total probability 1.
+//!
+//! # Solution
+//!
+//! Service times obey Eq. 11:
+//!
+//! ```text
+//! x̄_i = Σ_j R(i|j)·(x̄_j + P(i|j)·W_j)
+//! ```
+//!
+//! with `W_j` the M/G/m wait of station `j` at its combined arrival rate
+//! (Eqs. 6/8) and `P(i|j)` the blocking correction (Eq. 10). The class
+//! dependency graph is solved in reverse topological order when it is a
+//! DAG (always the case for tree-ups/downs and dimension-ordered cubes);
+//! otherwise a damped fixed-point iteration is used.
+
+use crate::error::ModelError;
+use crate::options::ModelOptions;
+use crate::Result;
+use wormsim_queueing::solver::{fixed_point, FixedPointConfig};
+use wormsim_queueing::{mg1, mgm};
+
+/// Index of a channel class within a [`NetworkSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub usize);
+
+/// One forwarding entry of Eq. 3/11: continue into one of `multiplicity`
+/// stations of class `to`, each chosen with probability `prob_each`.
+#[derive(Debug, Clone, Copy)]
+pub struct Forward {
+    /// Target channel class (the class whose channels form the station).
+    pub to: ClassId,
+    /// Number of distinct same-class stations reachable from here (e.g. the
+    /// `c − 1` sibling down-links of a fat-tree switch).
+    pub multiplicity: u32,
+    /// Routing probability `R(i|j)` into each one of them.
+    pub prob_each: f64,
+}
+
+/// Body of a channel class: terminal (fixed service) or interior
+/// (service resolved from forwarding).
+#[derive(Debug, Clone)]
+pub enum ClassBody {
+    /// Terminal channel: service time is fixed (ejection channels consume
+    /// one flit per cycle, so `x̄ = s/f`).
+    Terminal {
+        /// The fixed mean service time.
+        service_time: f64,
+    },
+    /// Interior channel: service time follows Eq. 11 over these entries.
+    Interior {
+        /// The forwarding entries (probabilities must total 1).
+        forwards: Vec<Forward>,
+    },
+}
+
+/// A channel class: identical channels with one arrival rate and one
+/// station multiplicity.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Human-readable label (paper notation where applicable).
+    pub name: String,
+    /// Per-channel Poisson arrival rate (worms/cycle).
+    pub lambda: f64,
+    /// Channels per arbitration station (`m` of the M/G/m model).
+    pub servers: u32,
+    /// Terminal or interior behaviour.
+    pub body: ClassBody,
+}
+
+/// A full network specification for the general model.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// The channel classes.
+    pub classes: Vec<ClassSpec>,
+    /// Worm length `s/f` in flits.
+    pub worm_flits: f64,
+    /// The injection-channel class (must have `servers == 1`).
+    pub injection: ClassId,
+    /// Average message distance `D̄` in channels (for Eq. 2/25).
+    pub avg_distance: f64,
+}
+
+/// Solved per-class quantities.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Mean service time `x̄` per class.
+    pub service_times: Vec<f64>,
+    /// Station-level mean waiting time `W` per class.
+    pub waiting_times: Vec<f64>,
+    /// Fixed-point iterations used (0 when the class graph was a DAG).
+    pub iterations: usize,
+}
+
+impl NetworkSpec {
+    /// Checks internal consistency: rates and probabilities in range,
+    /// forwarding targets valid, probabilities normalized, injection class
+    /// single-server.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Spec`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.worm_flits.is_finite() && self.worm_flits > 0.0) {
+            return Err(ModelError::Spec(format!("invalid worm length {}", self.worm_flits)));
+        }
+        if !(self.avg_distance.is_finite() && self.avg_distance >= 1.0) {
+            return Err(ModelError::Spec(format!("invalid average distance {}", self.avg_distance)));
+        }
+        if self.injection.0 >= self.classes.len() {
+            return Err(ModelError::Spec("injection class out of range".into()));
+        }
+        if self.classes[self.injection.0].servers != 1 {
+            return Err(ModelError::Spec("injection class must be single-server".into()));
+        }
+        for (i, class) in self.classes.iter().enumerate() {
+            if !(class.lambda.is_finite() && class.lambda >= 0.0) {
+                return Err(ModelError::Spec(format!("class {}: invalid rate {}", class.name, class.lambda)));
+            }
+            if class.servers == 0 {
+                return Err(ModelError::Spec(format!("class {}: zero servers", class.name)));
+            }
+            match &class.body {
+                ClassBody::Terminal { service_time } => {
+                    if !(service_time.is_finite() && *service_time > 0.0) {
+                        return Err(ModelError::Spec(format!(
+                            "class {}: invalid terminal service {service_time}",
+                            class.name
+                        )));
+                    }
+                }
+                ClassBody::Interior { forwards } => {
+                    if forwards.is_empty() {
+                        return Err(ModelError::Spec(format!(
+                            "class {}: interior class with no forwards",
+                            class.name
+                        )));
+                    }
+                    let mut total = 0.0;
+                    for f in forwards {
+                        if f.to.0 >= self.classes.len() {
+                            return Err(ModelError::Spec(format!(
+                                "class {}: forward to missing class {}",
+                                class.name, f.to.0
+                            )));
+                        }
+                        if f.to.0 == i {
+                            return Err(ModelError::Spec(format!(
+                                "class {}: self-forwarding is not allowed",
+                                class.name
+                            )));
+                        }
+                        if f.multiplicity == 0 {
+                            return Err(ModelError::Spec(format!(
+                                "class {}: zero-multiplicity forward",
+                                class.name
+                            )));
+                        }
+                        if !(f.prob_each.is_finite() && (0.0..=1.0).contains(&f.prob_each)) {
+                            return Err(ModelError::Spec(format!(
+                                "class {}: invalid probability {}",
+                                class.name, f.prob_each
+                            )));
+                        }
+                        total += f64::from(f.multiplicity) * f.prob_each;
+                    }
+                    if (total - 1.0).abs() > 1e-9 {
+                        return Err(ModelError::Spec(format!(
+                            "class {}: forwarding probabilities total {total}, expected 1",
+                            class.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Station-level waiting time for class `j` at service time `x`,
+    /// honouring the multi-server and SCV options.
+    fn station_wait(&self, j: usize, x: f64, options: &ModelOptions) -> Result<f64> {
+        let class = &self.classes[j];
+        let scv = options.scv.scv(x, self.worm_flits);
+        let res = if class.servers > 1 && options.multi_server_up {
+            mgm::waiting_time(class.servers, f64::from(class.servers) * class.lambda, x, scv)
+        } else {
+            mg1::waiting_time(class.lambda, x, scv)
+        };
+        res.map_err(|e| ModelError::at(class.name.clone(), e))
+    }
+
+    /// Blocking factor `P(i|j)` of Eq. 10 for a worm from class `i`
+    /// entering a station of class `j` with per-station probability `r`.
+    fn blocking(&self, i: usize, j: usize, r: f64, options: &ModelOptions) -> f64 {
+        if !options.blocking_correction {
+            return 1.0;
+        }
+        let lambda_in = self.classes[i].lambda;
+        let class_j = &self.classes[j];
+        // Eq. 10 with λ_j the *combined* station rate m·λ_per_channel; the
+        // server count cancels, leaving per-channel rates. Under the
+        // single-server ablation the station degenerates to one of m
+        // independent links chosen uniformly, so R per link is r/m.
+        let (lambda_out, r_eff) = if class_j.servers > 1 && !options.multi_server_up {
+            (class_j.lambda, r / f64::from(class_j.servers))
+        } else {
+            (class_j.lambda, r)
+        };
+        if lambda_out <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - lambda_in / lambda_out * r_eff).clamp(0.0, 1.0)
+    }
+
+    /// Eq. 11 for class `i` given current service-time estimates `x`.
+    fn service_equation(&self, i: usize, x: &[f64], options: &ModelOptions) -> Result<f64> {
+        match &self.classes[i].body {
+            ClassBody::Terminal { service_time } => Ok(*service_time),
+            ClassBody::Interior { forwards } => {
+                let mut sum = 0.0;
+                for f in forwards {
+                    let j = f.to.0;
+                    let w = self.station_wait(j, x[j], options)?;
+                    let p = self.blocking(i, j, f.prob_each, options);
+                    sum += f64::from(f.multiplicity) * f.prob_each * (x[j] + p * w);
+                }
+                Ok(sum)
+            }
+        }
+    }
+
+    /// Reverse-topological order of the class dependency graph (edges
+    /// `i → forward.to`), or `None` when cyclic.
+    fn reverse_topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.classes.len();
+        // out_deg[i] = number of unresolved dependencies of i.
+        let mut out_deg = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, class) in self.classes.iter().enumerate() {
+            if let ClassBody::Interior { forwards } = &class.body {
+                // Deduplicate targets so a class forwarding twice to the
+                // same target counts one dependency.
+                let mut targets: Vec<usize> = forwards.iter().map(|f| f.to.0).collect();
+                targets.sort_unstable();
+                targets.dedup();
+                out_deg[i] = targets.len();
+                for t in targets {
+                    dependents[t].push(i);
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> =
+            (0..n).filter(|&i| out_deg[i] == 0).collect();
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &d in &dependents[i] {
+                out_deg[d] -= 1;
+                if out_deg[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Solves for every class's service and waiting time.
+    ///
+    /// # Errors
+    ///
+    /// Spec errors, saturation at any station, or fixed-point divergence
+    /// (cyclic graphs near saturation).
+    pub fn solve(&self, options: &ModelOptions) -> Result<Solution> {
+        self.validate()?;
+        let n = self.classes.len();
+        let mut x = vec![self.worm_flits; n];
+        let iterations;
+        if let Some(order) = self.reverse_topological_order() {
+            for &i in &order {
+                x[i] = self.service_equation(i, &x, options)?;
+            }
+            iterations = 0;
+        } else {
+            let cfg = FixedPointConfig { tolerance: 1e-12, max_iterations: 20_000, damping: 0.5 };
+            let mut deferred: Result<()> = Ok(());
+            let outcome = fixed_point(&x, cfg, |cur, next| {
+                for (i, slot) in next.iter_mut().enumerate() {
+                    match self.service_equation(i, cur, options) {
+                        Ok(v) => *slot = v,
+                        Err(e) => {
+                            deferred = Err(e.clone());
+                            return Err(wormsim_queueing::QueueingError::Saturated {
+                                utilization: f64::INFINITY,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            });
+            match outcome {
+                Ok(out) => {
+                    x = out.values;
+                    iterations = out.iterations;
+                }
+                Err(e) => {
+                    deferred?;
+                    return Err(ModelError::Spec(format!("fixed point failed: {e}")));
+                }
+            }
+        }
+        let mut w = vec![0.0; n];
+        for i in 0..n {
+            w[i] = self.station_wait(i, x[i], options)?;
+        }
+        Ok(Solution { service_times: x, waiting_times: w, iterations })
+    }
+
+    /// Average latency via Eq. 2/25: `L = W_inj + x̄_inj + D̄ − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn latency(&self, options: &ModelOptions) -> Result<crate::bft::LatencyBreakdown> {
+        let sol = self.solve(options)?;
+        let i = self.injection.0;
+        let x = sol.service_times[i];
+        let w = sol.waiting_times[i];
+        Ok(crate::bft::LatencyBreakdown {
+            w_injection: w,
+            x_injection: x,
+            avg_distance: self.avg_distance,
+            total: w + x + self.avg_distance - 1.0,
+        })
+    }
+}
+
+/// Builds the butterfly fat-tree class specification at source rate
+/// `lambda0`, mirroring paper §3 — used to cross-validate the general
+/// framework against the closed-form recurrences of [`crate::bft`].
+#[must_use]
+pub fn bft_spec(
+    params: &wormsim_topology::bft::BftParams,
+    worm_flits: f64,
+    lambda0: f64,
+) -> NetworkSpec {
+    let n = params.levels() as usize;
+    let c = params.children() as f64;
+    let model = crate::bft::BftModel::new(*params, worm_flits);
+
+    // Class layout: down[l] for l in 1..=n at indices l-1 (⟨l, l−1⟩),
+    // up[l] for l in 0..n at indices n + l (⟨l, l+1⟩; l = 0 is injection).
+    let down_idx = |l: usize| ClassId(l - 1);
+    let up_idx = |l: usize| ClassId(n + l);
+    let mut classes = Vec::with_capacity(2 * n);
+
+    // Down classes.
+    for l in 1..=n {
+        let body = if l == 1 {
+            ClassBody::Terminal { service_time: worm_flits }
+        } else {
+            // ⟨l, l−1⟩ forwards to one of c children ⟨l−1, l−2⟩.
+            ClassBody::Interior {
+                forwards: vec![Forward {
+                    to: down_idx(l - 1),
+                    multiplicity: params.children() as u32,
+                    prob_each: 1.0 / c,
+                }],
+            }
+        };
+        classes.push(ClassSpec {
+            name: format!("<{},{}>", l, l - 1),
+            lambda: model.lambda_down(l as u32, lambda0),
+            servers: 1,
+            body,
+        });
+    }
+    // Up classes (including injection at l = 0).
+    for l in 0..n {
+        let lu = l as u32;
+        let arriving_level = lu + 1; // the switch level this channel enters
+        let p_up = params.p_up(arriving_level);
+        let p_down = params.p_down(arriving_level);
+        let mut forwards = Vec::new();
+        if arriving_level < params.levels() {
+            forwards.push(Forward { to: up_idx(l + 1), multiplicity: 1, prob_each: p_up });
+        }
+        // Downward continuation through c−1 siblings ⟨arr, arr−1⟩.
+        forwards.push(Forward {
+            to: down_idx(arriving_level as usize),
+            multiplicity: params.children() as u32 - 1,
+            prob_each: p_down / (c - 1.0),
+        });
+        classes.push(ClassSpec {
+            name: if l == 0 { "<0,1>".to_string() } else { format!("<{},{}>", l, l + 1) },
+            lambda: model.lambda_up(lu, lambda0),
+            servers: if l == 0 { 1 } else { params.parents() as u32 },
+            body: ClassBody::Interior { forwards },
+        });
+    }
+
+    NetworkSpec {
+        classes,
+        worm_flits,
+        injection: up_idx(0),
+        avg_distance: params.average_distance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_topology::bft::BftParams;
+
+    /// A simple two-hop line network: injection → middle link → ejection.
+    fn line_spec(lambda: f64, s: f64) -> NetworkSpec {
+        NetworkSpec {
+            classes: vec![
+                ClassSpec {
+                    name: "eject".into(),
+                    lambda,
+                    servers: 1,
+                    body: ClassBody::Terminal { service_time: s },
+                },
+                ClassSpec {
+                    name: "mid".into(),
+                    lambda,
+                    servers: 1,
+                    body: ClassBody::Interior {
+                        forwards: vec![Forward { to: ClassId(0), multiplicity: 1, prob_each: 1.0 }],
+                    },
+                },
+                ClassSpec {
+                    name: "inject".into(),
+                    lambda,
+                    servers: 1,
+                    body: ClassBody::Interior {
+                        forwards: vec![Forward { to: ClassId(1), multiplicity: 1, prob_each: 1.0 }],
+                    },
+                },
+            ],
+            worm_flits: s,
+            injection: ClassId(2),
+            avg_distance: 3.0,
+        }
+    }
+
+    #[test]
+    fn line_network_resolves_backwards() {
+        let spec = line_spec(0.01, 16.0);
+        spec.validate().unwrap();
+        let sol = spec.solve(&ModelOptions::paper()).unwrap();
+        assert_eq!(sol.iterations, 0, "line network is a DAG");
+        // Ejection service is fixed.
+        assert_eq!(sol.service_times[0], 16.0);
+        // Each upstream hop adds a (blocked) wait.
+        assert!(sol.service_times[1] >= sol.service_times[0]);
+        assert!(sol.service_times[2] >= sol.service_times[1]);
+        // With single input per link, Eq. 10 gives P = 0: no waiting added.
+        // (λ_in == λ_out and R == 1 ⇒ P = 1 − 1 = 0.)
+        assert_eq!(sol.service_times[1], 16.0);
+        assert_eq!(sol.service_times[2], 16.0);
+    }
+
+    #[test]
+    fn line_without_blocking_correction_accumulates_waits() {
+        let spec = line_spec(0.01, 16.0);
+        let sol = spec.solve(&ModelOptions::no_blocking_correction()).unwrap();
+        assert!(sol.service_times[2] > 16.0, "P=1 must add waiting at every hop");
+    }
+
+    #[test]
+    fn zero_load_framework_latency_is_s_plus_d_minus_one() {
+        let spec = line_spec(0.0, 16.0);
+        let lat = spec.latency(&ModelOptions::paper()).unwrap();
+        assert!((lat.total - (16.0 + 3.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn framework_matches_closed_form_bft() {
+        // The strongest internal consistency check: the generic Eq. 11
+        // solver on the per-level class graph must reproduce the paper's
+        // hand-derived recurrences exactly, for every option set.
+        for n_procs in [16usize, 64, 256, 1024] {
+            let params = BftParams::paper(n_procs).unwrap();
+            for s in [16.0, 64.0] {
+                for options in [
+                    ModelOptions::paper(),
+                    ModelOptions::single_server_up(),
+                    ModelOptions::no_blocking_correction(),
+                    ModelOptions::prior_art(),
+                ] {
+                    for lambda0 in [0.0, 0.0005, 0.002] {
+                        let closed =
+                            crate::bft::BftModel::with_options(params, s, options)
+                                .latency_at_message_rate(lambda0);
+                        let spec = bft_spec(&params, s, lambda0);
+                        let generic = spec.latency(&options);
+                        match (closed, generic) {
+                            (Ok(a), Ok(b)) => {
+                                assert!(
+                                    (a.total - b.total).abs() < 1e-9 * (1.0 + a.total),
+                                    "N={n_procs} s={s} λ0={lambda0} {options:?}: closed {} vs generic {}",
+                                    a.total,
+                                    b.total
+                                );
+                                assert!((a.w_injection - b.w_injection).abs() < 1e-9);
+                                assert!((a.x_injection - b.x_injection).abs() < 1e-9);
+                            }
+                            (Err(_), Err(_)) => {} // both saturated: consistent
+                            (a, b) => panic!(
+                                "disagreement at N={n_procs} s={s} λ0={lambda0}: {a:?} vs {b:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bft_spec_is_a_dag() {
+        let params = BftParams::paper(256).unwrap();
+        let spec = bft_spec(&params, 32.0, 0.001);
+        let sol = spec.solve(&ModelOptions::paper()).unwrap();
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn cyclic_spec_falls_back_to_fixed_point() {
+        // Two classes forwarding to each other 50/50 with an escape to a
+        // terminal — a cycle the DAG path cannot order.
+        let s = 8.0;
+        let spec = NetworkSpec {
+            classes: vec![
+                ClassSpec {
+                    name: "eject".into(),
+                    lambda: 0.01,
+                    servers: 1,
+                    body: ClassBody::Terminal { service_time: s },
+                },
+                ClassSpec {
+                    name: "a".into(),
+                    lambda: 0.01,
+                    servers: 1,
+                    body: ClassBody::Interior {
+                        forwards: vec![
+                            Forward { to: ClassId(2), multiplicity: 1, prob_each: 0.5 },
+                            Forward { to: ClassId(0), multiplicity: 1, prob_each: 0.5 },
+                        ],
+                    },
+                },
+                ClassSpec {
+                    name: "b".into(),
+                    lambda: 0.01,
+                    servers: 1,
+                    body: ClassBody::Interior {
+                        forwards: vec![
+                            Forward { to: ClassId(1), multiplicity: 1, prob_each: 0.5 },
+                            Forward { to: ClassId(0), multiplicity: 1, prob_each: 0.5 },
+                        ],
+                    },
+                },
+                ClassSpec {
+                    name: "inject".into(),
+                    lambda: 0.01,
+                    servers: 1,
+                    body: ClassBody::Interior {
+                        forwards: vec![Forward { to: ClassId(1), multiplicity: 1, prob_each: 1.0 }],
+                    },
+                },
+            ],
+            worm_flits: s,
+            injection: ClassId(3),
+            avg_distance: 4.0,
+        };
+        spec.validate().unwrap();
+        let sol = spec.solve(&ModelOptions::paper()).unwrap();
+        assert!(sol.iterations > 0, "cycle must engage the fixed point");
+        // The fixed point must satisfy the service equations.
+        for i in 0..spec.classes.len() {
+            let rhs = spec.service_equation(i, &sol.service_times, &ModelOptions::paper()).unwrap();
+            assert!(
+                (sol.service_times[i] - rhs).abs() < 1e-8,
+                "class {i}: {} vs {rhs}",
+                sol.service_times[i]
+            );
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let good = line_spec(0.01, 16.0);
+        assert!(good.validate().is_ok());
+
+        let mut bad = line_spec(0.01, 16.0);
+        bad.worm_flits = -1.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        bad.avg_distance = 0.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        bad.injection = ClassId(99);
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        if let ClassBody::Interior { forwards } = &mut bad.classes[2].body {
+            forwards[0].prob_each = 0.7; // probabilities no longer total 1
+        }
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        bad.classes[1].lambda = f64::NAN;
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        if let ClassBody::Interior { forwards } = &mut bad.classes[2].body {
+            forwards[0].to = ClassId(2); // self-loop
+        }
+        assert!(bad.validate().is_err());
+
+        let mut bad = line_spec(0.01, 16.0);
+        bad.classes[2].servers = 2; // multi-server injection
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn saturation_surfaces_with_class_name() {
+        // Drive the middle link past ρ = 1.
+        let spec = line_spec(0.2, 16.0); // ρ = 3.2
+        let err = spec.solve(&ModelOptions::paper()).unwrap_err();
+        match err {
+            ModelError::Queueing { class, .. } => {
+                assert!(["mid", "eject", "inject"].contains(&class.as_str()));
+            }
+            other => panic!("expected queueing error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Model configuration: the paper's choices and their ablations.
+
+/// How the service-time squared coefficient of variation is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScvMode {
+    /// The paper's Eq. 5: `C_b² = (x̄ − s/f)²/x̄²` (Draper–Ghosh surrogate).
+    #[default]
+    Wormhole,
+    /// Deterministic service (`C_b² = 0`): assumes no blocking variance at
+    /// all; underestimates waiting under contention.
+    Deterministic,
+    /// Exponential service (`C_b² = 1`): the classic M/M/· pessimism.
+    Exponential,
+}
+
+impl ScvMode {
+    /// Evaluates the SCV for a channel with mean service `mean` and worm
+    /// length `worm_flits`.
+    #[must_use]
+    pub fn scv(self, mean: f64, worm_flits: f64) -> f64 {
+        match self {
+            ScvMode::Wormhole => wormsim_queueing::wormhole::wormhole_scv(mean, worm_flits),
+            ScvMode::Deterministic => 0.0,
+            ScvMode::Exponential => 1.0,
+        }
+    }
+}
+
+/// Switches for the paper's two novel ingredients plus the SCV choice.
+///
+/// The default is the paper's model. The ablation constructors produce the
+/// configurations studied in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOptions {
+    /// Treat the `p` redundant up-links of a switch as one M/G/p station
+    /// (paper, novelty 1). When `false`, each up-link is an independent
+    /// M/G/1 queue receiving `1/p` of the up-traffic.
+    pub multi_server_up: bool,
+    /// Apply the Eq. 10 blocking-probability correction (paper, novelty 2).
+    /// When `false`, `P(i|j) = 1` everywhere.
+    pub blocking_correction: bool,
+    /// Service-variance model (paper: Eq. 5 wormhole surrogate).
+    pub scv: ScvMode,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ModelOptions {
+    /// The paper's configuration: M/G/2 up-links, blocking correction on,
+    /// wormhole SCV.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { multi_server_up: true, blocking_correction: true, scv: ScvMode::Wormhole }
+    }
+
+    /// Ablation A1: independent single-server up-links (novelty 1 removed).
+    #[must_use]
+    pub fn single_server_up() -> Self {
+        Self { multi_server_up: false, ..Self::paper() }
+    }
+
+    /// Ablation A2: no blocking-probability correction (novelty 2 removed).
+    #[must_use]
+    pub fn no_blocking_correction() -> Self {
+        Self { blocking_correction: false, ..Self::paper() }
+    }
+
+    /// The pre-paper state of the art: both novelties removed.
+    #[must_use]
+    pub fn prior_art() -> Self {
+        Self { multi_server_up: false, blocking_correction: false, scv: ScvMode::Wormhole }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ModelOptions::default(), ModelOptions::paper());
+        let p = ModelOptions::paper();
+        assert!(p.multi_server_up);
+        assert!(p.blocking_correction);
+        assert_eq!(p.scv, ScvMode::Wormhole);
+    }
+
+    #[test]
+    fn ablations_flip_one_switch_each() {
+        let a1 = ModelOptions::single_server_up();
+        assert!(!a1.multi_server_up);
+        assert!(a1.blocking_correction);
+        let a2 = ModelOptions::no_blocking_correction();
+        assert!(a2.multi_server_up);
+        assert!(!a2.blocking_correction);
+        let prior = ModelOptions::prior_art();
+        assert!(!prior.multi_server_up);
+        assert!(!prior.blocking_correction);
+    }
+
+    #[test]
+    fn scv_modes() {
+        assert_eq!(ScvMode::Deterministic.scv(20.0, 16.0), 0.0);
+        assert_eq!(ScvMode::Exponential.scv(20.0, 16.0), 1.0);
+        let w = ScvMode::Wormhole.scv(20.0, 16.0);
+        assert!((w - (4.0f64 / 20.0).powi(2)).abs() < 1e-15);
+        assert_eq!(ScvMode::default(), ScvMode::Wormhole);
+    }
+}

@@ -1,0 +1,140 @@
+//! Terminal line plots, used to render Figure-3-style curves next to the
+//! numeric tables.
+
+/// One plotted series: a symbol and its (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot symbol.
+    pub symbol: char,
+    /// Data points (non-finite y values are skipped).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(label: impl Into<String>, symbol: char, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), symbol, points }
+    }
+}
+
+/// Renders series on a `width × height` character grid with auto-scaled
+/// axes and a legend. Returns a ready-to-print string.
+#[must_use]
+pub fn plot(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(5, 60);
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return format!("(no finite points to plot: {y_label} vs {x_label})\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &finite {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = s.symbol;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y_here:>9.1} |{}\n", line.trim_end()));
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10} {:<w$.4}{:>r$.4}   ({x_label})\n",
+        "",
+        x_min,
+        x_max,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    out.push_str("legend: ");
+    for s in series {
+        out.push_str(&format!("[{}] {}  ", s.symbol, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_contain_symbols_and_legend() {
+        let s1 = Series::new("model", 'o', vec![(0.0, 10.0), (1.0, 20.0), (2.0, 40.0)]);
+        let s2 = Series::new("sim", 'x', vec![(0.0, 11.0), (1.0, 19.0), (2.0, 42.0)]);
+        let out = plot(&[s1, s2], 40, 10, "load", "latency");
+        assert!(out.contains('o'));
+        assert!(out.contains('x'));
+        assert!(out.contains("[o] model"));
+        assert!(out.contains("[x] sim"));
+        assert!(out.contains("latency"));
+        assert!(out.contains("load"));
+    }
+
+    #[test]
+    fn corners_are_placed_correctly() {
+        let s = Series::new("s", '#', vec![(0.0, 0.0), (1.0, 1.0)]);
+        let out = plot(&[s], 20, 5, "x", "y");
+        let lines: Vec<&str> = out.lines().collect();
+        // Top data row holds the max point at the right edge.
+        assert!(lines[1].trim_end().ends_with('#'));
+        // Bottom data row holds the min point at the left edge (after the
+        // axis prefix "      0.0 |").
+        let bottom = lines[5];
+        let after_bar = bottom.split('|').nth(1).unwrap();
+        assert!(after_bar.starts_with('#'));
+    }
+
+    #[test]
+    fn skips_non_finite_points() {
+        let s = Series::new("s", '*', vec![(0.0, f64::NAN), (1.0, 5.0), (f64::INFINITY, 3.0)]);
+        let out = plot(&[s], 30, 6, "x", "y");
+        assert!(out.matches('*').count() >= 1);
+    }
+
+    #[test]
+    fn empty_input_degrades_gracefully() {
+        let out = plot(&[], 30, 6, "x", "y");
+        assert!(out.contains("no finite points"));
+        let s = Series::new("s", '*', vec![(f64::NAN, f64::NAN)]);
+        assert!(plot(&[s], 30, 6, "x", "y").contains("no finite points"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = Series::new("s", '*', vec![(1.0, 2.0), (1.0, 2.0)]);
+        let out = plot(&[s], 25, 5, "x", "y");
+        assert!(out.contains('*'));
+    }
+}

@@ -1,0 +1,112 @@
+//! A tiny CSV writer for experiment outputs (no third-party dependency —
+//! our values are plain numbers and simple labels).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// In-memory CSV document.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    buffer: String,
+    columns: usize,
+}
+
+impl Csv {
+    /// Starts a document with a header row.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        let mut csv = Self { buffer: String::new(), columns: header.len() };
+        csv.push_row_raw(header.iter().map(|s| (*s).to_string()).collect());
+        csv
+    }
+
+    fn push_row_raw(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buffer.push(',');
+            }
+            first = false;
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                let escaped = cell.replace('"', "\"\"");
+                let _ = write!(self.buffer, "\"{escaped}\"");
+            } else {
+                self.buffer.push_str(&cell);
+            }
+        }
+        self.buffer.push('\n');
+    }
+
+    /// Appends a row of displayable cells.
+    pub fn row<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        self.push_row_raw(cells.iter().map(ToString::to_string).collect());
+        self
+    }
+
+    /// The document contents.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Number of rows including the header.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.buffer.lines().count()
+    }
+
+    /// Writes to `dir/name`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from directory creation or the write.
+    pub fn write_to(&self, dir: &Path, name: &str) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        fs::write(&path, &self.buffer)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_documents() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(&[1.5, 2.0]);
+        csv.row(&["x".to_string(), "y".to_string()]);
+        assert_eq!(csv.as_str(), "a,b\n1.5,2\nx,y\n");
+        assert_eq!(csv.rows(), 3);
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut csv = Csv::new(&["label", "v"]);
+        csv.row(&["has,comma".to_string(), "has\"quote".to_string()]);
+        assert!(csv.as_str().contains("\"has,comma\""));
+        assert!(csv.as_str().contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_is_enforced() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(&[1.0]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("wormsim_csv_test");
+        let mut csv = Csv::new(&["x"]);
+        csv.row(&[42]);
+        let path = csv.write_to(&dir, "t.csv").unwrap();
+        let read = std::fs::read_to_string(path).unwrap();
+        assert_eq!(read, "x\n42\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

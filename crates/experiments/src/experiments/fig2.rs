@@ -1,0 +1,69 @@
+//! Experiment E1 — Figure 2: the 64-processor butterfly fat-tree.
+//!
+//! The paper's Figure 2 is a topology diagram. We regenerate it as (a) a
+//! structural census (levels, switch counts, channel counts — checkable
+//! against the formulas of §3.1), (b) ASCII art of the parent wiring, and
+//! (c) GraphViz DOT written as an artifact for graphical rendering.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::table::Table;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::render;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig2");
+    let params = BftParams::paper(64).expect("64 is a power of 4");
+    let tree = ButterflyFatTree::new(params);
+
+    out.section("Figure 2 — butterfly fat-tree with 64 processors (c=4, p=2, n=3).");
+
+    let mut census = Table::new(vec!["level", "switches", "up channels", "down channels"]);
+    census.row(vec!["0 (PEs)".to_string(), "64".to_string(), "64 (inject)".to_string(), "64 (eject)".to_string()]);
+    for l in 1..=params.levels() {
+        let s = params.switches_at_level(l);
+        let ups = if l < params.levels() { s * params.parents() } else { 0 };
+        census.row(vec![
+            l.to_string(),
+            s.to_string(),
+            ups.to_string(),
+            ups.to_string(), // one down twin per up link
+        ]);
+    }
+    out.section(census.render());
+
+    out.section(format!(
+        "Totals: {} switches, {} channels, average distance D = {:.4} channels, diameter {}.",
+        tree.total_switches(),
+        tree.network().num_channels(),
+        params.average_distance(),
+        2 * params.levels(),
+    ));
+
+    out.section(render::bft_to_ascii(&tree));
+
+    if let Some(dir) = &ctx.out_dir {
+        let dot = render::bft_to_dot(&tree);
+        match std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("fig2_bft64.dot"), &dot))
+        {
+            Ok(()) => out.artifacts.push(dir.join("fig2_bft64.dot")),
+            Err(e) => out.report.push_str(&format!("[warn] DOT write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_the_paper_counts() {
+        let out = run(&ExperimentContext::quick());
+        assert!(out.report.contains("16")); // level-1 switches
+        assert!(out.report.contains("28 switches"));
+        assert!(out.report.contains("[root]"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Service-time distributions described by their first two moments.
+//!
+//! The M/G/1 and M/G/m formulas used by the wormhole model only consume the
+//! mean and the squared coefficient of variation (SCV) of the service-time
+//! distribution, so a two-moment summary is the natural currency between
+//! model components. [`ServiceMoments`] is that summary, with constructors
+//! for the distributions that appear in the paper and its baselines.
+
+use crate::error::{check_scv, check_service_time};
+use crate::{QueueingError, Result};
+
+/// First two moments of a service-time distribution.
+///
+/// Invariants: `mean > 0`, `scv ≥ 0`, both finite. Enforced on construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMoments {
+    mean: f64,
+    scv: f64,
+}
+
+impl ServiceMoments {
+    /// Builds a summary from a mean and a squared coefficient of variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidServiceTime`] or
+    /// [`QueueingError::InvalidScv`] on non-finite or out-of-range input.
+    pub fn new(mean: f64, scv: f64) -> Result<Self> {
+        check_service_time(mean)?;
+        check_scv(scv)?;
+        Ok(Self { mean, scv })
+    }
+
+    /// A deterministic (constant) service time: `SCV = 0`.
+    ///
+    /// This is the service law of a wormhole ejection channel feeding a sink
+    /// that consumes one flit per cycle (paper Eq. 16: `x̄₁,₀ = s/f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive; use [`Self::new`] for
+    /// fallible construction.
+    #[must_use]
+    pub fn deterministic(mean: f64) -> Self {
+        Self::new(mean, 0.0).expect("deterministic service time must be positive and finite")
+    }
+
+    /// An exponential service time: `SCV = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive; use [`Self::new`] for
+    /// fallible construction.
+    #[must_use]
+    pub fn exponential(mean: f64) -> Self {
+        Self::new(mean, 1.0).expect("exponential service time must be positive and finite")
+    }
+
+    /// Builds a summary from a mean and a variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the mean is non-positive or the variance is
+    /// negative or non-finite.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Result<Self> {
+        check_service_time(mean)?;
+        if !variance.is_finite() || variance < 0.0 {
+            return Err(QueueingError::InvalidScv { scv: variance });
+        }
+        Ok(Self { mean, scv: variance / (mean * mean) })
+    }
+
+    /// The wormhole service-variance surrogate of the paper (Eq. 5):
+    /// `C_b² = (x̄ − s/f)² / x̄²`, where `worm_flits = s/f` is the worm length
+    /// in flits.
+    ///
+    /// Rationale (after Draper & Ghosh): the *minimum* possible service time
+    /// of a wormhole channel is the pure transmission time `s/f`; any excess
+    /// of the mean over that floor is caused by downstream blocking, and the
+    /// excess itself is taken as the standard-deviation scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either argument is non-positive or non-finite.
+    pub fn wormhole(mean: f64, worm_flits: f64) -> Result<Self> {
+        check_service_time(mean)?;
+        check_service_time(worm_flits)?;
+        let scv = crate::wormhole::wormhole_scv(mean, worm_flits);
+        Ok(Self { mean, scv })
+    }
+
+    /// Mean service time `x̄`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Squared coefficient of variation `C_b² = σ²/x̄²`.
+    #[must_use]
+    pub fn scv(&self) -> f64 {
+        self.scv
+    }
+
+    /// Variance `σ² = C_b²·x̄²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.scv * self.mean * self.mean
+    }
+
+    /// Second raw moment `E[X²] = σ² + x̄²`.
+    ///
+    /// This is the quantity the Pollaczek–Khinchine formula actually needs.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        self.variance() + self.mean * self.mean
+    }
+
+    /// Returns a copy with the mean rescaled by `factor` (SCV is scale-free
+    /// and therefore preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the rescaled mean is no longer positive/finite.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        Self::new(self.mean * factor, self.scv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_has_zero_variance() {
+        let m = ServiceMoments::deterministic(16.0);
+        assert_eq!(m.mean(), 16.0);
+        assert_eq!(m.scv(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.second_moment(), 256.0);
+    }
+
+    #[test]
+    fn exponential_has_unit_scv() {
+        let m = ServiceMoments::exponential(5.0);
+        assert_eq!(m.scv(), 1.0);
+        assert_eq!(m.variance(), 25.0);
+        assert_eq!(m.second_moment(), 50.0);
+    }
+
+    #[test]
+    fn from_mean_variance_round_trips() {
+        let m = ServiceMoments::from_mean_variance(10.0, 40.0).unwrap();
+        assert!((m.scv() - 0.4).abs() < 1e-15);
+        assert!((m.variance() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wormhole_scv_is_zero_at_transmission_floor() {
+        // Mean service equal to the worm length means no blocking anywhere:
+        // the surrogate variance must vanish (deterministic service).
+        let m = ServiceMoments::wormhole(16.0, 16.0).unwrap();
+        assert_eq!(m.scv(), 0.0);
+    }
+
+    #[test]
+    fn wormhole_scv_grows_with_blocking_excess() {
+        let low = ServiceMoments::wormhole(18.0, 16.0).unwrap();
+        let high = ServiceMoments::wormhole(30.0, 16.0).unwrap();
+        assert!(high.scv() > low.scv());
+        // C² = ((30-16)/30)² = (14/30)²
+        assert!((high.scv() - (14.0 / 30.0_f64).powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_preserves_scv() {
+        let m = ServiceMoments::new(8.0, 0.7).unwrap();
+        let s = m.scaled(2.5).unwrap();
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.scv(), 0.7);
+    }
+
+    #[test]
+    fn constructors_reject_invalid_input() {
+        assert!(ServiceMoments::new(0.0, 0.0).is_err());
+        assert!(ServiceMoments::new(-1.0, 0.0).is_err());
+        assert!(ServiceMoments::new(1.0, -0.1).is_err());
+        assert!(ServiceMoments::new(f64::NAN, 0.0).is_err());
+        assert!(ServiceMoments::new(1.0, f64::INFINITY).is_err());
+        assert!(ServiceMoments::from_mean_variance(1.0, -1.0).is_err());
+        assert!(ServiceMoments::wormhole(0.0, 16.0).is_err());
+        assert!(ServiceMoments::wormhole(16.0, 0.0).is_err());
+        assert!(ServiceMoments::new(1.0, 0.5).unwrap().scaled(-3.0).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Error type shared by all queueing computations.
+
+use std::fmt;
+
+/// Errors raised by queueing-theory computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueingError {
+    /// The station is at or beyond its stability limit (`ρ ≥ 1`).
+    ///
+    /// Carries the offending per-server utilization so callers scanning for
+    /// the saturation point can report how far past the knee they landed.
+    Saturated {
+        /// Per-server utilization `ρ = λx̄/m` that violated `ρ < 1`.
+        utilization: f64,
+    },
+    /// An arrival rate was negative or non-finite.
+    InvalidRate {
+        /// The rejected rate value.
+        rate: f64,
+    },
+    /// A mean service time was zero, negative, or non-finite.
+    InvalidServiceTime {
+        /// The rejected service-time value.
+        service_time: f64,
+    },
+    /// A squared coefficient of variation was negative or non-finite.
+    InvalidScv {
+        /// The rejected SCV value.
+        scv: f64,
+    },
+    /// A server count of zero was supplied to a multi-server formula.
+    InvalidServerCount,
+    /// A routing probability or blocking probability fell outside `[0, 1]`
+    /// and strict validation was requested.
+    InvalidProbability {
+        /// The rejected probability value.
+        probability: f64,
+    },
+    /// A fixed-point iteration failed to converge within its budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual `|x_{k+1} − x_k|` (∞-norm) at the last iteration.
+        residual: f64,
+    },
+    /// A root-bracketing search was given an interval that does not bracket
+    /// a sign change.
+    BracketError {
+        /// Lower end of the rejected interval.
+        lo: f64,
+        /// Upper end of the rejected interval.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::Saturated { utilization } => {
+                write!(f, "queue saturated: per-server utilization {utilization} >= 1")
+            }
+            QueueingError::InvalidRate { rate } => {
+                write!(f, "invalid arrival rate {rate}: must be finite and >= 0")
+            }
+            QueueingError::InvalidServiceTime { service_time } => {
+                write!(f, "invalid mean service time {service_time}: must be finite and > 0")
+            }
+            QueueingError::InvalidScv { scv } => {
+                write!(f, "invalid squared coefficient of variation {scv}: must be finite and >= 0")
+            }
+            QueueingError::InvalidServerCount => {
+                write!(f, "server count must be at least 1")
+            }
+            QueueingError::InvalidProbability { probability } => {
+                write!(f, "invalid probability {probability}: must lie in [0, 1]")
+            }
+            QueueingError::NoConvergence { iterations, residual } => {
+                write!(f, "fixed point did not converge after {iterations} iterations (residual {residual:e})")
+            }
+            QueueingError::BracketError { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] does not bracket a root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueingError {}
+
+/// Validates an arrival rate (finite, non-negative).
+pub(crate) fn check_rate(lambda: f64) -> crate::Result<()> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(QueueingError::InvalidRate { rate: lambda });
+    }
+    Ok(())
+}
+
+/// Validates a mean service time (finite, strictly positive).
+pub(crate) fn check_service_time(x: f64) -> crate::Result<()> {
+    if !x.is_finite() || x <= 0.0 {
+        return Err(QueueingError::InvalidServiceTime { service_time: x });
+    }
+    Ok(())
+}
+
+/// Validates a squared coefficient of variation (finite, non-negative).
+pub(crate) fn check_scv(scv: f64) -> crate::Result<()> {
+    if !scv.is_finite() || scv < 0.0 {
+        return Err(QueueingError::InvalidScv { scv });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(QueueingError, &str)> = vec![
+            (QueueingError::Saturated { utilization: 1.2 }, "saturated"),
+            (QueueingError::InvalidRate { rate: -1.0 }, "arrival rate"),
+            (QueueingError::InvalidServiceTime { service_time: 0.0 }, "service time"),
+            (QueueingError::InvalidScv { scv: -0.5 }, "coefficient of variation"),
+            (QueueingError::InvalidServerCount, "server count"),
+            (QueueingError::InvalidProbability { probability: 1.5 }, "probability"),
+            (
+                QueueingError::NoConvergence { iterations: 10, residual: 1e-3 },
+                "converge",
+            ),
+            (QueueingError::BracketError { lo: 0.0, hi: 1.0 }, "bracket"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} display should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validators_accept_good_values() {
+        assert!(check_rate(0.0).is_ok());
+        assert!(check_rate(0.3).is_ok());
+        assert!(check_service_time(1e-9).is_ok());
+        assert!(check_scv(0.0).is_ok());
+        assert!(check_scv(4.0).is_ok());
+    }
+
+    #[test]
+    fn validators_reject_bad_values() {
+        assert!(check_rate(-0.1).is_err());
+        assert!(check_rate(f64::NAN).is_err());
+        assert!(check_rate(f64::INFINITY).is_err());
+        assert!(check_service_time(0.0).is_err());
+        assert!(check_service_time(-2.0).is_err());
+        assert!(check_service_time(f64::NAN).is_err());
+        assert!(check_scv(-1e-12).is_err());
+        assert!(check_scv(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&QueueingError::InvalidServerCount);
+    }
+}

@@ -1,0 +1,271 @@
+//! Numerical solvers shared by the analytical models.
+//!
+//! Two tools live here:
+//!
+//! * [`fixed_point`] — damped fixed-point iteration on a vector of channel
+//!   service times. The butterfly fat-tree resolves in one backward pass
+//!   (its channel-dependency graph is a DAG), but the general framework of
+//!   paper §2 must handle cyclic dependency graphs (e.g. tori), where the
+//!   service-time equations are solved iteratively.
+//! * [`bisect_increasing`] — bracketing bisection on a monotone function,
+//!   used for the throughput computation of paper §2.3/§3.5: find the
+//!   arrival rate where the source service time crosses `1/λ₀`.
+
+use crate::{QueueingError, Result};
+
+/// Configuration for the damped fixed-point iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPointConfig {
+    /// Convergence tolerance on the ∞-norm of the update.
+    pub tolerance: f64,
+    /// Maximum number of iterations before reporting failure.
+    pub max_iterations: usize,
+    /// Damping factor `θ ∈ (0, 1]`: `x ← (1−θ)·x + θ·F(x)`. `θ = 1` is the
+    /// plain Picard iteration; smaller values stabilize near saturation.
+    pub damping: f64,
+}
+
+impl Default for FixedPointConfig {
+    fn default() -> Self {
+        Self { tolerance: 1e-10, max_iterations: 10_000, damping: 0.5 }
+    }
+}
+
+/// Outcome of a successful fixed-point solve.
+#[derive(Debug, Clone)]
+pub struct FixedPointOutcome {
+    /// The converged vector.
+    pub values: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final ∞-norm residual.
+    pub residual: f64,
+}
+
+/// Runs damped fixed-point iteration `x ← (1−θ)x + θF(x)` until the ∞-norm
+/// of the update drops below `config.tolerance`.
+///
+/// The map `f` writes `F(x)` into its second argument (avoiding per-iteration
+/// allocation, per the HPC guide's hot-loop discipline) and may fail — e.g.
+/// when an intermediate state saturates a queue — in which case iteration
+/// stops and the error propagates.
+///
+/// # Errors
+///
+/// * [`QueueingError::NoConvergence`] after `max_iterations`.
+/// * Any error returned by `f` (typically [`QueueingError::Saturated`]).
+pub fn fixed_point<F>(initial: &[f64], config: FixedPointConfig, mut f: F) -> Result<FixedPointOutcome>
+where
+    F: FnMut(&[f64], &mut [f64]) -> Result<()>,
+{
+    let theta = config.damping.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut x = initial.to_vec();
+    let mut fx = vec![0.0; x.len()];
+    for iteration in 1..=config.max_iterations {
+        f(&x, &mut fx)?;
+        let mut residual = 0.0f64;
+        for (xi, fxi) in x.iter_mut().zip(fx.iter()) {
+            let next = (1.0 - theta) * *xi + theta * *fxi;
+            residual = residual.max((next - *xi).abs());
+            *xi = next;
+        }
+        if residual < config.tolerance {
+            return Ok(FixedPointOutcome { values: x, iterations: iteration, residual });
+        }
+    }
+    let mut residual = 0.0f64;
+    f(&x, &mut fx)?;
+    for (xi, fxi) in x.iter().zip(fx.iter()) {
+        residual = residual.max((theta * (fxi - xi)).abs());
+    }
+    Err(QueueingError::NoConvergence { iterations: config.max_iterations, residual })
+}
+
+/// Configuration for [`bisect_increasing`].
+#[derive(Debug, Clone, Copy)]
+pub struct BisectionConfig {
+    /// Absolute tolerance on the argument.
+    pub x_tolerance: f64,
+    /// Maximum number of halvings.
+    pub max_iterations: usize,
+}
+
+impl Default for BisectionConfig {
+    fn default() -> Self {
+        Self { x_tolerance: 1e-12, max_iterations: 200 }
+    }
+}
+
+/// Finds the zero crossing of a monotonically increasing function `g` on
+/// `[lo, hi]`, i.e. the point where `g` changes sign from negative to
+/// non-negative.
+///
+/// Used for saturation scans where `g(λ) = x̄₀,₁(λ) − 1/λ` (paper Eq. 26):
+/// `g` is negative below saturation and positive above it. `g` may return
+/// an error above saturation (the model's queues blow up); such errors are
+/// treated as "`g` is positive there", which makes the solver robust to the
+/// model refusing to evaluate past the knee.
+///
+/// # Errors
+///
+/// * [`QueueingError::BracketError`] when `g(lo)` is already non-negative
+///   (no crossing in the interval) — except that an error at `lo` itself is
+///   propagated, since it means the caller bracketed blindly.
+pub fn bisect_increasing<G>(lo: f64, hi: f64, config: BisectionConfig, mut g: G) -> Result<f64>
+where
+    G: FnMut(f64) -> Result<f64>,
+{
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+        return Err(QueueingError::BracketError { lo, hi });
+    }
+    let g_lo = g(lo)?;
+    if g_lo >= 0.0 {
+        return Err(QueueingError::BracketError { lo, hi });
+    }
+    // Above saturation the model may fail to evaluate; treat failure as
+    // "crossed" (positive).
+    let sign = |v: Result<f64>| -> f64 {
+        match v {
+            Ok(y) => y,
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let mut a = lo;
+    let mut b = hi;
+    if sign(g(hi)) < 0.0 {
+        // No crossing within [lo, hi]: the function never reaches zero.
+        return Err(QueueingError::BracketError { lo, hi });
+    }
+    for _ in 0..config.max_iterations {
+        let mid = 0.5 * (a + b);
+        if b - a < config.x_tolerance {
+            return Ok(mid);
+        }
+        if sign(g(mid)) < 0.0 {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_solves_scalar_contraction() {
+        // x = cos(x) has the Dottie number ≈ 0.7390851332151607 as fixed point.
+        let out = fixed_point(&[0.0], FixedPointConfig::default(), |x, fx| {
+            fx[0] = x[0].cos();
+            Ok(())
+        })
+        .unwrap();
+        assert!((out.values[0] - 0.739_085_133_215_160_7).abs() < 1e-8);
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn fixed_point_solves_linear_system() {
+        // x = A x + b with spectral radius < 1: x0 = 0.5 x1 + 1, x1 = 0.3 x0 + 2.
+        // Solution: x0 = 1 + 0.5(2 + 0.3 x0) ⇒ x0(1 − 0.15) = 2 ⇒ x0 = 2/0.85.
+        let out = fixed_point(&[0.0, 0.0], FixedPointConfig::default(), |x, fx| {
+            fx[0] = 0.5 * x[1] + 1.0;
+            fx[1] = 0.3 * x[0] + 2.0;
+            Ok(())
+        })
+        .unwrap();
+        let x0 = 2.0 / 0.85;
+        let x1 = 0.3 * x0 + 2.0;
+        assert!((out.values[0] - x0).abs() < 1e-8);
+        assert!((out.values[1] - x1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fixed_point_reports_nonconvergence() {
+        // x = 2x + 1 diverges.
+        let cfg = FixedPointConfig { max_iterations: 50, ..Default::default() };
+        let err = fixed_point(&[1.0], cfg, |x, fx| {
+            fx[0] = 2.0 * x[0] + 1.0;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, QueueingError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn fixed_point_propagates_map_errors() {
+        let err = fixed_point(&[1.0], FixedPointConfig::default(), |_x, _fx| {
+            Err(QueueingError::Saturated { utilization: 1.1 })
+        })
+        .unwrap_err();
+        assert!(matches!(err, QueueingError::Saturated { .. }));
+    }
+
+    #[test]
+    fn fixed_point_damping_still_converges() {
+        for damping in [0.1, 0.5, 1.0] {
+            let cfg = FixedPointConfig { damping, ..Default::default() };
+            let out = fixed_point(&[0.0], cfg, |x, fx| {
+                fx[0] = 0.5 * x[0] + 3.0;
+                Ok(())
+            })
+            .unwrap();
+            assert!((out.values[0] - 6.0).abs() < 1e-7, "damping {damping}");
+        }
+    }
+
+    #[test]
+    fn bisect_finds_simple_root() {
+        // g(x) = x² − 2 on [0, 2] → √2.
+        let root = bisect_increasing(0.0, 2.0, BisectionConfig::default(), |x| Ok(x * x - 2.0))
+            .unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_handles_error_as_positive_region() {
+        // g errors above 1.0 (like a saturated model); root of x−0.5 is 0.5.
+        let root = bisect_increasing(0.0, 2.0, BisectionConfig::default(), |x| {
+            if x > 1.0 {
+                Err(QueueingError::Saturated { utilization: x })
+            } else {
+                Ok(x - 0.5)
+            }
+        })
+        .unwrap();
+        assert!((root - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_brackets() {
+        // g(lo) already positive.
+        assert!(matches!(
+            bisect_increasing(1.0, 2.0, BisectionConfig::default(), Ok),
+            Err(QueueingError::BracketError { .. })
+        ));
+        // Never crosses.
+        assert!(matches!(
+            bisect_increasing(0.0, 1.0, BisectionConfig::default(), |_| Ok(-1.0)),
+            Err(QueueingError::BracketError { .. })
+        ));
+        // Degenerate interval.
+        assert!(bisect_increasing(1.0, 1.0, BisectionConfig::default(), Ok).is_err());
+        // Error at lo propagates.
+        assert!(bisect_increasing(
+            0.0,
+            1.0,
+            BisectionConfig::default(),
+            |_| Err::<f64, _>(QueueingError::InvalidServerCount)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bisect_respects_tolerance() {
+        let cfg = BisectionConfig { x_tolerance: 1e-3, max_iterations: 1000 };
+        let root = bisect_increasing(0.0, 10.0, cfg, |x| Ok(x - 3.3)).unwrap();
+        assert!((root - 3.3).abs() < 1e-3);
+    }
+}

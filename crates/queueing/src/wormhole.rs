@@ -1,0 +1,149 @@
+//! Wormhole-specific corrections to classical queueing results.
+//!
+//! Two adaptations make Poisson-arrival queueing formulas usable for
+//! wormhole-routed channels (paper §2.2):
+//!
+//! 1. **Service-variance surrogate** (Eq. 5, after Draper & Ghosh): the
+//!    service time of a wormhole channel can never drop below the pure
+//!    transmission time `s/f` flits; the excess of the mean over that floor
+//!    is attributed to downstream blocking and reused as the standard
+//!    deviation scale, giving `C_b² = (x̄ − s/f)²/x̄²`.
+//! 2. **Blocking-probability correction** (Eq. 9/10, see [`crate::blocking`]):
+//!    a worm occupying an input link suppresses further arrivals on that
+//!    link, so the M/G/m wait is only paid with the probability that the
+//!    servers are held by worms from *other* inputs.
+//!
+//! This module provides Eq. 5 plus the two waiting-time compositions the
+//! paper actually evaluates: Eq. 6 (`W_{M/G/1}` with Eq. 5 substituted) and
+//! Eq. 8 (`W_{M/G/2}` with Eq. 5 substituted), along with the general-`m`
+//! analogue.
+
+use crate::{mg1, mgm, Result};
+
+/// The wormhole service-variance surrogate of paper Eq. 5:
+/// `C_b² = (x̄ − s/f)² / x̄²`.
+///
+/// * `mean_service` — mean channel service time `x̄` (cycles).
+/// * `worm_flits` — worm length in flits, `s/f` (message length `s` over
+///   flit width `f`).
+///
+/// For `x̄ = s/f` (no downstream blocking) the surrogate is 0, modelling a
+/// deterministic service time; it grows towards 1 as blocking dominates.
+/// The function is total: callers validating inputs should use
+/// [`crate::distribution::ServiceMoments::wormhole`].
+#[must_use]
+pub fn wormhole_scv(mean_service: f64, worm_flits: f64) -> f64 {
+    let excess = mean_service - worm_flits;
+    (excess * excess) / (mean_service * mean_service)
+}
+
+/// Paper Eq. 6: mean M/G/1 wait with the wormhole SCV substituted,
+/// `W = λx̄²/(2(1 − λx̄)) · (1 + (x̄ − s/f)²/x̄²)`.
+///
+/// # Errors
+///
+/// Same as [`mg1::waiting_time`].
+pub fn w_mg1(lambda: f64, mean_service: f64, worm_flits: f64) -> Result<f64> {
+    mg1::waiting_time(lambda, mean_service, wormhole_scv(mean_service, worm_flits))
+}
+
+/// Paper Eq. 8: mean M/G/2 wait (Hokstad) with the wormhole SCV substituted,
+/// `W = λ²x̄³/(2(4 − λ²x̄²)) · (1 + (x̄ − s/f)²/x̄²)`.
+///
+/// `lambda` is the **combined** arrival rate over the two-link pair — the
+/// manuscript's margin correction to Eqs. 21/23 (insert the factor 2 on the
+/// per-link rate) is the caller's responsibility and is applied by the
+/// butterfly fat-tree model in `wormsim-core`.
+///
+/// # Errors
+///
+/// Same as [`mgm::hokstad_mg2_waiting_time`].
+pub fn w_mg2(lambda: f64, mean_service: f64, worm_flits: f64) -> Result<f64> {
+    mgm::hokstad_mg2_waiting_time(lambda, mean_service, wormhole_scv(mean_service, worm_flits))
+}
+
+/// General-`m` analogue of Eqs. 6/8: M/G/m wait with the wormhole SCV.
+///
+/// Reduces to [`w_mg1`] at `m = 1` and to [`w_mg2`] at `m = 2`; used by the
+/// generalized `(c, p)` fat-tree model for `p > 2` up-link bundles.
+///
+/// # Errors
+///
+/// Same as [`mgm::waiting_time`].
+pub fn w_mgm(servers: u32, lambda: f64, mean_service: f64, worm_flits: f64) -> Result<f64> {
+    mgm::waiting_time(servers, lambda, mean_service, wormhole_scv(mean_service, worm_flits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn scv_zero_at_floor() {
+        assert_eq!(wormhole_scv(16.0, 16.0), 0.0);
+        assert_eq!(wormhole_scv(64.0, 64.0), 0.0);
+    }
+
+    #[test]
+    fn scv_monotone_in_blocking_excess() {
+        let mut prev = -1.0;
+        for x in [16.0, 18.0, 24.0, 40.0, 100.0] {
+            let scv = wormhole_scv(x, 16.0);
+            assert!(scv > prev);
+            prev = scv;
+        }
+    }
+
+    #[test]
+    fn scv_bounded_below_one_for_x_above_floor() {
+        // For x̄ > s/f ≥ 0 the ratio (x̄−s/f)/x̄ < 1, so C² < 1.
+        for x in [17.0, 30.0, 1000.0] {
+            let scv = wormhole_scv(x, 16.0);
+            assert!(scv < 1.0);
+            assert!(scv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eq6_matches_manual_transliteration() {
+        let (lambda, x, s) = (0.02, 20.0, 16.0);
+        let w = w_mg1(lambda, x, s).unwrap();
+        let manual =
+            lambda * x * x / (2.0 * (1.0 - lambda * x)) * (1.0 + (x - s) * (x - s) / (x * x));
+        assert!((w - manual).abs() < TOL);
+    }
+
+    #[test]
+    fn eq8_matches_manual_transliteration() {
+        let (lambda, x, s) = (0.05, 20.0, 16.0);
+        let w = w_mg2(lambda, x, s).unwrap();
+        let manual = lambda * lambda * x * x * x / (2.0 * (4.0 - lambda * lambda * x * x))
+            * (1.0 + (x - s) * (x - s) / (x * x));
+        assert!((w - manual).abs() < TOL);
+    }
+
+    #[test]
+    fn general_m_reduces_to_specializations() {
+        let (lambda, x, s) = (0.03, 22.0, 16.0);
+        assert!((w_mgm(1, lambda, x, s).unwrap() - w_mg1(lambda, x, s).unwrap()).abs() < 1e-10);
+        assert!((w_mgm(2, lambda, x, s).unwrap() - w_mg2(lambda, x, s).unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_service_halves_exponential_wait() {
+        // At the floor (C²=0) Eq. 6 is the M/D/1 wait = half the M/M/1 wait.
+        let (lambda, x) = (0.03, 16.0);
+        let w_det = w_mg1(lambda, x, 16.0).unwrap();
+        let w_mm1 = mg1::mm1_waiting_time(lambda, x).unwrap();
+        assert!((w_det - w_mm1 / 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn saturation_propagates() {
+        assert!(w_mg1(0.07, 16.0, 16.0).is_err()); // ρ = 1.12
+        assert!(w_mg2(0.14, 16.0, 16.0).is_err()); // ρ = 1.12 on 2 servers
+        assert!(w_mgm(4, 0.26, 16.0, 16.0).is_err()); // ρ = 1.04 on 4 servers
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulation and traffic configuration.
+
+/// Measurement orchestration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cycles discarded before measurement starts (queue warm-up).
+    pub warmup_cycles: u64,
+    /// Length of the measurement window: messages *generated* inside it are
+    /// the measured population.
+    pub measure_cycles: u64,
+    /// Extra cycles allowed after the window for measured messages to
+    /// drain; hitting this cap marks the run saturated.
+    pub drain_cap_cycles: u64,
+    /// RNG seed (the run is fully deterministic given the seed).
+    pub seed: u64,
+    /// Number of batches for the batch-means confidence interval.
+    pub batches: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warmup_cycles: 20_000,
+            measure_cycles: 100_000,
+            drain_cap_cycles: 200_000,
+            seed: 0xC0FFEE,
+            batches: 16,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A reduced-accuracy configuration for quick tests and examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { warmup_cycles: 2_000, measure_cycles: 20_000, drain_cap_cycles: 50_000, ..Self::default() }
+    }
+
+    /// Returns a copy with a different seed (used by sweep replication).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Traffic pattern selection.
+///
+/// The paper studies uniform random traffic; the other patterns are common
+/// stress patterns provided as extensions (they exercise the same machinery
+/// with different spatial concentration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficPattern {
+    /// Uniformly random destination ≠ source (the paper's assumption).
+    #[default]
+    UniformRandom,
+    /// Bit-complement permutation: `dest = !src` (mod N). Every message
+    /// crosses the root of a fat-tree — worst-case top-level pressure.
+    BitComplement,
+    /// Fixed cyclic shift by half the machine: `dest = src + N/2 mod N`.
+    HalfShift,
+    /// Hot-spot traffic: with probability 1/8 the destination is PE 0,
+    /// otherwise uniform. Concentrates load on one ejection channel — the
+    /// classic stress for output contention.
+    HotSpot,
+}
+
+/// Offered traffic description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Message generation rate per PE, messages/cycle (the paper's `λ₀`).
+    pub message_rate: f64,
+    /// Worm length in flits (the paper's `s/f`).
+    pub worm_flits: u32,
+    /// Spatial traffic pattern.
+    pub pattern: TrafficPattern,
+}
+
+impl TrafficConfig {
+    /// Builds uniform traffic from a message rate.
+    #[must_use]
+    pub fn new(message_rate: f64, worm_flits: u32) -> Self {
+        assert!(message_rate >= 0.0 && message_rate.is_finite(), "invalid message rate");
+        assert!(worm_flits >= 1, "worms need at least one flit");
+        Self { message_rate, worm_flits, pattern: TrafficPattern::UniformRandom }
+    }
+
+    /// Builds uniform traffic from a *flit* load (flits/cycle/PE — Figure
+    /// 3's x-axis): `λ₀ = load / worm_flits`.
+    #[must_use]
+    pub fn from_flit_load(flit_load: f64, worm_flits: u32) -> Self {
+        assert!(flit_load >= 0.0 && flit_load.is_finite(), "invalid flit load");
+        Self::new(flit_load / f64::from(worm_flits), worm_flits)
+    }
+
+    /// The offered flit load (flits/cycle/PE).
+    #[must_use]
+    pub fn flit_load(&self) -> f64 {
+        self.message_rate * f64::from(self.worm_flits)
+    }
+
+    /// Returns a copy with a different pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.warmup_cycles > 0);
+        assert!(c.measure_cycles > c.warmup_cycles);
+        assert!(c.batches >= 2);
+        let q = SimConfig::quick();
+        assert!(q.measure_cycles < c.measure_cycles);
+        assert_eq!(SimConfig::default().with_seed(42).seed, 42);
+    }
+
+    #[test]
+    fn flit_load_round_trips() {
+        let t = TrafficConfig::from_flit_load(0.05, 16);
+        assert!((t.message_rate - 0.05 / 16.0).abs() < 1e-15);
+        assert!((t.flit_load() - 0.05).abs() < 1e-15);
+        assert_eq!(t.pattern, TrafficPattern::UniformRandom);
+    }
+
+    #[test]
+    fn pattern_override() {
+        let t = TrafficConfig::new(0.001, 32).with_pattern(TrafficPattern::BitComplement);
+        assert_eq!(t.pattern, TrafficPattern::BitComplement);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_worms_rejected() {
+        let _ = TrafficConfig::new(0.001, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid message rate")]
+    fn negative_rate_rejected() {
+        let _ = TrafficConfig::new(-0.001, 8);
+    }
+}

@@ -1,0 +1,623 @@
+//! The cycle-accurate wormhole engine.
+//!
+//! # Semantics (one cycle)
+//!
+//! 1. **Arrivals** — Poisson sources deposit messages into per-PE source
+//!    queues; a PE with no worm currently contending for its injection
+//!    channel activates its queue head.
+//! 2. **Requests** — every worm whose head reached a new node last cycle
+//!    (or was just activated) joins the FCFS queue of the station chosen by
+//!    the router. Same-cycle requesters are enqueued in random order
+//!    (random tie-break, earlier requesters always keep priority).
+//! 3. **Grants** — each station with waiting worms hands free member
+//!    channels to queue heads (random member when several are free — the
+//!    paper's random up-link choice).
+//! 4. **Advance** — granted worms advance one hop: the head flit traverses
+//!    the new channel this cycle and every in-network flit behind moves up
+//!    one channel (rigid chain). Worms whose head already ejected drain one
+//!    flit into their sink. A channel is released the cycle its worm's tail
+//!    flit leaves it and can be re-granted from the next cycle.
+//!
+//! With worm length `s` and acquired path length `D` (injection + switch
+//! hops + ejection), advancement number `a` has flit `j` traversing channel
+//! `a − j + 1`; channel `k` is released at the end of advancement
+//! `k + s − 1`, the head ejects at advancement `D`, and the message
+//! completes at advancement `D + s − 1` — reproducing the paper's
+//! unblocked service time `x̄ = s/f` per channel and zero-load latency
+//! `s/f + D − 1`.
+
+use crate::config::{SimConfig, TrafficConfig};
+use crate::router::Router;
+use crate::runner::SimResult;
+use crate::stats::{BatchMeans, ClassAudit, Percentiles, Welford};
+use crate::traffic::{Arrival, TrafficGenerator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use wormsim_topology::graph::NodeKind;
+use wormsim_topology::ids::{ChannelId, StationId};
+
+/// Dense worm index into the engine's slab.
+type WormIdx = u32;
+
+const NO_WORM: u32 = u32::MAX;
+
+/// Lifecycle state of a worm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WormState {
+    /// Head arrived somewhere; will issue its next request this cycle.
+    PendingRequest,
+    /// Waiting in a station queue.
+    Queued,
+    /// Head consumed at the destination; drains one flit per cycle.
+    Draining,
+    /// Slab slot is free.
+    Free,
+}
+
+/// One worm (message in flight).
+#[derive(Debug, Clone)]
+struct Worm {
+    src: u32,
+    dest: u32,
+    gen_time: u64,
+    len_flits: u32,
+    /// Channels acquired so far, in order (index 0 is the injection channel).
+    path: Vec<ChannelId>,
+    /// Advancements performed (see module docs for the flit arithmetic).
+    advancements: u32,
+    state: WormState,
+    /// Cycle the current station request was issued.
+    request_time: u64,
+    /// Whether this message belongs to the measured population.
+    measured: bool,
+}
+
+/// Per-PE source state.
+#[derive(Debug, Default)]
+struct Source {
+    /// Messages generated but not yet turned into worms.
+    pending: VecDeque<(u32, u64)>,
+    /// A worm from this PE currently queued on (or not yet granted) the
+    /// injection channel.
+    worm_waiting: bool,
+}
+
+/// The simulator core. Construct with [`Engine::new`] and consume with
+/// [`Engine::run`].
+pub struct Engine<'a, R: Router> {
+    router: &'a R,
+    cfg: SimConfig,
+    traffic: TrafficConfig,
+    rng: SmallRng,
+    now: u64,
+
+    // Network state.
+    channel_holder: Vec<WormIdx>,
+    channel_grant_time: Vec<u64>,
+    channel_class_idx: Vec<u16>,
+    station_queue: Vec<VecDeque<WormIdx>>,
+    station_ready: Vec<bool>,
+    ready_stations: Vec<StationId>,
+
+    // Worm slab.
+    worms: Vec<Worm>,
+    free_worms: Vec<WormIdx>,
+    drain_list: Vec<WormIdx>,
+    pending_requests: Vec<WormIdx>,
+    next_pending: Vec<WormIdx>,
+    granted: Vec<(WormIdx, ChannelId)>,
+
+    // Sources.
+    sources: Vec<Source>,
+    traffic_gen: TrafficGenerator,
+    arrivals: Vec<Arrival>,
+
+    // Measurement.
+    window_start: u64,
+    window_end: u64,
+    latency: BatchMeans,
+    latency_sample: Percentiles,
+    injection_wait: Welford,
+    audit: ClassAudit,
+    generated_total: u64,
+    completed_total: u64,
+    generated_in_window: u64,
+    completed_in_window: u64,
+    completed_measured: u64,
+    outstanding_measured: u64,
+    backlog_at_window_start: u64,
+    backlog_at_window_end: u64,
+    max_active_worms: usize,
+}
+
+impl<'a, R: Router> Engine<'a, R> {
+    /// Builds an engine over `router`'s network.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network has fewer than two processors or a traffic
+    /// destination pattern maps outside the PE range.
+    #[must_use]
+    pub fn new(router: &'a R, cfg: &SimConfig, traffic: &TrafficConfig) -> Self {
+        let net = router.network();
+        let n_pe = net.num_processors();
+        assert!(n_pe >= 2, "simulation needs at least two PEs");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let traffic_gen = TrafficGenerator::new(n_pe, traffic, &mut rng);
+        let audit = ClassAudit::new(net);
+        let channel_class_idx = net
+            .channels()
+            .iter()
+            .map(|ch| {
+                audit
+                    .class_index(ch.class)
+                    .expect("every channel class is registered") as u16
+            })
+            .collect();
+        let window_start = cfg.warmup_cycles;
+        let window_end = cfg.warmup_cycles + cfg.measure_cycles;
+        let expected_msgs =
+            (traffic.message_rate * n_pe as f64 * cfg.measure_cycles as f64).ceil() as u64;
+        Self {
+            router,
+            cfg: *cfg,
+            traffic: *traffic,
+            rng,
+            now: 0,
+            channel_holder: vec![NO_WORM; net.num_channels()],
+            channel_grant_time: vec![0; net.num_channels()],
+            channel_class_idx,
+            station_queue: vec![VecDeque::new(); net.num_stations()],
+            station_ready: vec![false; net.num_stations()],
+            ready_stations: Vec::with_capacity(64),
+            worms: Vec::with_capacity(1024),
+            free_worms: Vec::new(),
+            drain_list: Vec::with_capacity(256),
+            pending_requests: Vec::with_capacity(256),
+            next_pending: Vec::with_capacity(256),
+            granted: Vec::with_capacity(256),
+            sources: (0..n_pe).map(|_| Source::default()).collect(),
+            traffic_gen,
+            arrivals: Vec::with_capacity(64),
+            window_start,
+            window_end,
+            latency: BatchMeans::new(cfg.batches, expected_msgs.max(16)),
+            latency_sample: Percentiles::new(),
+            injection_wait: Welford::new(),
+            audit: ClassAudit::new(net),
+            generated_total: 0,
+            completed_total: 0,
+            generated_in_window: 0,
+            completed_in_window: 0,
+            completed_measured: 0,
+            outstanding_measured: 0,
+            backlog_at_window_start: 0,
+            backlog_at_window_end: 0,
+            max_active_worms: 0,
+        }
+    }
+
+    fn in_window(&self, t: u64) -> bool {
+        (self.window_start..self.window_end).contains(&t)
+    }
+
+    fn alloc_worm(&mut self, src: u32, dest: u32, gen_time: u64) -> WormIdx {
+        let measured = self.in_window(gen_time);
+        if measured {
+            self.outstanding_measured += 1;
+        }
+        let worm = Worm {
+            src,
+            dest,
+            gen_time,
+            len_flits: self.traffic.worm_flits,
+            path: Vec::with_capacity(16),
+            advancements: 0,
+            state: WormState::PendingRequest,
+            request_time: gen_time,
+            measured,
+        };
+        if let Some(idx) = self.free_worms.pop() {
+            self.worms[idx as usize] = worm;
+            idx
+        } else {
+            self.worms.push(worm);
+            (self.worms.len() - 1) as WormIdx
+        }
+    }
+
+    fn mark_station_ready(&mut self, st: StationId) {
+        if !self.station_ready[st.index()] {
+            self.station_ready[st.index()] = true;
+            self.ready_stations.push(st);
+        }
+    }
+
+    /// Turns the head of a PE's source queue into a worm contending for the
+    /// injection channel.
+    fn activate_source(&mut self, pe: usize, into_next_cycle: bool) {
+        debug_assert!(!self.sources[pe].worm_waiting);
+        if let Some((dest, gen)) = self.sources[pe].pending.pop_front() {
+            let w = self.alloc_worm(pe as u32, dest, gen);
+            self.sources[pe].worm_waiting = true;
+            if into_next_cycle {
+                self.next_pending.push(w);
+            } else {
+                self.pending_requests.push(w);
+            }
+        }
+    }
+
+    /// Releases the tail channel if the worm's tail flit has passed it.
+    fn release_tail(&mut self, widx: WormIdx, t: u64) {
+        let (adv, len) = {
+            let w = &self.worms[widx as usize];
+            (w.advancements, w.len_flits)
+        };
+        if adv < len {
+            return;
+        }
+        let idx = (adv - len) as usize;
+        let path_len = self.worms[widx as usize].path.len();
+        if idx >= path_len {
+            return;
+        }
+        let ch = self.worms[widx as usize].path[idx];
+        debug_assert_eq!(self.channel_holder[ch.index()], widx, "release by holder only");
+        self.channel_holder[ch.index()] = NO_WORM;
+        let granted_at = self.channel_grant_time[ch.index()];
+        if granted_at >= self.window_start && granted_at < self.window_end {
+            let hold = t - granted_at + 1;
+            self.audit.record_release(self.channel_class_idx[ch.index()] as usize, hold);
+        }
+        let st = self.router.network().channel(ch).station;
+        self.mark_station_ready(st);
+    }
+
+    /// Message fully consumed: record latency, free the slab slot.
+    fn finalize(&mut self, widx: WormIdx, t: u64) {
+        let (gen, measured) = {
+            let w = &self.worms[widx as usize];
+            debug_assert_eq!(
+                w.advancements as usize,
+                w.path.len() + w.len_flits as usize - 1,
+                "completion arithmetic"
+            );
+            (w.gen_time, w.measured)
+        };
+        self.completed_total += 1;
+        if self.in_window(t) {
+            self.completed_in_window += 1;
+        }
+        if measured {
+            let latency = (t - gen + 1) as f64;
+            self.latency.add(latency);
+            self.latency_sample.add(latency);
+            self.completed_measured += 1;
+            self.outstanding_measured -= 1;
+        }
+        let w = &mut self.worms[widx as usize];
+        w.state = WormState::Free;
+        w.path.clear();
+        self.free_worms.push(widx);
+    }
+
+    /// One simulated cycle.
+    fn step(&mut self) {
+        let t = self.now;
+
+        // Phase 0: arrivals.
+        self.arrivals.clear();
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        self.traffic_gen.arrivals_into(t, &mut self.rng, &mut arrivals);
+        for a in &arrivals {
+            debug_assert!(a.dest < self.sources.len(), "pattern must map inside PE range");
+            self.sources[a.src].pending.push_back((a.dest as u32, a.cycle));
+            self.generated_total += 1;
+            if self.in_window(t) {
+                self.generated_in_window += 1;
+            }
+            if !self.sources[a.src].worm_waiting {
+                self.activate_source(a.src, false);
+            }
+        }
+        self.arrivals = arrivals;
+
+        // Phase 1: requests (random tie-break among same-cycle requesters).
+        let mut pending = std::mem::take(&mut self.pending_requests);
+        pending.shuffle(&mut self.rng);
+        for widx in pending.drain(..) {
+            let (station, is_injection) = {
+                let w = &self.worms[widx as usize];
+                debug_assert_eq!(w.state, WormState::PendingRequest);
+                if w.path.is_empty() {
+                    let ports = self.router.network().processors()[w.src as usize];
+                    (self.router.network().channel(ports.inject).station, true)
+                } else {
+                    let head_node =
+                        self.router.network().channel(*w.path.last().expect("non-empty")).dst;
+                    (self.router.next_station(head_node, w.dest as usize), false)
+                }
+            };
+            let _ = is_injection;
+            let w = &mut self.worms[widx as usize];
+            w.state = WormState::Queued;
+            w.request_time = t;
+            self.station_queue[station.index()].push_back(widx);
+            self.mark_station_ready(station);
+        }
+        self.pending_requests = pending;
+
+        // Phase 2: grants.
+        let mut i = 0;
+        while i < self.ready_stations.len() {
+            let st = self.ready_stations[i];
+            let mut exhausted_free = false;
+            loop {
+                if self.station_queue[st.index()].is_empty() {
+                    break;
+                }
+                // Collect free member channels.
+                let members = &self.router.network().station(st).channels;
+                let mut free: [Option<ChannelId>; 8] = [None; 8];
+                let mut n_free = 0usize;
+                for &ch in members {
+                    if self.channel_holder[ch.index()] == NO_WORM {
+                        if n_free < free.len() {
+                            free[n_free] = Some(ch);
+                        }
+                        n_free += 1;
+                    }
+                }
+                if n_free == 0 {
+                    exhausted_free = true;
+                    break;
+                }
+                let pick = if n_free == 1 { 0 } else { self.rng.gen_range(0..n_free.min(8)) };
+                let ch = free[pick].expect("picked a free member");
+                let widx = self.station_queue[st.index()].pop_front().expect("non-empty");
+                self.channel_holder[ch.index()] = widx;
+                self.channel_grant_time[ch.index()] = t;
+                // Wait statistics: source-queue wait for injections
+                // (measured from generation, the paper's W₀,₁), else from
+                // the request at head arrival.
+                let (wait, measured_grant) = {
+                    let w = &self.worms[widx as usize];
+                    let anchor = if w.path.is_empty() { w.gen_time } else { w.request_time };
+                    (t - anchor, w.path.is_empty() && w.measured)
+                };
+                if t >= self.window_start && t < self.window_end {
+                    self.audit
+                        .record_grant(self.channel_class_idx[ch.index()] as usize, wait);
+                }
+                if measured_grant {
+                    self.injection_wait.add(wait as f64);
+                }
+                self.granted.push((widx, ch));
+            }
+            // Keep the ready flag only if blocked on channels (a release
+            // will re-arm); a station left with an empty queue re-arms on
+            // the next enqueue.
+            let _ = exhausted_free;
+            self.station_ready[st.index()] = false;
+            i += 1;
+        }
+        self.ready_stations.clear();
+
+        // Phase 3: drain advancement for worms already draining.
+        let mut j = 0;
+        while j < self.drain_list.len() {
+            let widx = self.drain_list[j];
+            self.worms[widx as usize].advancements += 1;
+            self.release_tail(widx, t);
+            let done = {
+                let w = &self.worms[widx as usize];
+                w.advancements as usize == w.path.len() + w.len_flits as usize - 1
+            };
+            if done {
+                self.drain_list.swap_remove(j);
+                self.finalize(widx, t);
+            } else {
+                j += 1;
+            }
+        }
+
+        // Phase 4: advancement for worms granted this cycle.
+        let mut granted = std::mem::take(&mut self.granted);
+        for &(widx, ch) in &granted {
+            let first_hop = {
+                let w = &mut self.worms[widx as usize];
+                w.path.push(ch);
+                w.advancements += 1;
+                w.path.len() == 1
+            };
+            if first_hop {
+                // Injection channel granted: the PE may stage its next
+                // message (it will request from the next cycle).
+                let pe = self.worms[widx as usize].src as usize;
+                self.sources[pe].worm_waiting = false;
+                if !self.sources[pe].pending.is_empty() {
+                    self.activate_source(pe, true);
+                }
+            }
+            self.release_tail(widx, t);
+            let dst_is_pe = matches!(
+                self.router.network().node(self.router.network().channel(ch).dst).kind,
+                NodeKind::Processor { .. }
+            );
+            if dst_is_pe {
+                let done = {
+                    let w = &self.worms[widx as usize];
+                    w.advancements as usize == w.path.len() + w.len_flits as usize - 1
+                };
+                if done {
+                    // Single-flit worms complete the cycle they eject.
+                    self.finalize(widx, t);
+                } else {
+                    self.worms[widx as usize].state = WormState::Draining;
+                    self.drain_list.push(widx);
+                }
+            } else {
+                self.worms[widx as usize].state = WormState::PendingRequest;
+                self.next_pending.push(widx);
+            }
+        }
+        granted.clear();
+        self.granted = granted;
+
+        // Stage next cycle's requests.
+        std::mem::swap(&mut self.pending_requests, &mut self.next_pending);
+        debug_assert!(self.next_pending.is_empty());
+
+        let active = self.worms.len() - self.free_worms.len();
+        self.max_active_worms = self.max_active_worms.max(active);
+
+        self.now += 1;
+    }
+
+    /// Total messages generated but not yet fully delivered.
+    fn backlog(&self) -> u64 {
+        self.generated_total - self.completed_total
+    }
+
+    /// Runs warmup, measurement and drain; returns the aggregated result.
+    #[must_use]
+    pub fn run(mut self) -> SimResult {
+        let net = self.router.network();
+        let n_pe = net.num_processors() as f64;
+
+        while self.now < self.window_end {
+            if self.now == self.window_start {
+                self.backlog_at_window_start = self.backlog();
+            }
+            self.step();
+        }
+        self.backlog_at_window_end = self.backlog();
+
+        // Drain: let measured messages finish (traffic keeps flowing so the
+        // tail is not artificially unloaded).
+        let deadline = self.window_end + self.cfg.drain_cap_cycles;
+        while self.outstanding_measured > 0 && self.now < deadline {
+            self.step();
+        }
+
+        let incomplete = self.outstanding_measured;
+        let backlog_growth =
+            self.backlog_at_window_end.saturating_sub(self.backlog_at_window_start);
+        let growth_threshold = 20.0 + 0.05 * self.generated_in_window as f64;
+        let saturated = incomplete > 0 || (backlog_growth as f64) > growth_threshold;
+
+        // Throughput = completions inside the window; completions during
+        // the drain must not count or a saturated run would report
+        // near-offered throughput.
+        let delivered_flit_load = self.completed_in_window as f64
+            * f64::from(self.traffic.worm_flits)
+            / (self.cfg.measure_cycles as f64 * n_pe);
+
+        let mut sample = self.latency_sample;
+        SimResult {
+            topology: self.router.label(),
+            num_processors: net.num_processors(),
+            worm_flits: self.traffic.worm_flits,
+            offered_message_rate: self.traffic.message_rate,
+            offered_flit_load: self.traffic.flit_load(),
+            avg_latency: self.latency.mean(),
+            latency_ci95: self.latency.ci95_half_width(),
+            latency_p50: sample.quantile(0.50),
+            latency_p95: sample.quantile(0.95),
+            latency_p99: sample.quantile(0.99),
+            latency_max: sample.max(),
+            injection_wait_mean: self.injection_wait.mean(),
+            messages_measured: self.generated_in_window,
+            messages_completed: self.completed_measured,
+            messages_incomplete: incomplete,
+            delivered_flit_load,
+            saturated,
+            backlog_growth,
+            cycles_run: self.now,
+            max_active_worms: self.max_active_worms,
+            class_stats: self.audit.finish(self.cfg.measure_cycles),
+            seed: self.cfg.seed,
+        }
+    }
+
+    /// Steps the engine `cycles` times without any measurement bookkeeping
+    /// beyond the internal counters (used by white-box tests).
+    pub fn step_many(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Current cycle (white-box accessor for tests).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages generated so far (white-box accessor for tests).
+    #[must_use]
+    pub fn generated_total(&self) -> u64 {
+        self.generated_total
+    }
+
+    /// Messages fully delivered so far (white-box accessor for tests).
+    #[must_use]
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Invariant checker used by tests: every held channel's holder exists
+    /// and every queued worm appears in exactly one queue.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let net = self.router.network();
+        for (ci, &holder) in self.channel_holder.iter().enumerate() {
+            if holder != NO_WORM {
+                let w = &self.worms[holder as usize];
+                if w.state == WormState::Free {
+                    return Err(format!("channel {ci} held by freed worm {holder}"));
+                }
+                if !w.path.iter().any(|c| c.index() == ci) {
+                    return Err(format!("channel {ci} not on holder {holder}'s path"));
+                }
+            }
+        }
+        let mut seen = vec![0u32; self.worms.len()];
+        for q in &self.station_queue {
+            for &w in q {
+                seen[w as usize] += 1;
+                if self.worms[w as usize].state != WormState::Queued {
+                    return Err(format!("worm {w} in queue but not Queued"));
+                }
+            }
+        }
+        for (wi, w) in self.worms.iter().enumerate() {
+            match w.state {
+                WormState::Queued => {
+                    if seen[wi] != 1 {
+                        return Err(format!("queued worm {wi} in {} queues", seen[wi]));
+                    }
+                }
+                _ => {
+                    if seen[wi] != 0 {
+                        return Err(format!("non-queued worm {wi} in a queue"));
+                    }
+                }
+            }
+            if w.state == WormState::Draining
+                && w.path.last().map(|&ch| net.channel(ch).dst).map(|n| {
+                    !matches!(net.node(n).kind, NodeKind::Processor { .. })
+                }) == Some(true)
+            {
+                return Err(format!("draining worm {wi} whose path does not end at a PE"));
+            }
+        }
+        Ok(())
+    }
+}

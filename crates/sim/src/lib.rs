@@ -1,0 +1,66 @@
+//! Cycle-accurate flit-level wormhole-routing simulator.
+//!
+//! This crate is the validation substrate of the Greenberg–Guan (ICPP 1997)
+//! reproduction: a discrete-time simulator implementing exactly the paper's
+//! §2 assumptions, so that the analytical model can be compared against
+//! *behaviour defined by those assumptions* (the authors' own simulator was
+//! never released):
+//!
+//! 1. Poisson message generation at every PE, uniformly random destinations
+//!    (≠ source).
+//! 2. Fixed worm length; worms move as **rigid chains** over single-flit
+//!    channel buffers — when the head advances one hop, every in-network
+//!    flit advances one hop; when the head blocks, all flits hold.
+//! 3. **FCFS arbitration** at every output: each arbitration station (a
+//!    single channel, or the bundle of `p` up-links of a fat-tree switch)
+//!    owns one first-come-first-served queue; the butterfly fat-tree's
+//!    adaptive up-link rule ("pick a random free up-link, else the other,
+//!    else wait") is realized as a 2-server station with random choice
+//!    among free members.
+//! 4. Sinks consume one flit per cycle and never block.
+//!
+//! # Architecture
+//!
+//! * [`engine`] — the cycle kernel: request → grant → advance phases,
+//!   channel occupancy, worm lifecycle.
+//! * [`router`] — per-topology routing logic behind one trait
+//!   ([`router::Router`]): butterfly fat-tree, hypercube (e-cube),
+//!   k-ary n-mesh (dimension order).
+//! * [`traffic`] — Poisson sources on a continuous clock, merged through a
+//!   binary heap so per-cycle cost scales with arrivals, not PEs.
+//! * [`stats`] — Welford accumulators, batch-means confidence intervals,
+//!   per-channel-class audit counters.
+//! * [`runner`] — warmup/measure/drain orchestration, saturation detection,
+//!   and crossbeam-parallel load sweeps with deterministic per-point seeds.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_sim::config::{SimConfig, TrafficConfig};
+//! use wormsim_sim::router::BftRouter;
+//! use wormsim_sim::runner::run_simulation;
+//! use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+//!
+//! let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+//! let router = BftRouter::new(&tree);
+//! let cfg = SimConfig { warmup_cycles: 2_000, measure_cycles: 10_000, ..SimConfig::default() };
+//! let traffic = TrafficConfig::from_flit_load(0.01, 16);
+//! let result = run_simulation(&router, &cfg, &traffic);
+//! assert!(!result.saturated);
+//! // Zero-ish load: latency close to s + D̄ − 1.
+//! assert!(result.avg_latency > 15.0 && result.avg_latency < 40.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod router;
+pub mod runner;
+pub mod stats;
+pub mod traffic;
+
+pub use config::{SimConfig, TrafficConfig};
+pub use runner::{run_simulation, SimResult};

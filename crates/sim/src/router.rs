@@ -1,0 +1,223 @@
+//! Per-topology routing logic behind one trait.
+//!
+//! The engine is topology-agnostic: at each hop it asks the router which
+//! arbitration *station* the worm's head requests next. Single-channel
+//! stations model deterministic routes (down-links, dimension-order hops);
+//! the butterfly fat-tree's up-link bundles are multi-channel stations and
+//! the engine picks a random free member on grant (the paper's adaptive
+//! up-link rule).
+
+use wormsim_topology::bft::{ButterflyFatTree, RouteChoice};
+use wormsim_topology::graph::ChannelNetwork;
+use wormsim_topology::hypercube::Hypercube;
+use wormsim_topology::ids::{NodeId, StationId};
+use wormsim_topology::mesh::Mesh;
+
+/// Topology-specific routing decisions over a shared channel network.
+pub trait Router: Sync {
+    /// The network being routed on.
+    fn network(&self) -> &ChannelNetwork;
+
+    /// The station a worm headed for processor `dest` requests from switch
+    /// `node`. Ejection channels are stations like any other; the engine
+    /// detects arrival by the granted channel's endpoint being a PE.
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId;
+
+    /// Short topology label for reports.
+    fn label(&self) -> String;
+}
+
+/// Butterfly fat-tree routing: up through the `p`-server bundle while the
+/// destination is outside the current subtree, then down the unique path.
+#[derive(Debug, Clone, Copy)]
+pub struct BftRouter<'a> {
+    tree: &'a ButterflyFatTree,
+}
+
+impl<'a> BftRouter<'a> {
+    /// Wraps a constructed tree.
+    #[must_use]
+    pub fn new(tree: &'a ButterflyFatTree) -> Self {
+        Self { tree }
+    }
+
+    /// The underlying tree.
+    #[must_use]
+    pub fn tree(&self) -> &'a ButterflyFatTree {
+        self.tree
+    }
+}
+
+impl Router for BftRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.tree.network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        match self.tree.route(node, dest) {
+            RouteChoice::Down(ch) => self.tree.network().channel(ch).station,
+            RouteChoice::Up(st) => st,
+        }
+    }
+
+    fn label(&self) -> String {
+        let p = self.tree.params();
+        format!("bft(c={},p={},N={})", p.children(), p.parents(), p.num_processors())
+    }
+}
+
+/// Hypercube e-cube routing (lowest differing bit first).
+#[derive(Debug, Clone, Copy)]
+pub struct HypercubeRouter<'a> {
+    cube: &'a Hypercube,
+}
+
+impl<'a> HypercubeRouter<'a> {
+    /// Wraps a constructed hypercube.
+    #[must_use]
+    pub fn new(cube: &'a Hypercube) -> Self {
+        Self { cube }
+    }
+}
+
+impl Router for HypercubeRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.cube.network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        match self.cube.route(node, dest) {
+            Some(ch) => self.cube.network().channel(ch).station,
+            None => {
+                let addr = self.cube.switch_address(node);
+                let eject = self.cube.network().processors()[addr].eject;
+                self.cube.network().channel(eject).station
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("hypercube(d={})", self.cube.dim())
+    }
+}
+
+/// k-ary n-mesh dimension-order routing.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshRouter<'a> {
+    mesh: &'a Mesh,
+}
+
+impl<'a> MeshRouter<'a> {
+    /// Wraps a constructed mesh.
+    #[must_use]
+    pub fn new(mesh: &'a Mesh) -> Self {
+        Self { mesh }
+    }
+}
+
+impl Router for MeshRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.mesh.network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        match self.mesh.route(node, dest) {
+            Some(ch) => self.mesh.network().channel(ch).station,
+            None => {
+                let addr = self.mesh.switch_address(node);
+                let eject = self.mesh.network().processors()[addr].eject;
+                self.mesh.network().channel(eject).station
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("mesh(k={},n={})", self.mesh.radix(), self.mesh.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormsim_topology::bft::BftParams;
+    use wormsim_topology::graph::NodeKind;
+
+    #[test]
+    fn bft_router_walks_a_full_path() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let router = BftRouter::new(&tree);
+        let net = router.network();
+        // Walk from PE 0 to PE 63: inject, then follow stations greedily
+        // (always pick the first channel of the station).
+        let mut node = net.channel(net.processors()[0].inject).dst;
+        let mut hops = 1; // injection channel
+        loop {
+            let st = router.next_station(node, 63);
+            let ch = net.station(st).channels[0];
+            node = net.channel(ch).dst;
+            hops += 1;
+            if let NodeKind::Processor { index } = net.node(node).kind {
+                assert_eq!(index, 63);
+                break;
+            }
+            assert!(hops <= 8, "path must terminate");
+        }
+        assert_eq!(hops, tree.params().distance(0, 63));
+        assert!(router.label().contains("N=64"));
+    }
+
+    #[test]
+    fn bft_router_up_station_has_two_members() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let router = BftRouter::new(&tree);
+        let net = router.network();
+        let s10 = tree.switch(1, 0);
+        let st = router.next_station(s10, 63); // 63 outside S(1,0)'s subtree
+        assert_eq!(net.station(st).servers(), 2);
+    }
+
+    #[test]
+    fn hypercube_router_reaches_destination() {
+        let cube = Hypercube::new(4);
+        let router = HypercubeRouter::new(&cube);
+        let net = router.network();
+        let mut node = net.channel(net.processors()[0b0000].inject).dst;
+        let dest = 0b1011usize;
+        let mut hops = 1;
+        loop {
+            let st = router.next_station(node, dest);
+            let ch = net.station(st).channels[0];
+            node = net.channel(ch).dst;
+            hops += 1;
+            if let NodeKind::Processor { index } = net.node(node).kind {
+                assert_eq!(index, dest);
+                break;
+            }
+            assert!(hops <= 7);
+        }
+        assert_eq!(hops, 3 + 2); // Hamming(0, 0b1011) = 3, plus inject/eject.
+    }
+
+    #[test]
+    fn mesh_router_reaches_destination() {
+        let mesh = Mesh::new(4, 2);
+        let router = MeshRouter::new(&mesh);
+        let net = router.network();
+        let (src, dest) = (0usize, 15usize);
+        let mut node = net.channel(net.processors()[src].inject).dst;
+        let mut hops = 1;
+        loop {
+            let st = router.next_station(node, dest);
+            let ch = net.station(st).channels[0];
+            node = net.channel(ch).dst;
+            hops += 1;
+            if let NodeKind::Processor { index } = net.node(node).kind {
+                assert_eq!(index, dest);
+                break;
+            }
+            assert!(hops <= 10);
+        }
+        assert_eq!(hops, mesh.hop_distance(src, dest) + 2);
+        assert!(router.label().contains("mesh"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Run orchestration: single simulations and parallel load sweeps.
+
+use crate::config::{SimConfig, TrafficConfig};
+use crate::engine::Engine;
+use crate::router::Router;
+use crate::stats::ClassStats;
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Topology label (e.g. `bft(c=4,p=2,N=1024)`).
+    pub topology: String,
+    /// Number of processors.
+    pub num_processors: usize,
+    /// Worm length in flits.
+    pub worm_flits: u32,
+    /// Offered message rate λ₀ (messages/cycle/PE).
+    pub offered_message_rate: f64,
+    /// Offered flit load (flits/cycle/PE).
+    pub offered_flit_load: f64,
+    /// Mean latency (generation → last flit consumed), cycles, over the
+    /// measured population.
+    pub avg_latency: f64,
+    /// Half-width of the ~95% batch-means confidence interval on
+    /// [`Self::avg_latency`] (NaN for tiny populations).
+    pub latency_ci95: f64,
+    /// Median latency (nearest rank; NaN when no messages completed).
+    pub latency_p50: f64,
+    /// 95th-percentile latency.
+    pub latency_p95: f64,
+    /// 99th-percentile latency.
+    pub latency_p99: f64,
+    /// Worst observed latency.
+    pub latency_max: f64,
+    /// Mean source-queue wait of measured messages (the paper's `W₀,₁`).
+    pub injection_wait_mean: f64,
+    /// Messages generated inside the measurement window.
+    pub messages_measured: u64,
+    /// Of those, how many completed before the drain cap.
+    pub messages_completed: u64,
+    /// And how many did not (non-zero ⇒ saturated).
+    pub messages_incomplete: u64,
+    /// Delivered throughput of measured messages, flits/cycle/PE.
+    pub delivered_flit_load: f64,
+    /// Saturation flag: backlog grew materially or messages failed to drain.
+    pub saturated: bool,
+    /// Source-queue backlog growth over the measurement window (messages).
+    pub backlog_growth: u64,
+    /// Total cycles simulated (including warmup and drain).
+    pub cycles_run: u64,
+    /// Peak number of in-flight worms.
+    pub max_active_worms: usize,
+    /// Per-channel-class audit over the measurement window.
+    pub class_stats: Vec<ClassStats>,
+    /// Seed the run used (for reproduction).
+    pub seed: u64,
+}
+
+impl SimResult {
+    /// Looks up the audit entry for a channel class.
+    #[must_use]
+    pub fn class(&self, class: wormsim_topology::graph::ChannelClass) -> Option<&ClassStats> {
+        self.class_stats.iter().find(|s| s.class == class)
+    }
+}
+
+/// Runs one simulation to completion.
+#[must_use]
+pub fn run_simulation<R: Router>(router: &R, cfg: &SimConfig, traffic: &TrafficConfig) -> SimResult {
+    Engine::new(router, cfg, traffic).run()
+}
+
+/// Runs one simulation per offered flit load, in parallel across OS threads
+/// (crossbeam scoped threads; one deterministic seed per point derived from
+/// the base seed), returning results in input order.
+#[must_use]
+pub fn sweep_flit_loads<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    worm_flits: u32,
+    flit_loads: &[f64],
+) -> Vec<SimResult> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut results: Vec<Option<SimResult>> = vec![None; flit_loads.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(flit_loads.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= flit_loads.len() {
+                    break;
+                }
+                // Distinct deterministic seed per point: mixing with a
+                // splitmix64-style constant keeps streams uncorrelated.
+                let seed = cfg
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let point_cfg = cfg.with_seed(seed);
+                let traffic = TrafficConfig::from_flit_load(flit_loads[i], worm_flits);
+                let result = run_simulation(router, &point_cfg, &traffic);
+                results_mutex.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+
+    results.into_iter().map(|r| r.expect("every point computed")).collect()
+}
+
+/// Aggregate of several independent replications of the same operating
+/// point (different seeds): between-replication statistics expose whether a
+/// single run's window was long enough.
+#[derive(Debug, Clone)]
+pub struct ReplicatedResult {
+    /// The per-replication results, in seed order.
+    pub runs: Vec<SimResult>,
+    /// Mean of the per-replication average latencies.
+    pub mean_latency: f64,
+    /// Standard deviation of the per-replication average latencies.
+    pub between_rep_std: f64,
+    /// Whether any replication saturated.
+    pub any_saturated: bool,
+}
+
+/// Runs `replications` independent simulations of one operating point in
+/// parallel, with seeds `base_seed + 1..=replications` mixed splitmix-style.
+#[must_use]
+pub fn replicate<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    replications: usize,
+) -> ReplicatedResult {
+    assert!(replications >= 1);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut runs: Vec<Option<SimResult>> = vec![None; replications];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = parking_lot::Mutex::new(&mut runs);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(replications) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= replications {
+                    break;
+                }
+                let seed = cfg
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+                let result = run_simulation(router, &cfg.with_seed(seed), traffic);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("replication threads must not panic");
+    let runs: Vec<SimResult> = runs.into_iter().map(|r| r.expect("computed")).collect();
+    let n = runs.len() as f64;
+    let mean_latency = runs.iter().map(|r| r.avg_latency).sum::<f64>() / n;
+    let var = if runs.len() > 1 {
+        runs.iter().map(|r| (r.avg_latency - mean_latency).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    ReplicatedResult {
+        mean_latency,
+        between_rep_std: var.sqrt(),
+        any_saturated: runs.iter().any(|r| r.saturated),
+        runs,
+    }
+}
+
+/// Scans flit loads upward until the simulator reports saturation,
+/// returning `(last_stable_load, first_saturated_load)`; the second element
+/// is `None` when even the largest probed load stayed stable.
+#[must_use]
+pub fn find_saturation<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    worm_flits: u32,
+    start_load: f64,
+    step: f64,
+    max_load: f64,
+) -> (f64, Option<f64>) {
+    assert!(step > 0.0 && start_load >= 0.0);
+    let mut last_stable = 0.0;
+    let mut load = start_load;
+    let mut idx = 0u64;
+    while load <= max_load {
+        let seed = cfg.seed.wrapping_add(idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let traffic = TrafficConfig::from_flit_load(load, worm_flits);
+        let result = run_simulation(router, &cfg.with_seed(seed), &traffic);
+        if result.saturated {
+            return (last_stable, Some(load));
+        }
+        last_stable = load;
+        load += step;
+        idx += 1;
+    }
+    (last_stable, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::BftRouter;
+    use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 8_000,
+            drain_cap_cycles: 30_000,
+            seed: 7,
+            batches: 8,
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_matches_theory_exactly_per_message() {
+        // At vanishing load each message sails through unblocked:
+        // latency = s + D − 1 per message, so the average must be within
+        // the distance distribution's range.
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        let traffic = TrafficConfig::new(0.0001, 16);
+        let result = run_simulation(&router, &quick_cfg(), &traffic);
+        assert!(!result.saturated);
+        assert!(result.messages_completed > 0);
+        // Bounds: min distance 2, max 2n = 4.
+        assert!(result.avg_latency >= 16.0 + 2.0 - 1.0);
+        assert!(result.avg_latency <= 16.0 + 4.0 - 1.0);
+        // Expected value: s + D̄ − 1 with D̄ from the closed form; Monte
+        // Carlo tolerance.
+        let expect = 16.0 + tree.params().average_distance() - 1.0;
+        assert!(
+            (result.avg_latency - expect).abs() < 0.5,
+            "avg {} vs expected {expect}",
+            result.avg_latency
+        );
+        // No queueing at vanishing load.
+        assert!(result.injection_wait_mean < 0.05);
+    }
+
+    #[test]
+    fn sweep_returns_points_in_order_and_monotone_latency() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let router = BftRouter::new(&tree);
+        let loads = [0.002, 0.01, 0.025];
+        let results = sweep_flit_loads(&router, &quick_cfg(), 16, &loads);
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert!((r.offered_flit_load - loads[i]).abs() < 1e-12);
+            assert!(!r.saturated, "load {} unexpectedly saturated", loads[i]);
+        }
+        assert!(results[0].avg_latency < results[1].avg_latency);
+        assert!(results[1].avg_latency < results[2].avg_latency);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        let traffic = TrafficConfig::new(0.002, 16);
+        let a = run_simulation(&router, &quick_cfg(), &traffic);
+        let b = run_simulation(&router, &quick_cfg(), &traffic);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.messages_completed, b.messages_completed);
+        assert_eq!(a.cycles_run, b.cycles_run);
+        let c = run_simulation(&router, &quick_cfg().with_seed(8), &traffic);
+        assert_ne!(a.avg_latency, c.avg_latency);
+    }
+
+    #[test]
+    fn overload_is_detected_as_saturation() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        // Far beyond capacity: ~0.5 flits/cycle/PE offered.
+        let traffic = TrafficConfig::from_flit_load(0.5, 16);
+        let result = run_simulation(&router, &quick_cfg(), &traffic);
+        assert!(result.saturated);
+        assert!(result.delivered_flit_load < 0.5 * 0.9);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let router = BftRouter::new(&tree);
+        let traffic = TrafficConfig::from_flit_load(0.04, 16);
+        let r = run_simulation(&router, &quick_cfg(), &traffic);
+        assert!(!r.saturated);
+        // p50 ≤ mean-ish ≤ p95 ≤ p99 ≤ max, all at least the unblocked
+        // minimum latency s + 2 − 1.
+        assert!(r.latency_p50 >= 16.0 + 1.0);
+        assert!(r.latency_p50 <= r.latency_p95);
+        assert!(r.latency_p95 <= r.latency_p99);
+        assert!(r.latency_p99 <= r.latency_max);
+        assert!(r.avg_latency > r.latency_p50 * 0.8 && r.avg_latency < r.latency_p99);
+    }
+
+    #[test]
+    fn replication_reduces_to_deterministic_runs() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        let traffic = TrafficConfig::from_flit_load(0.03, 16);
+        let rep = replicate(&router, &quick_cfg(), &traffic, 4);
+        assert_eq!(rep.runs.len(), 4);
+        assert!(!rep.any_saturated);
+        assert!(rep.between_rep_std > 0.0, "independent seeds must differ");
+        // Between-replication spread is small at a stable operating point.
+        assert!(rep.between_rep_std / rep.mean_latency < 0.02);
+        // Re-running gives identical output (derived seeds are deterministic).
+        let rep2 = replicate(&router, &quick_cfg(), &traffic, 4);
+        assert_eq!(rep.mean_latency.to_bits(), rep2.mean_latency.to_bits());
+        // Single replication works.
+        let one = replicate(&router, &quick_cfg(), &traffic, 1);
+        assert_eq!(one.between_rep_std, 0.0);
+    }
+
+    #[test]
+    fn find_saturation_brackets_the_knee() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        let (stable, saturated) = find_saturation(&router, &quick_cfg(), 16, 0.02, 0.02, 0.4);
+        assert!(stable > 0.0);
+        let first_bad = saturated.expect("a 16-PE tree must saturate below 0.4");
+        assert!(first_bad > stable);
+    }
+}

@@ -1,0 +1,338 @@
+//! Poisson message sources on a continuous clock.
+//!
+//! Every PE owns an exponential inter-arrival stream; all streams are
+//! merged through a binary heap keyed by next-arrival time, so the per-cycle
+//! cost is `O(arrivals·log N)` rather than `O(N)` — at the paper's loads
+//! (≤ 0.003 messages/cycle/PE) that is a few heap operations per cycle even
+//! for 1024 processors.
+
+use crate::config::{TrafficConfig, TrafficPattern};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A generated message: destination and generation cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Source PE index.
+    pub src: usize,
+    /// Destination PE index (≠ src for the supported patterns).
+    pub dest: usize,
+    /// Cycle at which the message becomes available for injection.
+    pub cycle: u64,
+}
+
+/// Heap entry: next arrival time of one PE (min-heap by time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pending {
+    time: f64,
+    pe: usize,
+}
+
+impl Eq for Pending {}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; times are finite by construction, and ties
+        // break on the PE index for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("arrival times are never NaN")
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Merged Poisson sources for all PEs.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    heap: BinaryHeap<Pending>,
+    num_pes: usize,
+    rate: f64,
+    pattern: TrafficPattern,
+}
+
+impl TrafficGenerator {
+    /// Creates sources for `num_pes` PEs with the given traffic config.
+    /// A zero rate produces no arrivals at all.
+    #[must_use]
+    pub fn new(num_pes: usize, traffic: &TrafficConfig, rng: &mut SmallRng) -> Self {
+        assert!(num_pes >= 2, "traffic needs at least two PEs");
+        let mut heap = BinaryHeap::with_capacity(num_pes);
+        if traffic.message_rate > 0.0 {
+            for pe in 0..num_pes {
+                let t = exponential(rng, traffic.message_rate);
+                heap.push(Pending { time: t, pe });
+            }
+        }
+        Self { heap, num_pes, rate: traffic.message_rate, pattern: traffic.pattern }
+    }
+
+    /// Pops every arrival with generation time inside cycle `cycle`
+    /// (i.e. real time `< cycle + 1`), appending them to `out`.
+    ///
+    /// Arrival cycles are the ceiling of the real generation time, so a
+    /// message generated at real time 3.2 is available at cycle 4 — except
+    /// that times inside `[cycle, cycle+1)` surface *this* cycle, matching
+    /// a discrete system that samples its sources once per cycle.
+    pub fn arrivals_into(&mut self, cycle: u64, rng: &mut SmallRng, out: &mut Vec<Arrival>) {
+        let horizon = (cycle + 1) as f64;
+        while let Some(top) = self.heap.peek() {
+            if top.time >= horizon {
+                break;
+            }
+            let Pending { time, pe } = self.heap.pop().expect("peeked entry exists");
+            let dest = self.pick_dest(pe, rng);
+            out.push(Arrival { src: pe, dest, cycle });
+            self.heap.push(Pending { time: time + exponential(rng, self.rate), pe });
+        }
+    }
+
+    /// Destination under the configured pattern.
+    fn pick_dest(&self, src: usize, rng: &mut SmallRng) -> usize {
+        match self.pattern {
+            TrafficPattern::UniformRandom => {
+                // Uniform over the other N−1 PEs.
+                let r = rng.gen_range(0..self.num_pes - 1);
+                if r >= src {
+                    r + 1
+                } else {
+                    r
+                }
+            }
+            TrafficPattern::BitComplement => {
+                if self.num_pes.is_power_of_two() {
+                    (self.num_pes - 1) ^ src
+                } else {
+                    // Natural generalization for non-power-of-two sizes:
+                    // address reversal, nudged off the fixed point an odd
+                    // size would otherwise create.
+                    let dest = self.num_pes - 1 - src;
+                    if dest == src {
+                        (src + 1) % self.num_pes
+                    } else {
+                        dest
+                    }
+                }
+            }
+            TrafficPattern::HalfShift => (src + self.num_pes / 2) % self.num_pes,
+            TrafficPattern::HotSpot => {
+                // 1/8 of traffic targets PE 0 (except from PE 0 itself).
+                if src != 0 && rng.gen_range(0..8u32) == 0 {
+                    0
+                } else {
+                    let r = rng.gen_range(0..self.num_pes - 1);
+                    if r >= src {
+                        r + 1
+                    } else {
+                        r
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exponential inter-arrival sample with rate `lambda`.
+fn exponential(rng: &mut SmallRng, lambda: f64) -> f64 {
+    // U in (0, 1]: guard against ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empirical_rate_matches_lambda() {
+        let mut r = rng(7);
+        let traffic = TrafficConfig::new(0.01, 16);
+        let mut g = TrafficGenerator::new(64, &traffic, &mut r);
+        let cycles = 50_000u64;
+        let mut out = Vec::new();
+        for t in 0..cycles {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        let expected = 0.01 * 64.0 * cycles as f64;
+        let got = out.len() as f64;
+        // 3.5 sigma tolerance on a Poisson count.
+        let sigma = expected.sqrt();
+        assert!(
+            (got - expected).abs() < 3.5 * sigma,
+            "got {got}, expected {expected} ± {sigma}"
+        );
+    }
+
+    #[test]
+    fn destinations_are_uniform_and_never_self() {
+        let mut r = rng(11);
+        let traffic = TrafficConfig::new(0.05, 16);
+        let mut g = TrafficGenerator::new(8, &traffic, &mut r);
+        let mut counts = [0usize; 8];
+        let mut out = Vec::new();
+        for t in 0..200_000 {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        for a in &out {
+            assert_ne!(a.src, a.dest, "no self traffic");
+            counts[a.dest] += 1;
+        }
+        // Each PE receives ~1/8 of all messages.
+        let total: usize = counts.iter().sum();
+        for (pe, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 0.125).abs() < 0.01, "dest {pe} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_within_cycle() {
+        let mut r = rng(3);
+        let traffic = TrafficConfig::new(0.2, 4);
+        let mut g = TrafficGenerator::new(4, &traffic, &mut r);
+        let mut out = Vec::new();
+        for t in 0..1000 {
+            let before = out.len();
+            g.arrivals_into(t, &mut r, &mut out);
+            for a in &out[before..] {
+                assert_eq!(a.cycle, t);
+            }
+        }
+        // Cycles non-decreasing overall.
+        for w in out.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let mut r = rng(5);
+        let traffic = TrafficConfig::new(0.0, 16);
+        let mut g = TrafficGenerator::new(16, &traffic, &mut r);
+        let mut out = Vec::new();
+        for t in 0..10_000 {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bit_complement_and_half_shift_patterns() {
+        let mut r = rng(9);
+        let t1 = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::BitComplement);
+        let mut g = TrafficGenerator::new(16, &t1, &mut r);
+        let mut out = Vec::new();
+        for t in 0..500 {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        for a in &out {
+            assert_eq!(a.dest, 15 ^ a.src);
+        }
+        let t2 = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::HalfShift);
+        let mut g = TrafficGenerator::new(16, &t2, &mut r);
+        out.clear();
+        for t in 0..500 {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        for a in &out {
+            assert_eq!(a.dest, (a.src + 8) % 16);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_pe_zero() {
+        let mut r = rng(21);
+        let t = TrafficConfig::new(0.05, 8).with_pattern(TrafficPattern::HotSpot);
+        let mut g = TrafficGenerator::new(32, &t, &mut r);
+        let mut out = Vec::new();
+        for cycle in 0..100_000 {
+            g.arrivals_into(cycle, &mut r, &mut out);
+        }
+        let to_zero = out.iter().filter(|a| a.dest == 0).count() as f64;
+        let frac = to_zero / out.len() as f64;
+        // Expected: 1/8 hot traffic + (7/8)·(1/31) uniform share ≈ 0.153.
+        let expect = 1.0 / 8.0 + (7.0 / 8.0) / 31.0;
+        assert!((frac - expect).abs() < 0.02, "hotspot fraction {frac} vs {expect}");
+        for a in &out {
+            assert_ne!(a.src, a.dest);
+        }
+    }
+
+    #[test]
+    fn hotspot_saturates_before_uniform_at_equal_load() {
+        // The hot ejection channel is the bottleneck: a load that is easy
+        // for uniform traffic saturates under hot-spot concentration.
+        use crate::config::SimConfig;
+        use crate::router::BftRouter;
+        use crate::runner::run_simulation;
+        use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let router = BftRouter::new(&tree);
+        let cfg = SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 8_000,
+            drain_cap_cycles: 20_000,
+            seed: 23,
+            batches: 4,
+        };
+        // Hot ejector sees 63/8 of a PE's flit load: 0.14·63/8 ≈ 1.10
+        // flits/cycle > 1 (saturated), while uniform 0.14 sits below the
+        // N=64 knee (~0.18).
+        let traffic = TrafficConfig::from_flit_load(0.14, 16);
+        let uniform = run_simulation(&router, &cfg, &traffic);
+        let hot = run_simulation(
+            &router,
+            &cfg,
+            &traffic.with_pattern(TrafficPattern::HotSpot),
+        );
+        assert!(!uniform.saturated, "uniform 0.05 must be stable on N=64");
+        assert!(hot.saturated, "hot-spot 0.05 must saturate the hot ejector");
+    }
+
+    #[test]
+    fn bit_complement_handles_non_power_of_two_sizes() {
+        let mut r = rng(13);
+        let t = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::BitComplement);
+        for n in [3usize, 5, 9, 27] {
+            let mut g = TrafficGenerator::new(n, &t, &mut r);
+            let mut out = Vec::new();
+            for cycle in 0..2_000 {
+                g.arrivals_into(cycle, &mut r, &mut out);
+            }
+            for a in &out {
+                assert!(a.dest < n, "dest {} out of range for n={n}", a.dest);
+                assert_ne!(a.dest, a.src, "self-traffic for n={n}");
+            }
+            out.clear();
+        }
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let run = |seed: u64| {
+            let mut r = rng(seed);
+            let traffic = TrafficConfig::new(0.02, 8);
+            let mut g = TrafficGenerator::new(32, &traffic, &mut r);
+            let mut out = Vec::new();
+            for t in 0..5_000 {
+                g.arrivals_into(t, &mut r, &mut out);
+            }
+            out
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,149 @@
+//! Sharp tests of the engine's timing semantics, using deterministic
+//! traffic patterns where every message's unblocked latency is known in
+//! closed form.
+
+use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
+use wormsim_sim::router::BftRouter;
+use wormsim_sim::runner::run_simulation;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::graph::ChannelClass;
+
+fn tiny_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 10_000,
+        drain_cap_cycles: 30_000,
+        seed,
+        batches: 4,
+    }
+}
+
+#[test]
+fn half_shift_zero_load_latency_is_exact() {
+    // Under HalfShift on a (4,2) fat-tree every source-destination pair
+    // differs in the top base-4 digit, so every message crosses the root:
+    // D = 2n exactly, and at vanishing load latency = s + 2n − 1 for every
+    // single message — the mean must be exact, not just close.
+    for (n_procs, levels) in [(16usize, 2u32), (64, 3)] {
+        let params = BftParams::paper(n_procs).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let traffic =
+            TrafficConfig::new(0.00005, 16).with_pattern(TrafficPattern::HalfShift);
+        let r = run_simulation(&router, &tiny_cfg(3), &traffic);
+        assert!(!r.saturated);
+        assert!(r.messages_completed > 5, "need data");
+        let expect = 16.0 + 2.0 * f64::from(levels) - 1.0;
+        // Unblocked messages take exactly `expect`; rare collisions can only
+        // add cycles, never remove them.
+        assert!(
+            r.avg_latency >= expect - 1e-9 && r.avg_latency < expect + 0.5,
+            "N={n_procs}: unblocked latency is {expect}, got {}",
+            r.avg_latency
+        );
+    }
+}
+
+#[test]
+fn bit_complement_is_also_exact_and_root_bound() {
+    // dest = !src flips the top digit too: D = 2n for every message.
+    // At this rate collisions are rare but possible, so the mean may sit a
+    // fraction of a cycle above the unblocked exact value — never below.
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let traffic = TrafficConfig::new(0.00005, 32).with_pattern(TrafficPattern::BitComplement);
+    let r = run_simulation(&router, &tiny_cfg(5), &traffic);
+    assert!(!r.saturated);
+    let expect = 32.0 + 6.0 - 1.0;
+    assert!(
+        r.avg_latency >= expect - 1e-9 && r.avg_latency < expect + 0.5,
+        "bit-complement latency {} vs unblocked {expect}",
+        r.avg_latency
+    );
+    // No traffic should touch level-1-internal turns: every worm goes
+    // through the top; up-link rates at the top level equal those at the
+    // bottom scaled by the fan-in.
+    let up1 = r.class(ChannelClass::Up { from: 1 }).unwrap();
+    let up2 = r.class(ChannelClass::Up { from: 2 }).unwrap();
+    assert!(up1.lambda > 0.0 && up2.lambda > 0.0);
+}
+
+#[test]
+fn single_switch_tree_latency_is_s_plus_one() {
+    // N=4, n=1: every path is inject + eject (D = 2); latency = s + 1.
+    let params = BftParams::new(4, 2, 1).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let traffic = TrafficConfig::new(0.00005, 8);
+    let r = run_simulation(&router, &tiny_cfg(7), &traffic);
+    assert!(!r.saturated);
+    assert!(
+        r.avg_latency >= 9.0 - 1e-9 && r.avg_latency < 9.5,
+        "single-switch latency {} vs unblocked 9",
+        r.avg_latency
+    );
+}
+
+#[test]
+fn single_flit_worms_work() {
+    // s = 1: degenerate worms (every flit is head and tail). Latency = D.
+    let params = BftParams::paper(16).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let traffic = TrafficConfig::new(0.0001, 1).with_pattern(TrafficPattern::HalfShift);
+    let r = run_simulation(&router, &tiny_cfg(9), &traffic);
+    assert!(!r.saturated);
+    assert!(
+        r.avg_latency >= 4.0 - 1e-9 && r.avg_latency < 4.3,
+        "1-flit HalfShift latency {} vs unblocked D=4",
+        r.avg_latency
+    );
+    // Ejection hold time is exactly 1 cycle.
+    let ej = r.class(ChannelClass::Ejection).unwrap();
+    assert!((ej.mean_service - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn worms_longer_than_any_path_hold_the_injection_channel_s_cycles() {
+    // The injection channel is held from grant until the tail leaves:
+    // exactly s cycles when unblocked, independent of path length.
+    let params = BftParams::paper(16).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let traffic = TrafficConfig::new(0.00004, 64); // worms much longer than D=8
+    let r = run_simulation(&router, &tiny_cfg(11), &traffic);
+    assert!(!r.saturated);
+    let inj = r.class(ChannelClass::Injection).unwrap();
+    // Blocked cycles extend the hold, never shorten it; at this rate the
+    // mean must sit within a fraction of a cycle of the unblocked s.
+    assert!(
+        inj.mean_service >= 64.0 - 1e-9 && inj.mean_service < 64.5,
+        "unblocked injection hold {} vs s=64",
+        inj.mean_service
+    );
+}
+
+#[test]
+fn utilization_equals_lambda_times_service() {
+    // Little's-law style identity per channel class: utilization = λ·x̄
+    // (both measured over the same window, so it holds up to edge effects).
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let traffic = TrafficConfig::from_flit_load(0.05, 16);
+    let r = run_simulation(&router, &tiny_cfg(13), &traffic);
+    assert!(!r.saturated);
+    for cs in &r.class_stats {
+        if cs.grants < 100 {
+            continue;
+        }
+        let predicted = cs.lambda * cs.mean_service;
+        assert!(
+            (cs.utilization - predicted).abs() < 0.02 * predicted.max(0.01),
+            "{}: utilization {} vs λ·x̄ {predicted}",
+            cs.class,
+            cs.utilization
+        );
+    }
+}

@@ -1,0 +1,821 @@
+//! The butterfly fat-tree of Greenberg & Guan (ICPP 1997, §3.1),
+//! generalized to `(c, p)` switches.
+//!
+//! # Structure (paper Figure 2)
+//!
+//! With `N = cⁿ` processors, nodes are labelled `(l, a)` where `l` is the
+//! level (distance from the leaves, processors at `l = 0`) and `a` the
+//! address within the level. Level `l ≥ 1` holds `cⁿ⁻ˡ·pˡ⁻¹` switches; each
+//! switch has `c` child ports and (below the root level) `p` parent ports.
+//! The paper's network is `(c, p) = (4, 2)`: six-port switches, levels of
+//! `N/2ˡ⁺¹` switches.
+//!
+//! # Wiring (paper §3.1, generalized)
+//!
+//! * Processor `P(0, x)` connects to child port `x mod c` of switch
+//!   `S(1, ⌊x/c⌋)`.
+//! * Parent port `k ∈ [0, p)` of `S(l, a)` connects to child port
+//!   `i = ⌊(a mod c·pˡ⁻¹)/pˡ⁻¹⌋` of
+//!   `S(l+1, G·pˡ + (a + k·pˡ⁻¹) mod pˡ)` where `G = ⌊a/(c·pˡ⁻¹)⌋`.
+//!
+//! At `(c, p) = (4, 2)` these reduce literally to the paper's formulas
+//! (`G·2ˡ = ⌊a/2ˡ⁺¹⌋·2ˡ`, offsets `a mod 2ˡ` and `(a + 2ˡ⁻¹) mod 2ˡ`,
+//! `i = ⌊(a mod 2ˡ⁺¹)/2ˡ⁻¹⌋`).
+//!
+//! # Routing
+//!
+//! Switches at level `l` come in groups of `pˡ⁻¹` sharing the leaf block
+//! `[g·cˡ, (g+1)·cˡ)` with `g = ⌊a/pˡ⁻¹⌋`; a message goes **up** (through
+//! any of the `p` parent links — they form one multi-server station) until
+//! its destination lies in the current subtree, then follows the unique
+//! **down** path (child port `⌊d/cˡ⁻¹⌋ mod c` at level `l`).
+
+use crate::graph::{ChannelClass, ChannelNetwork, NodeKind, ProcessorPorts};
+use crate::ids::{ChannelId, NodeId, StationId};
+use std::fmt;
+
+/// Errors from butterfly fat-tree parameter validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BftError {
+    /// `children` must be at least 2.
+    ChildrenTooSmall,
+    /// `parents` must be at least 1.
+    ParentsTooSmall,
+    /// `levels` must be at least 1.
+    LevelsTooSmall,
+    /// The requested processor count is not a power of the arity.
+    NotAPowerOfArity {
+        /// The rejected processor count.
+        processors: usize,
+        /// The arity whose power it should be.
+        arity: usize,
+    },
+    /// The network would exceed the supported size.
+    TooLarge,
+}
+
+impl fmt::Display for BftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BftError::ChildrenTooSmall => write!(f, "butterfly fat-tree needs c >= 2 children"),
+            BftError::ParentsTooSmall => write!(f, "butterfly fat-tree needs p >= 1 parents"),
+            BftError::LevelsTooSmall => write!(f, "butterfly fat-tree needs n >= 1 levels"),
+            BftError::NotAPowerOfArity { processors, arity } => {
+                write!(f, "{processors} processors is not a positive power of {arity}")
+            }
+            BftError::TooLarge => write!(f, "network too large (node count would overflow)"),
+        }
+    }
+}
+
+impl std::error::Error for BftError {}
+
+/// Parameters of a `(c, p)` butterfly fat-tree with `n` switch levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BftParams {
+    children: usize,
+    parents: usize,
+    levels: u32,
+}
+
+impl BftParams {
+    /// Generic constructor: `c` children, `p` parents, `n` levels
+    /// (`N = cⁿ` processors).
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate parameters and networks above ~16M nodes.
+    pub fn new(children: usize, parents: usize, levels: u32) -> Result<Self, BftError> {
+        if children < 2 {
+            return Err(BftError::ChildrenTooSmall);
+        }
+        if parents < 1 {
+            return Err(BftError::ParentsTooSmall);
+        }
+        if levels < 1 {
+            return Err(BftError::LevelsTooSmall);
+        }
+        // Bound the total size: N = c^n processors plus switch levels.
+        let mut n_procs: u128 = 1;
+        for _ in 0..levels {
+            n_procs = n_procs.saturating_mul(children as u128);
+            if n_procs > 1 << 24 {
+                return Err(BftError::TooLarge);
+            }
+        }
+        // p^(n-1) must also stay bounded (root-level switch count).
+        let mut p_pow: u128 = 1;
+        for _ in 0..levels.saturating_sub(1) {
+            p_pow = p_pow.saturating_mul(parents as u128);
+            if p_pow > 1 << 24 {
+                return Err(BftError::TooLarge);
+            }
+        }
+        Ok(Self { children, parents, levels })
+    }
+
+    /// The paper's `(4, 2)` butterfly fat-tree with the given number of
+    /// processors (must be a positive power of 4, e.g. 64, 256, 1024).
+    ///
+    /// # Errors
+    ///
+    /// Rejects processor counts that are not powers of 4.
+    pub fn paper(num_processors: usize) -> Result<Self, BftError> {
+        let mut n = 0u32;
+        let mut v = 1usize;
+        while v < num_processors {
+            v = v.checked_mul(4).ok_or(BftError::TooLarge)?;
+            n += 1;
+        }
+        if v != num_processors || n == 0 {
+            return Err(BftError::NotAPowerOfArity { processors: num_processors, arity: 4 });
+        }
+        Self::new(4, 2, n)
+    }
+
+    /// Number of children per switch (`c`).
+    #[must_use]
+    pub fn children(&self) -> usize {
+        self.children
+    }
+
+    /// Number of parents per switch below the root level (`p`).
+    #[must_use]
+    pub fn parents(&self) -> usize {
+        self.parents
+    }
+
+    /// Number of switch levels (`n`); processors sit at level 0.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of processors `N = cⁿ`.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.children.pow(self.levels)
+    }
+
+    /// Number of switches at level `l ∈ [1, n]`: `cⁿ⁻ˡ·pˡ⁻¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l` is outside `[1, n]`.
+    #[must_use]
+    pub fn switches_at_level(&self, l: u32) -> usize {
+        assert!((1..=self.levels).contains(&l), "level {l} out of range 1..={}", self.levels);
+        self.children.pow(self.levels - l) * self.parents.pow(l - 1)
+    }
+
+    /// Total number of switches.
+    #[must_use]
+    pub fn total_switches(&self) -> usize {
+        (1..=self.levels).map(|l| self.switches_at_level(l)).sum()
+    }
+
+    /// Probability that a message at a level-`l` switch must route upward
+    /// (paper Eq. 12): `P↑_l = (cⁿ − cˡ)/(cⁿ − 1)`, for `0 ≤ l ≤ n`.
+    ///
+    /// `l = 0` gives 1 (all traffic enters the network); `l = n` gives 0
+    /// (the root reaches every leaf).
+    #[must_use]
+    pub fn p_up(&self, l: u32) -> f64 {
+        assert!(l <= self.levels, "level {l} out of range 0..={}", self.levels);
+        let n_leaves = self.num_processors() as f64;
+        let reach = (self.children.pow(l)) as f64;
+        (n_leaves - reach) / (n_leaves - 1.0)
+    }
+
+    /// Probability of routing downward at a level-`l` switch (paper Eq. 13).
+    #[must_use]
+    pub fn p_down(&self, l: u32) -> f64 {
+        1.0 - self.p_up(l)
+    }
+
+    /// Average message distance `D̄` in channels (including injection and
+    /// ejection channels) for uniform traffic with destination ≠ source:
+    /// `D̄ = Σ_{l=1}^{n} 2l·(cˡ − cˡ⁻¹)/(cⁿ − 1)`.
+    ///
+    /// A message whose lowest common level with its destination is `l`
+    /// traverses `2l` channels: injection, `l−1` up, `l−1` down, ejection.
+    #[must_use]
+    pub fn average_distance(&self) -> f64 {
+        let n_leaves = self.num_processors() as f64;
+        let mut sum = 0.0;
+        for l in 1..=self.levels {
+            let exactly_l = (self.children.pow(l) - self.children.pow(l - 1)) as f64;
+            sum += 2.0 * f64::from(l) * exactly_l;
+        }
+        sum / (n_leaves - 1.0)
+    }
+
+    /// Message distance in channels between two leaves: `2·lca_level`, or 0
+    /// for `src == dst`.
+    #[must_use]
+    pub fn distance(&self, src: usize, dst: usize) -> usize {
+        2 * self.lca_level(src, dst) as usize
+    }
+
+    /// Lowest level `l` whose leaf blocks contain both `src` and `dst`
+    /// (0 when equal).
+    #[must_use]
+    pub fn lca_level(&self, src: usize, dst: usize) -> u32 {
+        let mut l = 0;
+        let mut s = src;
+        let mut d = dst;
+        while s != d {
+            s /= self.children;
+            d /= self.children;
+            l += 1;
+        }
+        l
+    }
+}
+
+/// Fully constructed butterfly fat-tree: the channel network plus the
+/// per-switch port tables and routing arithmetic.
+#[derive(Debug, Clone)]
+pub struct ButterflyFatTree {
+    params: BftParams,
+    network: ChannelNetwork,
+    /// `switch_node[l-1][a]` = node id of `S(l, a)`.
+    switch_node: Vec<Vec<NodeId>>,
+    /// Per switch node (indexed by `switch_slot`): up-station (None at root
+    /// level), up channels (length `p`), down channels indexed by child port
+    /// (length `c`).
+    up_station: Vec<Option<StationId>>,
+    up_channels: Vec<Vec<ChannelId>>,
+    down_channels: Vec<Vec<ChannelId>>,
+    /// Node-id offset of the first switch (processors occupy `0..N`).
+    switch_base: usize,
+    /// Cumulative switch counts per level for slot arithmetic.
+    level_offsets: Vec<usize>,
+    /// `c^l` for `l ∈ [0, n]`.
+    c_pow: Vec<usize>,
+    /// `p^l` for `l ∈ [0, n]`.
+    p_pow: Vec<usize>,
+}
+
+impl ButterflyFatTree {
+    /// Builds the network for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal wiring inconsistencies (which the test suite
+    /// proves cannot occur for validated parameters).
+    #[must_use]
+    pub fn new(params: BftParams) -> Self {
+        let c = params.children();
+        let p = params.parents();
+        let n = params.levels();
+        let num_procs = params.num_processors();
+
+        let c_pow: Vec<usize> = (0..=n).map(|l| c.pow(l)).collect();
+        let p_pow: Vec<usize> = (0..=n).map(|l| p.pow(l)).collect();
+
+        let mut network = ChannelNetwork::empty();
+
+        // Processors first: NodeId(x) == processor x.
+        for x in 0..num_procs {
+            let id = network.add_node(NodeKind::Processor { index: x });
+            debug_assert_eq!(id.index(), x);
+        }
+        let switch_base = num_procs;
+
+        // Switches, level-major.
+        let mut switch_node: Vec<Vec<NodeId>> = Vec::with_capacity(n as usize);
+        let mut level_offsets = Vec::with_capacity(n as usize + 1);
+        let mut total = 0usize;
+        for l in 1..=n {
+            level_offsets.push(total);
+            let count = params.switches_at_level(l);
+            let mut ids = Vec::with_capacity(count);
+            for a in 0..count {
+                ids.push(network.add_node(NodeKind::Switch { level: l, address: a }));
+            }
+            total += count;
+            switch_node.push(ids);
+        }
+        level_offsets.push(total);
+
+        let total_switches = total;
+        let mut up_station: Vec<Option<StationId>> = vec![None; total_switches];
+        let mut up_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); total_switches];
+        // Down ports are filled by the wiring pass; a sentinel panics when a
+        // port is double-wired or left unwired.
+        let sentinel = ChannelId(usize::MAX);
+        let mut down_channels: Vec<Vec<ChannelId>> = vec![vec![sentinel; c]; total_switches];
+
+        let slot = |l: u32, a: usize| -> usize { level_offsets[(l - 1) as usize] + a };
+
+        // PE attachment: inject P(0,x) -> S(1, x/c); eject S(1, x/c) -> P(0,x)
+        // on child port x mod c.
+        for x in 0..num_procs {
+            let pe = NodeId(x);
+            let sw = switch_node[0][x / c];
+            let inject = network.add_channel(pe, sw, ChannelClass::Injection);
+            let eject = network.add_channel(sw, pe, ChannelClass::Ejection);
+            let s = slot(1, x / c);
+            assert_eq!(down_channels[s][x % c], sentinel, "double-wired ejection port");
+            down_channels[s][x % c] = eject;
+            network.add_processor_ports(ProcessorPorts { node: pe, inject, eject });
+        }
+
+        // Switch-to-switch wiring for l in [1, n-1].
+        for l in 1..n {
+            let lp = (l - 1) as usize; // exponent index for p^(l-1)
+            for a in 0..params.switches_at_level(l) {
+                let child_slot = slot(l, a);
+                let child_id = switch_node[(l - 1) as usize][a];
+                let st = network.add_station(child_id);
+                up_station[child_slot] = Some(st);
+                // G = floor(a / (c·p^(l-1))); child port i at the parent.
+                let group_stride = c * p_pow[lp];
+                let g = a / group_stride;
+                let i = (a % group_stride) / p_pow[lp];
+                for k in 0..p {
+                    let parent_addr = g * p_pow[l as usize] + (a + k * p_pow[lp]) % p_pow[l as usize];
+                    let parent_id = switch_node[l as usize][parent_addr];
+                    let up =
+                        network.add_channel_in_station(child_id, parent_id, ChannelClass::Up { from: l }, st);
+                    up_channels[child_slot].push(up);
+                    let down =
+                        network.add_channel(parent_id, child_id, ChannelClass::Down { from: l + 1 });
+                    let ps = slot(l + 1, parent_addr);
+                    assert_eq!(down_channels[ps][i], sentinel, "double-wired child port {i} at S({},{parent_addr})", l + 1);
+                    down_channels[ps][i] = down;
+                }
+            }
+        }
+
+        // Every child port of every switch must now be wired.
+        for (s, ports) in down_channels.iter().enumerate() {
+            for (i, &ch) in ports.iter().enumerate() {
+                assert_ne!(ch, sentinel, "unwired child port {i} at switch slot {s}");
+            }
+        }
+
+        debug_assert_eq!(network.validate(), Ok(()));
+
+        Self {
+            params,
+            network,
+            switch_node,
+            up_station,
+            up_channels,
+            down_channels,
+            switch_base,
+            level_offsets,
+            c_pow,
+            p_pow,
+        }
+    }
+
+    /// The parameters this tree was built from.
+    #[must_use]
+    pub fn params(&self) -> &BftParams {
+        &self.params
+    }
+
+    /// The underlying channel network.
+    #[must_use]
+    pub fn network(&self) -> &ChannelNetwork {
+        &self.network
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.params.num_processors()
+    }
+
+    /// Number of switch levels `n`.
+    #[must_use]
+    pub fn num_levels(&self) -> u32 {
+        self.params.levels()
+    }
+
+    /// Number of switches at level `l`.
+    #[must_use]
+    pub fn switches_at_level(&self, l: u32) -> usize {
+        self.params.switches_at_level(l)
+    }
+
+    /// Node id of switch `S(l, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(l, a)` is out of range.
+    #[must_use]
+    pub fn switch(&self, l: u32, a: usize) -> NodeId {
+        self.switch_node[(l - 1) as usize][a]
+    }
+
+    /// Inverse of [`Self::switch`]: the `(level, address)` of a switch node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is not a switch.
+    #[must_use]
+    pub fn switch_coords(&self, node: NodeId) -> (u32, usize) {
+        match self.network.node(node).kind {
+            NodeKind::Switch { level, address } => (level, address),
+            NodeKind::Processor { .. } => panic!("{node} is a processor, not a switch"),
+        }
+    }
+
+    /// Dense per-switch slot (level-major), used to index port tables.
+    fn switch_slot(&self, node: NodeId) -> usize {
+        debug_assert!(node.index() >= self.switch_base);
+        node.index() - self.switch_base
+    }
+
+    /// The up-link station of a switch (None at the root level).
+    #[must_use]
+    pub fn up_station_of(&self, node: NodeId) -> Option<StationId> {
+        self.up_station[self.switch_slot(node)]
+    }
+
+    /// The up-link channels of a switch (empty at the root level).
+    #[must_use]
+    pub fn up_channels_of(&self, node: NodeId) -> &[ChannelId] {
+        &self.up_channels[self.switch_slot(node)]
+    }
+
+    /// The down channels of a switch, indexed by child port.
+    #[must_use]
+    pub fn down_channels_of(&self, node: NodeId) -> &[ChannelId] {
+        &self.down_channels[self.switch_slot(node)]
+    }
+
+    /// Leaf-block group of switch `S(l, a)`: `g = ⌊a/pˡ⁻¹⌋`; its subtree is
+    /// the leaf interval `[g·cˡ, (g+1)·cˡ)`.
+    #[must_use]
+    pub fn group(&self, l: u32, a: usize) -> usize {
+        a / self.p_pow[(l - 1) as usize]
+    }
+
+    /// Whether leaf `d` lies in the subtree of `S(l, a)`.
+    #[must_use]
+    pub fn subtree_contains(&self, l: u32, a: usize, d: usize) -> bool {
+        d / self.c_pow[l as usize] == self.group(l, a)
+    }
+
+    /// Child port towards leaf `d` at a level-`l` switch whose subtree
+    /// contains `d`: `⌊d/cˡ⁻¹⌋ mod c`.
+    #[must_use]
+    pub fn child_port_for(&self, l: u32, d: usize) -> usize {
+        (d / self.c_pow[(l - 1) as usize]) % self.params.children()
+    }
+
+    /// Routing decision for a worm whose head sits at switch `node` with
+    /// destination leaf `dest`.
+    #[must_use]
+    pub fn route(&self, node: NodeId, dest: usize) -> RouteChoice {
+        let (l, a) = self.switch_coords(node);
+        if self.subtree_contains(l, a, dest) {
+            let port = self.child_port_for(l, dest);
+            RouteChoice::Down(self.down_channels[self.switch_slot(node)][port])
+        } else {
+            RouteChoice::Up(
+                self.up_station[self.switch_slot(node)]
+                    .expect("non-root switch must have an up station when destination is outside its subtree"),
+            )
+        }
+    }
+
+    /// Total switch count.
+    #[must_use]
+    pub fn total_switches(&self) -> usize {
+        self.level_offsets[self.params.levels() as usize]
+    }
+
+    /// Iterator over `(level, address, node)` for all switches.
+    pub fn switches(&self) -> impl Iterator<Item = (u32, usize, NodeId)> + '_ {
+        self.switch_node.iter().enumerate().flat_map(|(li, ids)| {
+            ids.iter().enumerate().map(move |(a, &id)| ((li + 1) as u32, a, id))
+        })
+    }
+}
+
+/// Outcome of a routing decision at a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Take this specific down channel (unique path).
+    Down(ChannelId),
+    /// Take any free channel of this up-link station (adaptive choice).
+    Up(StationId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ChannelClass;
+
+    #[test]
+    fn params_validation() {
+        assert!(BftParams::new(4, 2, 3).is_ok());
+        assert!(BftParams::new(1, 2, 3).is_err());
+        assert!(BftParams::new(4, 0, 3).is_err());
+        assert!(BftParams::new(4, 2, 0).is_err());
+        assert!(BftParams::new(4, 2, 20).is_err());
+        assert!(BftParams::paper(64).is_ok());
+        assert!(BftParams::paper(1024).is_ok());
+        assert!(BftParams::paper(100).is_err());
+        assert!(BftParams::paper(1).is_err());
+    }
+
+    #[test]
+    fn paper_level_sizes_match_n_over_2_to_l_plus_1() {
+        // Paper: level l has N/2^(l+1) switches.
+        for &n_procs in &[16usize, 64, 256, 1024] {
+            let params = BftParams::paper(n_procs).unwrap();
+            for l in 1..=params.levels() {
+                assert_eq!(
+                    params.switches_at_level(l),
+                    n_procs / 2usize.pow(l + 1),
+                    "N={n_procs}, level {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_network_has_expected_shape() {
+        // 64 processors: 16 + 8 + 4 = 28 switches.
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        assert_eq!(tree.total_switches(), 28);
+        let net = tree.network();
+        // Channels: 64 inject + 64 eject + 2·(16·2 + 8·2) up/down pairs.
+        let expected_updown = 2 * (16 * 2 + 8 * 2);
+        assert_eq!(net.num_channels(), 64 + 64 + expected_updown);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_wiring_examples_n64() {
+        // Hand-derived from the paper's formulas at N=64 (n=3).
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let net = tree.network();
+        // S(2,0): parents S(3,0) and S(3,2), child index 0.
+        let s20 = tree.switch(2, 0);
+        let ups = tree.up_channels_of(s20);
+        assert_eq!(ups.len(), 2);
+        assert_eq!(net.channel(ups[0]).dst, tree.switch(3, 0));
+        assert_eq!(net.channel(ups[1]).dst, tree.switch(3, 2));
+        assert_eq!(tree.down_channels_of(tree.switch(3, 0))[0], {
+            // The down twin of S(2,0)'s parent0 link.
+            let down = net
+                .channels()
+                .iter()
+                .position(|ch| ch.src == tree.switch(3, 0) && ch.dst == s20)
+                .unwrap();
+            ChannelId(down)
+        });
+        // S(2,6): parent1 goes to child 3 of S(3,0).
+        let s26 = tree.switch(2, 6);
+        let ups26 = tree.up_channels_of(s26);
+        assert_eq!(net.channel(ups26[1]).dst, tree.switch(3, 0));
+        let down_port3 = tree.down_channels_of(tree.switch(3, 0))[3];
+        assert_eq!(net.channel(down_port3).dst, s26);
+        // S(1,5): parents S(2, 2·1 + 5 mod 2) = S(2,3) and S(2, 2+0)= S(2,2);
+        // child index i = 5 mod 4 = 1.
+        let s15 = tree.switch(1, 5);
+        let ups15 = tree.up_channels_of(s15);
+        assert_eq!(net.channel(ups15[0]).dst, tree.switch(2, 3));
+        assert_eq!(net.channel(ups15[1]).dst, tree.switch(2, 2));
+        assert_eq!(net.channel(tree.down_channels_of(tree.switch(2, 3))[1]).dst, s15);
+        assert_eq!(net.channel(tree.down_channels_of(tree.switch(2, 2))[1]).dst, s15);
+    }
+
+    #[test]
+    fn processors_attach_per_paper_rule() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let net = tree.network();
+        for x in 0..64usize {
+            let ports = net.processors()[x];
+            assert_eq!(net.channel(ports.inject).dst, tree.switch(1, x / 4));
+            assert_eq!(net.channel(ports.eject).src, tree.switch(1, x / 4));
+            // Ejection channel occupies child port x mod 4.
+            assert_eq!(tree.down_channels_of(tree.switch(1, x / 4))[x % 4], ports.eject);
+        }
+    }
+
+    #[test]
+    fn parents_are_distinct_switches() {
+        for params in [
+            BftParams::paper(64).unwrap(),
+            BftParams::paper(256).unwrap(),
+            BftParams::new(4, 4, 3).unwrap(),
+            BftParams::new(2, 2, 5).unwrap(),
+            BftParams::new(3, 2, 4).unwrap(),
+        ] {
+            let tree = ButterflyFatTree::new(params);
+            let net = tree.network();
+            for (_, _, node) in tree.switches() {
+                let ups = tree.up_channels_of(node);
+                let mut dsts: Vec<_> = ups.iter().map(|&c| net.channel(c).dst).collect();
+                dsts.sort();
+                dsts.dedup();
+                assert_eq!(dsts.len(), ups.len(), "parents of {node} must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn parent_subtree_contains_child_subtree() {
+        let tree = ButterflyFatTree::new(BftParams::paper(256).unwrap());
+        let net = tree.network();
+        for (l, a, node) in tree.switches() {
+            for &up in tree.up_channels_of(node) {
+                let parent = net.channel(up).dst;
+                let (pl, pa) = tree.switch_coords(parent);
+                assert_eq!(pl, l + 1);
+                // Every leaf of the child's block must be in the parent's.
+                let g = tree.group(l, a);
+                let block = 4usize.pow(l);
+                for d in (g * block)..((g + 1) * block) {
+                    assert!(tree.subtree_contains(pl, pa, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn child_ports_cover_subtree_exactly() {
+        // Descending from any switch through the advertised child port for
+        // leaf d must reach d, for every d in the subtree.
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let net = tree.network();
+        for (l, a, node) in tree.switches() {
+            let g = tree.group(l, a);
+            let block = 4usize.pow(l);
+            for d in (g * block)..((g + 1) * block) {
+                // Walk down to the leaf.
+                let mut cur = node;
+                loop {
+                    let (cl, ca) = tree.switch_coords(cur);
+                    assert!(tree.subtree_contains(cl, ca, d));
+                    let port = tree.child_port_for(cl, d);
+                    let down = tree.down_channels_of(cur)[port];
+                    let nxt = net.channel(down).dst;
+                    if cl == 1 {
+                        assert_eq!(nxt, NodeId(d), "descent from S({l},{a}) must reach leaf {d}");
+                        break;
+                    }
+                    cur = nxt;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_goes_up_outside_subtree_and_down_inside() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let s10 = tree.switch(1, 0); // leaves 0..4
+        match tree.route(s10, 2) {
+            RouteChoice::Down(ch) => {
+                assert_eq!(tree.network().channel(ch).dst, NodeId(2));
+            }
+            RouteChoice::Up(_) => panic!("leaf 2 is inside S(1,0)'s subtree"),
+        }
+        match tree.route(s10, 63) {
+            RouteChoice::Up(st) => {
+                assert_eq!(Some(st), tree.up_station_of(s10));
+                assert_eq!(tree.network().station(st).servers(), 2);
+            }
+            RouteChoice::Down(_) => panic!("leaf 63 is outside S(1,0)'s subtree"),
+        }
+    }
+
+    #[test]
+    fn root_switches_reach_all_leaves() {
+        let tree = ButterflyFatTree::new(BftParams::paper(256).unwrap());
+        let n = tree.num_levels();
+        for a in 0..tree.switches_at_level(n) {
+            for d in [0usize, 17, 255] {
+                assert!(tree.subtree_contains(n, a, d));
+            }
+            assert!(tree.up_station_of(tree.switch(n, a)).is_none());
+            assert!(tree.up_channels_of(tree.switch(n, a)).is_empty());
+        }
+    }
+
+    #[test]
+    fn p_up_matches_eq12() {
+        let params = BftParams::paper(1024).unwrap();
+        let n = 1024.0f64;
+        for l in 0..=5u32 {
+            let expect = (n - 4f64.powi(l as i32)) / (n - 1.0);
+            assert!((params.p_up(l) - expect).abs() < 1e-15, "level {l}");
+        }
+        assert_eq!(params.p_up(5), 0.0);
+        assert!((params.p_up(0) - 1.0).abs() < 1e-15);
+        assert!((params.p_up(1) - params.p_down(1) - (params.p_up(1) * 2.0 - 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn average_distance_matches_brute_force() {
+        for params in [
+            BftParams::paper(16).unwrap(),
+            BftParams::paper(64).unwrap(),
+            BftParams::new(2, 2, 4).unwrap(),
+            BftParams::new(3, 1, 3).unwrap(),
+        ] {
+            let n = params.num_processors();
+            let mut sum = 0usize;
+            let mut count = 0usize;
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        sum += params.distance(s, d);
+                        count += 1;
+                    }
+                }
+            }
+            let brute = sum as f64 / count as f64;
+            assert!(
+                (params.average_distance() - brute).abs() < 1e-12,
+                "closed form {} vs brute {brute} for {params:?}",
+                params.average_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn distance_examples() {
+        let params = BftParams::paper(64).unwrap();
+        assert_eq!(params.distance(0, 0), 0);
+        assert_eq!(params.distance(0, 1), 2); // same level-1 switch
+        assert_eq!(params.distance(0, 4), 4); // same level-2 block (16 leaves)
+        assert_eq!(params.distance(0, 15), 4);
+        assert_eq!(params.distance(0, 16), 6); // needs the root
+        assert_eq!(params.distance(0, 63), 6);
+        assert_eq!(params.lca_level(5, 5), 0);
+    }
+
+    #[test]
+    fn generalized_trees_build_and_validate() {
+        for (c, p, n) in [(2usize, 1usize, 3u32), (2, 2, 4), (3, 2, 3), (4, 4, 3), (4, 2, 5)] {
+            let params = BftParams::new(c, p, n).unwrap();
+            let tree = ButterflyFatTree::new(params);
+            tree.network().validate().unwrap();
+            assert_eq!(tree.num_processors(), c.pow(n));
+            // Up stations have p servers everywhere below the root.
+            for (l, _, node) in tree.switches() {
+                if l < n {
+                    let st = tree.up_station_of(node).unwrap();
+                    assert_eq!(tree.network().station(st).servers() as usize, p);
+                } else {
+                    assert!(tree.up_station_of(node).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_tree_is_degenerate_but_valid() {
+        let tree = ButterflyFatTree::new(BftParams::new(4, 2, 1).unwrap());
+        assert_eq!(tree.num_processors(), 4);
+        assert_eq!(tree.total_switches(), 1);
+        // No up/down switch channels at all; only inject/eject.
+        assert_eq!(tree.network().num_channels(), 8);
+        assert_eq!(tree.params().average_distance(), 2.0);
+    }
+
+    #[test]
+    fn channel_class_census() {
+        let tree = ButterflyFatTree::new(BftParams::paper(256).unwrap());
+        let mut inject = 0;
+        let mut eject = 0;
+        let mut up = [0usize; 5];
+        let mut down = [0usize; 5];
+        for ch in tree.network().channels() {
+            match ch.class {
+                ChannelClass::Injection => inject += 1,
+                ChannelClass::Ejection => eject += 1,
+                ChannelClass::Up { from } => up[from as usize] += 1,
+                ChannelClass::Down { from } => down[from as usize] += 1,
+                ChannelClass::Dimension { .. } => panic!("no dimension channels in a BFT"),
+            }
+        }
+        assert_eq!(inject, 256);
+        assert_eq!(eject, 256);
+        // Up channels l -> l+1: switches_at(l) * 2.
+        assert_eq!(up[1], 64 * 2);
+        assert_eq!(up[2], 32 * 2);
+        assert_eq!(up[3], 16 * 2);
+        // Down channels from l+1: equal counts.
+        assert_eq!(down[2], up[1]);
+        assert_eq!(down[3], up[2]);
+        assert_eq!(down[4], up[3]);
+    }
+
+    #[test]
+    fn average_distance_1024_value() {
+        // D̄ = (6/1023)·(1 + 8 + 48 + 256 + 1280) = 9558/1023.
+        let params = BftParams::paper(1024).unwrap();
+        assert!((params.average_distance() - 9558.0 / 1023.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Generic shortest-path utilities over [`ChannelNetwork`]s.
+//!
+//! Used by tests and experiments to verify each topology's closed-form
+//! distance arithmetic against plain breadth-first search on the actual
+//! channel graph.
+
+use crate::graph::ChannelNetwork;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first distances (in channels) from `src` to every node.
+///
+/// Unreachable nodes get `usize::MAX`.
+#[must_use]
+pub fn bfs_distances(net: &ChannelNetwork, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; net.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &ch in &net.node(v).out_channels {
+            let w = net.channel(ch).dst;
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest channel distance between two processors (PE to PE, including
+/// the injection and ejection channels), by BFS.
+///
+/// # Panics
+///
+/// Panics if either processor index is out of range.
+#[must_use]
+pub fn processor_distance(net: &ChannelNetwork, src: usize, dst: usize) -> usize {
+    let s = net.processors()[src].node;
+    let d = net.processors()[dst].node;
+    bfs_distances(net, s)[d.index()]
+}
+
+/// Average BFS distance between distinct processor pairs. Exhaustive
+/// (`O(N²)` BFS sources); intended for small validation networks.
+#[must_use]
+pub fn average_processor_distance(net: &ChannelNetwork) -> f64 {
+    let n = net.num_processors();
+    assert!(n > 1, "average distance needs at least two processors");
+    let mut sum = 0usize;
+    for s in 0..n {
+        let dist = bfs_distances(net, net.processors()[s].node);
+        for d in 0..n {
+            if d != s {
+                sum += dist[net.processors()[d].node.index()];
+            }
+        }
+    }
+    sum as f64 / (n * (n - 1)) as f64
+}
+
+/// Network diameter over processor pairs (max shortest PE-to-PE distance).
+#[must_use]
+pub fn processor_diameter(net: &ChannelNetwork) -> usize {
+    let n = net.num_processors();
+    let mut max = 0usize;
+    for s in 0..n {
+        let dist = bfs_distances(net, net.processors()[s].node);
+        for d in 0..n {
+            if d != s {
+                max = max.max(dist[net.processors()[d].node.index()]);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bft::{BftParams, ButterflyFatTree};
+
+    #[test]
+    fn bfs_matches_bft_closed_form_distance() {
+        let params = BftParams::paper(64).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let net = tree.network();
+        for s in [0usize, 3, 17, 42, 63] {
+            for d in [0usize, 1, 15, 16, 62] {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    processor_distance(net, s, d),
+                    params.distance(s, d),
+                    "BFS vs closed form for ({s}, {d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_average_matches_closed_form() {
+        for params in [BftParams::paper(16).unwrap(), BftParams::new(2, 2, 3).unwrap()] {
+            let tree = ButterflyFatTree::new(params);
+            let avg = average_processor_distance(tree.network());
+            assert!(
+                (avg - params.average_distance()).abs() < 1e-12,
+                "BFS {avg} vs closed form {}",
+                params.average_distance()
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_is_twice_levels() {
+        let params = BftParams::paper(64).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        assert_eq!(processor_diameter(tree.network()), 2 * params.levels() as usize);
+    }
+
+    #[test]
+    fn all_nodes_reachable_from_any_processor() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let dist = bfs_distances(tree.network(), NodeId(0));
+        assert!(dist.iter().all(|&d| d != usize::MAX), "BFT must be strongly connected");
+    }
+}

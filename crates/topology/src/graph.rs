@@ -1,0 +1,409 @@
+//! The common channel-graph representation shared by analytical models and
+//! the simulator.
+//!
+//! A [`ChannelNetwork`] is the paper's Figure 1 made concrete: processing
+//! elements attach to routing elements through injection and ejection
+//! channels, and routing elements are joined by network channels grouped
+//! into arbitration [stations](Station).
+
+use crate::ids::{ChannelId, NodeId, StationId};
+
+/// What a node is: a processing element or a routing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A processing element (message source and sink).
+    Processor {
+        /// Dense processor index in `0..num_processors`.
+        index: usize,
+    },
+    /// A routing element (switch).
+    Switch {
+        /// Topology-specific level (butterfly fat-tree: distance from the
+        /// leaves; other topologies may use 0).
+        level: u32,
+        /// Topology-specific address within the level.
+        address: usize,
+    },
+}
+
+/// A node of the network.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Channels leaving this node.
+    pub out_channels: Vec<ChannelId>,
+    /// Channels entering this node.
+    pub in_channels: Vec<ChannelId>,
+}
+
+/// Semantic label of a channel, used for statistics aggregation and for the
+/// per-level equations of the butterfly fat-tree model.
+///
+/// The level conventions follow the paper's `⟨i, j⟩` notation: a channel is
+/// labelled by its starting and ending level, with processors at level 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChannelClass {
+    /// PE → first-level switch (the paper's `⟨0, 1⟩`).
+    Injection,
+    /// First-level switch → PE (the paper's `⟨1, 0⟩`).
+    Ejection,
+    /// Up-going switch channel `⟨from, from+1⟩`.
+    Up {
+        /// Starting level of the channel.
+        from: u32,
+    },
+    /// Down-going switch channel `⟨from, from−1⟩`.
+    Down {
+        /// Starting level of the channel.
+        from: u32,
+    },
+    /// A channel of a topology without the up/down distinction (cubes,
+    /// meshes); the payload is a topology-specific dimension label.
+    Dimension {
+        /// Dimension index the channel travels along.
+        dim: u32,
+    },
+}
+
+impl std::fmt::Display for ChannelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelClass::Injection => write!(f, "<0,1>"),
+            ChannelClass::Ejection => write!(f, "<1,0>"),
+            ChannelClass::Up { from } => write!(f, "<{},{}>", from, from + 1),
+            ChannelClass::Down { from } => write!(f, "<{},{}>", from, from - 1),
+            ChannelClass::Dimension { dim } => write!(f, "dim{dim}"),
+        }
+    }
+}
+
+/// A unidirectional channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Arbitration station this channel belongs to.
+    pub station: StationId,
+    /// Statistics/model class.
+    pub class: ChannelClass,
+}
+
+/// A group of interchangeable output channels served by one FCFS queue.
+///
+/// Single-channel stations model ordinary links; the butterfly fat-tree's
+/// up-link pairs are two-channel stations (the paper's two-server queueing
+/// stations).
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Node whose output this station arbitrates.
+    pub node: NodeId,
+    /// Member channels (`1..=m`, all leaving `node`).
+    pub channels: Vec<ChannelId>,
+}
+
+impl Station {
+    /// Number of servers `m` of this station.
+    #[must_use]
+    pub fn servers(&self) -> u32 {
+        self.channels.len() as u32
+    }
+}
+
+/// Per-processor attachment: the injection and ejection channels that tie a
+/// PE to its routing element (paper Figure 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessorPorts {
+    /// The PE's node id.
+    pub node: NodeId,
+    /// PE → switch channel.
+    pub inject: ChannelId,
+    /// Switch → PE channel.
+    pub eject: ChannelId,
+}
+
+/// A complete network: nodes, channels, stations and PE attachments.
+#[derive(Debug, Clone)]
+pub struct ChannelNetwork {
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+    stations: Vec<Station>,
+    processors: Vec<ProcessorPorts>,
+}
+
+impl ChannelNetwork {
+    /// Creates an empty network; used by topology builders.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { nodes: Vec::new(), channels: Vec::new(), stations: Vec::new(), processors: Vec::new() }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { kind, out_channels: Vec::new(), in_channels: Vec::new() });
+        id
+    }
+
+    /// Adds a channel inside a fresh single-server station and returns its id.
+    pub fn add_channel(&mut self, src: NodeId, dst: NodeId, class: ChannelClass) -> ChannelId {
+        let station = StationId(self.stations.len());
+        self.stations.push(Station { node: src, channels: Vec::new() });
+        self.add_channel_in_station(src, dst, class, station)
+    }
+
+    /// Adds a channel to an existing station (must belong to the same source
+    /// node) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` does not exist or arbitrates a different node.
+    pub fn add_channel_in_station(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: ChannelClass,
+        station: StationId,
+    ) -> ChannelId {
+        assert!(station.index() < self.stations.len(), "station {station} does not exist");
+        assert_eq!(
+            self.stations[station.index()].node, src,
+            "station {station} belongs to a different node"
+        );
+        let id = ChannelId(self.channels.len());
+        self.channels.push(Channel { src, dst, station, class });
+        self.stations[station.index()].channels.push(id);
+        self.nodes[src.index()].out_channels.push(id);
+        self.nodes[dst.index()].in_channels.push(id);
+        id
+    }
+
+    /// Creates an empty station at `node` (channels added later) and returns
+    /// its id.
+    pub fn add_station(&mut self, node: NodeId) -> StationId {
+        let id = StationId(self.stations.len());
+        self.stations.push(Station { node, channels: Vec::new() });
+        id
+    }
+
+    /// Registers a PE's injection/ejection attachment.
+    pub fn add_processor_ports(&mut self, ports: ProcessorPorts) {
+        self.processors.push(ports);
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All channels.
+    #[must_use]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// All stations.
+    #[must_use]
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// All PE attachments, indexed by processor index.
+    #[must_use]
+    pub fn processors(&self) -> &[ProcessorPorts] {
+        &self.processors
+    }
+
+    /// Node lookup.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Channel lookup.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Station lookup.
+    #[must_use]
+    pub fn station(&self, id: StationId) -> &Station {
+        &self.stations[id.index()]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of stations.
+    #[must_use]
+    pub fn num_stations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Structural validation: every channel is registered consistently with
+    /// its endpoints and station, every station is non-empty and
+    /// single-sourced, every PE attachment matches its channels.
+    ///
+    /// Intended for tests and debug assertions in topology builders.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for (idx, ch) in self.channels.iter().enumerate() {
+            let id = ChannelId(idx);
+            if ch.src.index() >= self.nodes.len() || ch.dst.index() >= self.nodes.len() {
+                return Err(format!("channel {id} has out-of-range endpoints"));
+            }
+            if !self.nodes[ch.src.index()].out_channels.contains(&id) {
+                return Err(format!("channel {id} missing from src out_channels"));
+            }
+            if !self.nodes[ch.dst.index()].in_channels.contains(&id) {
+                return Err(format!("channel {id} missing from dst in_channels"));
+            }
+            if ch.station.index() >= self.stations.len() {
+                return Err(format!("channel {id} references missing station"));
+            }
+            if !self.stations[ch.station.index()].channels.contains(&id) {
+                return Err(format!("channel {id} missing from its station member list"));
+            }
+        }
+        for (idx, st) in self.stations.iter().enumerate() {
+            let id = StationId(idx);
+            if st.channels.is_empty() {
+                return Err(format!("station {id} has no channels"));
+            }
+            for &ch in &st.channels {
+                if self.channels[ch.index()].src != st.node {
+                    return Err(format!("station {id} mixes channels from different nodes"));
+                }
+                if self.channels[ch.index()].station != id {
+                    return Err(format!("station {id} contains channel {ch} pointing elsewhere"));
+                }
+            }
+        }
+        for (pi, ports) in self.processors.iter().enumerate() {
+            let inj = self.channel(ports.inject);
+            let ej = self.channel(ports.eject);
+            if inj.src != ports.node {
+                return Err(format!("processor {pi}: inject channel does not leave the PE"));
+            }
+            if ej.dst != ports.node {
+                return Err(format!("processor {pi}: eject channel does not enter the PE"));
+            }
+            if inj.class != ChannelClass::Injection {
+                return Err(format!("processor {pi}: inject channel has class {}", inj.class));
+            }
+            if ej.class != ChannelClass::Ejection {
+                return Err(format!("processor {pi}: eject channel has class {}", ej.class));
+            }
+            match self.node(ports.node).kind {
+                NodeKind::Processor { index } if index == pi => {}
+                _ => return Err(format!("processor {pi}: node kind mismatch")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the minimal Figure-1 network: one PE attached to one switch,
+    /// which loops back to the PE.
+    fn tiny() -> ChannelNetwork {
+        let mut net = ChannelNetwork::empty();
+        let pe = net.add_node(NodeKind::Processor { index: 0 });
+        let sw = net.add_node(NodeKind::Switch { level: 1, address: 0 });
+        let inject = net.add_channel(pe, sw, ChannelClass::Injection);
+        let eject = net.add_channel(sw, pe, ChannelClass::Ejection);
+        net.add_processor_ports(ProcessorPorts { node: pe, inject, eject });
+        net
+    }
+
+    #[test]
+    fn tiny_network_validates() {
+        let net = tiny();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_channels(), 2);
+        assert_eq!(net.num_stations(), 2);
+        assert_eq!(net.num_processors(), 1);
+        net.validate().expect("tiny network must validate");
+    }
+
+    #[test]
+    fn multi_channel_station_groups_up_links() {
+        let mut net = ChannelNetwork::empty();
+        let sw0 = net.add_node(NodeKind::Switch { level: 1, address: 0 });
+        let sw1 = net.add_node(NodeKind::Switch { level: 2, address: 0 });
+        let sw2 = net.add_node(NodeKind::Switch { level: 2, address: 1 });
+        let st = net.add_station(sw0);
+        let up0 = net.add_channel_in_station(sw0, sw1, ChannelClass::Up { from: 1 }, st);
+        let up1 = net.add_channel_in_station(sw0, sw2, ChannelClass::Up { from: 1 }, st);
+        assert_eq!(net.station(st).servers(), 2);
+        assert_eq!(net.station(st).channels, vec![up0, up1]);
+        assert_eq!(net.channel(up0).station, st);
+        assert_eq!(net.channel(up1).station, st);
+        net.validate().expect("station network must validate");
+    }
+
+    #[test]
+    #[should_panic(expected = "different node")]
+    fn station_rejects_foreign_channels() {
+        let mut net = ChannelNetwork::empty();
+        let a = net.add_node(NodeKind::Switch { level: 1, address: 0 });
+        let b = net.add_node(NodeKind::Switch { level: 1, address: 1 });
+        let st = net.add_station(a);
+        let _ = net.add_channel_in_station(b, a, ChannelClass::Up { from: 1 }, st);
+    }
+
+    #[test]
+    fn empty_station_fails_validation() {
+        let mut net = tiny();
+        let sw = NodeId(1);
+        let _ = net.add_station(sw);
+        let err = net.validate().unwrap_err();
+        assert!(err.contains("no channels"));
+    }
+
+    #[test]
+    fn class_display_matches_paper_notation() {
+        assert_eq!(ChannelClass::Injection.to_string(), "<0,1>");
+        assert_eq!(ChannelClass::Ejection.to_string(), "<1,0>");
+        assert_eq!(ChannelClass::Up { from: 2 }.to_string(), "<2,3>");
+        assert_eq!(ChannelClass::Down { from: 3 }.to_string(), "<3,2>");
+        assert_eq!(ChannelClass::Dimension { dim: 1 }.to_string(), "dim1");
+    }
+
+    #[test]
+    fn node_adjacency_is_tracked() {
+        let net = tiny();
+        let pe = NodeId(0);
+        let sw = NodeId(1);
+        assert_eq!(net.node(pe).out_channels.len(), 1);
+        assert_eq!(net.node(pe).in_channels.len(), 1);
+        assert_eq!(net.node(sw).out_channels.len(), 1);
+        assert_eq!(net.node(sw).in_channels.len(), 1);
+        assert_eq!(net.channel(net.node(pe).out_channels[0]).dst, sw);
+    }
+}

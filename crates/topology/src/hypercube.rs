@@ -1,0 +1,183 @@
+//! The binary hypercube, substrate of the Draper–Ghosh baseline model.
+//!
+//! A `d`-dimensional hypercube is a *direct* network: each of the `2^d`
+//! nodes is a processing element co-located with a routing element. In the
+//! common [`ChannelNetwork`] representation the PE and RE are separate nodes
+//! joined by injection/ejection channels (paper Figure 1 treats direct and
+//! indirect networks uniformly this way).
+//!
+//! Routing is **e-cube** (dimension order, lowest differing bit first),
+//! which is deadlock-free on the hypercube without virtual channels.
+
+use crate::graph::{ChannelClass, ChannelNetwork, NodeKind, ProcessorPorts};
+use crate::ids::{ChannelId, NodeId};
+
+/// A `d`-dimensional binary hypercube with `2^d` processors.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    dim: u32,
+    network: ChannelNetwork,
+    /// `neighbor_channel[v][k]` = channel from switch `v` towards the switch
+    /// whose address differs in bit `k`.
+    neighbor_channel: Vec<Vec<ChannelId>>,
+    /// Switch node of address `v` (processors occupy node ids `0..2^d`).
+    switch_node: Vec<NodeId>,
+}
+
+impl Hypercube {
+    /// Builds a hypercube of dimension `dim` (`1..=20`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is 0 or the network would be absurdly large.
+    #[must_use]
+    pub fn new(dim: u32) -> Self {
+        assert!((1..=20).contains(&dim), "hypercube dimension must be in 1..=20");
+        let n = 1usize << dim;
+        let mut network = ChannelNetwork::empty();
+        for x in 0..n {
+            let id = network.add_node(NodeKind::Processor { index: x });
+            debug_assert_eq!(id.index(), x);
+        }
+        let switch_node: Vec<NodeId> =
+            (0..n).map(|x| network.add_node(NodeKind::Switch { level: 0, address: x })).collect();
+        for (x, &sw) in switch_node.iter().enumerate() {
+            let inject = network.add_channel(NodeId(x), sw, ChannelClass::Injection);
+            let eject = network.add_channel(sw, NodeId(x), ChannelClass::Ejection);
+            network.add_processor_ports(ProcessorPorts { node: NodeId(x), inject, eject });
+        }
+        let mut neighbor_channel = vec![Vec::with_capacity(dim as usize); n];
+        for x in 0..n {
+            for k in 0..dim {
+                let y = x ^ (1usize << k);
+                let ch = network.add_channel(
+                    switch_node[x],
+                    switch_node[y],
+                    ChannelClass::Dimension { dim: k },
+                );
+                neighbor_channel[x].push(ch);
+            }
+        }
+        debug_assert_eq!(network.validate(), Ok(()));
+        Self { dim, network, neighbor_channel, switch_node }
+    }
+
+    /// Dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of processors `2^d`.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// The underlying channel network.
+    #[must_use]
+    pub fn network(&self) -> &ChannelNetwork {
+        &self.network
+    }
+
+    /// Switch node of address `x`.
+    #[must_use]
+    pub fn switch(&self, x: usize) -> NodeId {
+        self.switch_node[x]
+    }
+
+    /// Address of a switch node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is not a switch.
+    #[must_use]
+    pub fn switch_address(&self, node: NodeId) -> usize {
+        match self.network.node(node).kind {
+            NodeKind::Switch { address, .. } => address,
+            NodeKind::Processor { .. } => panic!("{node} is a processor"),
+        }
+    }
+
+    /// E-cube routing: the channel a worm at switch `node` takes towards
+    /// destination processor `dest`, or `None` when it should eject here.
+    #[must_use]
+    pub fn route(&self, node: NodeId, dest: usize) -> Option<ChannelId> {
+        let here = self.switch_address(node);
+        let diff = here ^ dest;
+        if diff == 0 {
+            return None;
+        }
+        let k = diff.trailing_zeros();
+        Some(self.neighbor_channel[here][k as usize])
+    }
+
+    /// Hop distance between processors (Hamming distance), in switch-to-
+    /// switch channels; add 2 for injection and ejection.
+    #[must_use]
+    pub fn hop_distance(src: usize, dst: usize) -> u32 {
+        (src ^ dst).count_ones()
+    }
+
+    /// Average channel distance between distinct processors (including
+    /// injection and ejection): `d·2^(d−1)/(2^d − 1) + 2`.
+    #[must_use]
+    pub fn average_distance(&self) -> f64 {
+        let n = (1usize << self.dim) as f64;
+        f64::from(self.dim) * (n / 2.0) / (n - 1.0) + 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance;
+
+    #[test]
+    fn shape_and_validation() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.num_processors(), 16);
+        // Channels: 16 inject + 16 eject + 16·4 dimension links.
+        assert_eq!(h.network().num_channels(), 32 + 64);
+        h.network().validate().unwrap();
+    }
+
+    #[test]
+    fn ecube_routes_by_lowest_bit() {
+        let h = Hypercube::new(3);
+        // From 0b000 to 0b110: first hop flips bit 1 (lowest differing).
+        let ch = h.route(h.switch(0), 6).unwrap();
+        assert_eq!(h.switch_address(h.network().channel(ch).dst), 0b010);
+        // At destination: eject.
+        assert!(h.route(h.switch(6), 6).is_none());
+    }
+
+    #[test]
+    fn ecube_path_length_is_hamming_distance() {
+        let h = Hypercube::new(4);
+        for (s, d) in [(0usize, 15usize), (3, 12), (7, 7), (5, 10)] {
+            let mut cur = h.switch(s);
+            let mut hops = 0;
+            while let Some(ch) = h.route(cur, d) {
+                cur = h.network().channel(ch).dst;
+                hops += 1;
+                assert!(hops <= 4, "e-cube must terminate");
+            }
+            assert_eq!(hops, Hypercube::hop_distance(s, d));
+            assert_eq!(h.switch_address(cur), d);
+        }
+    }
+
+    #[test]
+    fn average_distance_matches_bfs() {
+        let h = Hypercube::new(3);
+        let avg = distance::average_processor_distance(h.network());
+        assert!((avg - h.average_distance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_is_dim_plus_two() {
+        let h = Hypercube::new(3);
+        assert_eq!(distance::processor_diameter(h.network()), 3 + 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Strongly-typed index newtypes for nodes, channels and stations.
+//!
+//! All three are dense `usize` indices into the vectors of a
+//! [`crate::graph::ChannelNetwork`]; the newtypes exist so the type system
+//! keeps the three index spaces from being mixed up.
+
+use std::fmt;
+
+/// Index of a node (PE or switch) within a [`crate::graph::ChannelNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a unidirectional channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub usize);
+
+/// Index of an arbitration station (a group of interchangeable output
+/// channels served by one FCFS queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StationId(pub usize);
+
+macro_rules! impl_id {
+    ($t:ident, $tag:literal) => {
+        impl $t {
+            /// Returns the raw index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+        impl From<usize> for $t {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "n");
+impl_id!(ChannelId, "ch");
+impl_id!(StationId, "st");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_display() {
+        assert_eq!(NodeId::from(7).index(), 7);
+        assert_eq!(ChannelId::from(3).index(), 3);
+        assert_eq!(StationId::from(0).index(), 0);
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(ChannelId(3).to_string(), "ch3");
+        assert_eq!(StationId(12).to_string(), "st12");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(NodeId(1) < NodeId(2));
+        let set: HashSet<ChannelId> = [ChannelId(1), ChannelId(1), ChannelId(2)].into();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Rendering of topologies to GraphViz DOT and terminal ASCII, used to
+//! regenerate the paper's Figure 2 (the 64-processor butterfly fat-tree).
+
+use crate::bft::ButterflyFatTree;
+use crate::graph::{ChannelClass, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders a butterfly fat-tree as GraphViz DOT (one edge per up/down
+/// channel pair, processors as boxes, switches ranked by level).
+#[must_use]
+pub fn bft_to_dot(tree: &ButterflyFatTree) -> String {
+    let net = tree.network();
+    let mut out = String::new();
+    out.push_str("digraph bft {\n  rankdir=BT;\n  node [shape=circle];\n");
+    // Rank groups per level.
+    let n = tree.num_levels();
+    let _ = writeln!(out, "  {{ rank=same; {} }}",
+        (0..tree.num_processors()).map(|x| format!("P{x}")).collect::<Vec<_>>().join("; "));
+    for l in 1..=n {
+        let names: Vec<String> =
+            (0..tree.switches_at_level(l)).map(|a| format!("S{l}_{a}")).collect();
+        let _ = writeln!(out, "  {{ rank=same; {} }}", names.join("; "));
+    }
+    for x in 0..tree.num_processors() {
+        let _ = writeln!(out, "  P{x} [shape=box,label=\"P{x}\"];");
+    }
+    for (l, a, _) in tree.switches() {
+        let _ = writeln!(out, "  S{l}_{a} [label=\"S({l},{a})\"];");
+    }
+    for ch in net.channels() {
+        // Draw each bidirectional pair once, from the lower node upward.
+        match ch.class {
+            ChannelClass::Injection => {
+                let (src, dst) = (ch.src, ch.dst);
+                let x = src.index();
+                if let NodeKind::Switch { level, address } = net.node(dst).kind {
+                    let _ = writeln!(out, "  P{x} -> S{level}_{address} [dir=both];");
+                }
+            }
+            ChannelClass::Up { from } => {
+                if let (NodeKind::Switch { address: a, .. }, NodeKind::Switch { level: pl, address: pa }) =
+                    (net.node(ch.src).kind, net.node(ch.dst).kind)
+                {
+                    let _ = writeln!(out, "  S{from}_{a} -> S{pl}_{pa} [dir=both];");
+                }
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a small butterfly fat-tree as ASCII art: one row per level, with
+/// per-switch parent lists (a textual Figure 2).
+#[must_use]
+pub fn bft_to_ascii(tree: &ButterflyFatTree) -> String {
+    let net = tree.network();
+    let mut out = String::new();
+    let n = tree.num_levels();
+    let _ = writeln!(
+        out,
+        "Butterfly fat-tree (c={}, p={}, n={}): {} processors, {} switches",
+        tree.params().children(),
+        tree.params().parents(),
+        n,
+        tree.num_processors(),
+        tree.total_switches()
+    );
+    for l in (1..=n).rev() {
+        let _ = write!(out, "level {l}: ");
+        for a in 0..tree.switches_at_level(l) {
+            let node = tree.switch(l, a);
+            let ups = tree.up_channels_of(node);
+            if ups.is_empty() {
+                let _ = write!(out, "S({l},{a})[root] ");
+            } else {
+                let parents: Vec<String> = ups
+                    .iter()
+                    .map(|&ch| {
+                        let (pl, pa) = tree.switch_coords(net.channel(ch).dst);
+                        format!("S({pl},{pa})")
+                    })
+                    .collect();
+                let _ = write!(out, "S({l},{a})->{{{}}} ", parents.join(","));
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "level 0: P0..P{} (processor x attaches to S(1, x/{}))",
+        tree.num_processors() - 1, tree.params().children());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bft::BftParams;
+
+    #[test]
+    fn dot_output_contains_every_switch_and_processor() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let dot = bft_to_dot(&tree);
+        assert!(dot.starts_with("digraph bft {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for x in 0..16 {
+            assert!(dot.contains(&format!("P{x} [shape=box")), "missing P{x}");
+        }
+        for (l, a, _) in tree.switches() {
+            assert!(dot.contains(&format!("S{l}_{a} [label")), "missing S({l},{a})");
+        }
+        // One bidirectional edge per injection and per up channel:
+        // 16 inject edges + (level 1: 4 switches × 2 parents) up channels.
+        let edge_count = dot.matches("[dir=both]").count();
+        assert_eq!(edge_count, 16 + 4 * 2);
+    }
+
+    #[test]
+    fn ascii_output_mentions_roots_and_parents() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let art = bft_to_ascii(&tree);
+        assert!(art.contains("64 processors"));
+        assert!(art.contains("[root]"));
+        assert!(art.contains("S(1,0)->{S(2,0),S(2,1)}"));
+        assert!(art.contains("level 0: P0..P63"));
+    }
+}

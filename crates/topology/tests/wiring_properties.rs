@@ -1,0 +1,136 @@
+//! Property-based tests of the butterfly fat-tree wiring (paper §3.1) for
+//! arbitrary (c, p, n) — the structural theorems the routing model relies
+//! on must hold for every parameterization, not just the paper's (4, 2).
+
+use proptest::prelude::*;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree, RouteChoice};
+use wormsim_topology::distance;
+use wormsim_topology::graph::NodeKind;
+
+fn params() -> impl Strategy<Value = BftParams> {
+    (2usize..=5, 1usize..=3, 1u32..=4).prop_filter_map("valid and small", |(c, p, n)| {
+        let params = BftParams::new(c, p, n).ok()?;
+        (params.num_processors() <= 700 && params.total_switches() <= 900).then_some(params)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn networks_always_validate(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        prop_assert!(tree.network().validate().is_ok());
+    }
+
+    #[test]
+    fn every_switch_has_full_ports(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        for (l, _, node) in tree.switches() {
+            prop_assert_eq!(tree.down_channels_of(node).len(), p.children());
+            if l < p.levels() {
+                prop_assert_eq!(tree.up_channels_of(node).len(), p.parents());
+            } else {
+                prop_assert!(tree.up_channels_of(node).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parent_blocks_nest_child_blocks(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        let net = tree.network();
+        for (l, a, node) in tree.switches() {
+            let g = tree.group(l, a);
+            let block = p.children().pow(l);
+            for &up in tree.up_channels_of(node) {
+                let (pl, pa) = tree.switch_coords(net.channel(up).dst);
+                prop_assert_eq!(pl, l + 1);
+                // Spot-check the boundaries of the child's leaf block.
+                for d in [g * block, (g + 1) * block - 1] {
+                    prop_assert!(tree.subtree_contains(pl, pa, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_walk_reaches_every_sampled_destination(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        let net = tree.network();
+        let n = p.num_processors();
+        // Sample a handful of pairs; walking the route (always taking the
+        // first up channel of a bundle) must reach the destination in
+        // exactly distance(src, dst) channels.
+        let pairs = [(0usize, n - 1), (n / 2, 0), (1.min(n - 1), n / 2)];
+        for (src, dst) in pairs {
+            if src == dst {
+                continue;
+            }
+            let mut node = net.channel(net.processors()[src].inject).dst;
+            let mut hops = 1usize;
+            loop {
+                let ch = match tree.route(node, dst) {
+                    RouteChoice::Down(ch) => ch,
+                    RouteChoice::Up(st) => net.station(st).channels[0],
+                };
+                node = net.channel(ch).dst;
+                hops += 1;
+                match net.node(node).kind {
+                    NodeKind::Processor { index } => {
+                        prop_assert_eq!(index, dst);
+                        break;
+                    }
+                    NodeKind::Switch { .. } => {
+                        prop_assert!(hops <= 2 * p.levels() as usize,
+                            "walk exceeded the diameter");
+                    }
+                }
+            }
+            prop_assert_eq!(hops, p.distance(src, dst));
+        }
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs_on_samples(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        let net = tree.network();
+        let n = p.num_processors();
+        for src in [0usize, n - 1] {
+            let d = distance::bfs_distances(net, net.processors()[src].node);
+            for dst in [0usize, n / 3, n - 1] {
+                if src == dst {
+                    continue;
+                }
+                prop_assert_eq!(
+                    d[net.processors()[dst].node.index()],
+                    p.distance(src, dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_up_is_decreasing_and_boundary_exact(p in params()) {
+        let mut prev = 1.0 + 1e-12;
+        for l in 0..=p.levels() {
+            let v = p.p_up(l);
+            prop_assert!(v <= prev);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        prop_assert!(p.p_up(p.levels()).abs() < 1e-15);
+        prop_assert!((p.p_up(0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn channel_census_matches_formulas(p in params()) {
+        let tree = ButterflyFatTree::new(p);
+        let n = p.num_processors();
+        let mut expected = 2 * n; // inject + eject
+        for l in 1..p.levels() {
+            expected += 2 * p.switches_at_level(l) * p.parents();
+        }
+        prop_assert_eq!(tree.network().num_channels(), expected);
+    }
+}

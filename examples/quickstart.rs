@@ -1,0 +1,53 @@
+//! Quickstart: model a butterfly fat-tree, then check the prediction
+//! against the flit-level simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wormsim::prelude::*;
+use wormsim::sim::config::{SimConfig, TrafficConfig};
+use wormsim::sim::router::BftRouter;
+use wormsim::sim::runner::run_simulation;
+
+fn main() {
+    // The paper's Figure 2 network: 64 processors, (c, p) = (4, 2).
+    let params = BftParams::paper(64).expect("64 = 4^3");
+    println!(
+        "butterfly fat-tree: N={}, levels={}, average distance {:.3} channels",
+        params.num_processors(),
+        params.levels(),
+        params.average_distance()
+    );
+
+    // Analytical model (paper §3) for 16-flit worms.
+    let model = BftModel::new(params, 16.0);
+    let load = 0.02; // flits/cycle/PE — Figure 3's x-axis units
+    let lat = model.latency_at_flit_load(load).expect("below saturation");
+    println!(
+        "\nmodel   @ {load} flits/cyc/PE: latency {:.2} cycles \
+         (W01 {:.2} + x01 {:.2} + D-1 {:.2})",
+        lat.total,
+        lat.w_injection,
+        lat.x_injection,
+        lat.avg_distance - 1.0
+    );
+
+    // The same operating point, simulated flit by flit.
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let cfg = SimConfig::quick();
+    let result = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(load, 16));
+    println!(
+        "sim     @ {load} flits/cyc/PE: latency {:.2} ± {:.2} cycles ({} messages)",
+        result.avg_latency, result.latency_ci95, result.messages_completed
+    );
+    println!(
+        "model error: {:+.1}%",
+        100.0 * (lat.total - result.avg_latency) / result.avg_latency
+    );
+
+    // Where does the network run out of steam?
+    let sat = model.saturation_flit_load().expect("model saturates");
+    println!("\nmodel saturation: {sat:.4} flits/cycle/PE ({:.2}% of a flit/cycle)", sat * 100.0);
+}

@@ -1,0 +1,47 @@
+//! Explore butterfly fat-tree topologies: the wiring of paper §3.1 (and
+//! Figure 2) for any (c, p, n), as ASCII art and GraphViz DOT.
+//!
+//! ```text
+//! cargo run --example topology_explorer                  # Figure 2 (N=64)
+//! cargo run --example topology_explorer -- 4 2 2         # (c,p,n)=(4,2,2)
+//! cargo run --example topology_explorer -- 4 4 2 --dot   # emit DOT too
+//! ```
+
+use wormsim::prelude::*;
+use wormsim::topology::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let (c, p, n) = match nums.as_slice() {
+        [c, p, n] => (*c, *p, *n as u32),
+        [] => (4, 2, 3), // the paper's Figure 2
+        _ => {
+            eprintln!("usage: topology_explorer [children parents levels] [--dot]");
+            std::process::exit(1);
+        }
+    };
+    let want_dot = args.iter().any(|a| a == "--dot");
+
+    let params = match BftParams::new(c, p, n) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tree = ButterflyFatTree::new(params);
+
+    println!("{}", render::bft_to_ascii(&tree));
+    println!("channels: {}", tree.network().num_channels());
+    println!("stations: {}", tree.network().num_stations());
+    println!("average distance: {:.4} channels", params.average_distance());
+    println!("diameter: {} channels", 2 * params.levels());
+    for l in 0..params.levels() {
+        println!("P(up) at level {l}: {:.4}", params.p_up(l));
+    }
+
+    if want_dot {
+        println!("\n--- GraphViz DOT ---\n{}", render::bft_to_dot(&tree));
+    }
+}

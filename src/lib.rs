@@ -1,0 +1,62 @@
+//! # wormsim — wormhole-routed network performance modeling and simulation
+//!
+//! `wormsim` is a faithful, production-quality reproduction of
+//!
+//! > Ronald I. Greenberg and Lee Guan, *An Improved Analytical Model for
+//! > Wormhole Routed Networks with Application to Butterfly Fat-Trees*,
+//! > Proc. ICPP 1997, pp. 44–48.
+//!
+//! It bundles four subsystems behind one facade:
+//!
+//! * [`queueing`] — M/G/1, M/M/m and M/G/m queueing theory plus the paper's
+//!   wormhole corrections (service-variance surrogate, blocking probability).
+//! * [`topology`] — butterfly fat-trees (generalized `(c, p)` form), binary
+//!   hypercubes and k-ary n-meshes as channel graphs.
+//! * [`model`] — the paper's analytical model: the general framework of §2,
+//!   the closed-form butterfly fat-tree instantiation of §3, baseline models
+//!   and ablations.
+//! * [`sim`] — a cycle-accurate flit-level wormhole-routing simulator used
+//!   to validate the model exactly as the paper does.
+//! * [`experiments`] — the harness regenerating every figure and table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wormsim::prelude::*;
+//!
+//! // The paper's headline configuration: 1024 processors, 32-flit worms.
+//! let net = BftParams::paper(1024).unwrap();
+//! let model = BftModel::new(net, 32.0);
+//!
+//! // Average latency at 0.02 flits/cycle/processor offered load.
+//! let lat = model.latency_at_flit_load(0.02).unwrap();
+//! assert!(lat.total > 0.0);
+//!
+//! // Saturation throughput (flits/cycle/processor).
+//! let sat = model.saturation_flit_load().unwrap();
+//! assert!(sat > 0.02);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wormsim_core as model;
+pub use wormsim_experiments as experiments;
+pub use wormsim_queueing as queueing;
+pub use wormsim_sim as sim;
+pub use wormsim_topology as topology;
+
+/// Commonly used types, re-exported for `use wormsim::prelude::*`.
+pub mod prelude {
+    pub use wormsim_core::bft::{BftModel, ChannelAudit, LatencyBreakdown};
+    pub use wormsim_core::enumerate::{enumerate_deterministic, EnumeratedModel};
+    pub use wormsim_core::options::{ModelOptions, ScvMode};
+    pub use wormsim_core::throughput::SaturationPoint;
+    pub use wormsim_core::ModelError;
+    pub use wormsim_queueing::{QueueingError, ServiceMoments};
+    pub use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
+    pub use wormsim_sim::runner::{
+        find_saturation, replicate, run_simulation, sweep_flit_loads, SimResult,
+    };
+    pub use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+    pub use wormsim_topology::{ChannelClass, ChannelNetwork};
+}

@@ -1,0 +1,44 @@
+//! End-to-end smoke tests of the experiment harness: every registered
+//! experiment must run in quick mode and produce a non-trivial report (this
+//! is what `repro all --quick` executes).
+
+use wormsim::experiments::{run_by_name, ExperimentContext, EXPERIMENTS};
+
+#[test]
+fn every_registered_experiment_runs_in_quick_mode() {
+    let ctx = ExperimentContext::quick();
+    for (id, _, _) in EXPERIMENTS {
+        let out = run_by_name(id, &ctx).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(&out.name, id);
+        assert!(
+            out.report.len() > 100,
+            "{id}: report suspiciously short:\n{}",
+            out.report
+        );
+    }
+}
+
+#[test]
+fn csv_artifacts_are_written_when_requested() {
+    let dir = std::env::temp_dir().join(format!("wormsim_exp_{}", std::process::id()));
+    let ctx = ExperimentContext {
+        quick: true,
+        out_dir: Some(dir.clone()),
+        seed: 1,
+    };
+    let out = run_by_name("channel-audit", &ctx).unwrap();
+    assert!(!out.artifacts.is_empty(), "channel-audit should emit CSV");
+    for artifact in &out.artifacts {
+        let content = std::fs::read_to_string(artifact).unwrap();
+        assert!(content.lines().count() > 1, "artifact {artifact:?} is empty");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig2_is_deterministic_text() {
+    let ctx = ExperimentContext::quick();
+    let a = run_by_name("fig2", &ctx).unwrap();
+    let b = run_by_name("fig2", &ctx).unwrap();
+    assert_eq!(a.report, b.report);
+}

@@ -1,0 +1,122 @@
+//! The reproduction's headline claim (paper Figure 3): the analytical model
+//! tracks the flit-level simulator closely over a wide range of load.
+
+use wormsim::prelude::*;
+use wormsim::sim::config::{SimConfig, TrafficConfig};
+use wormsim::sim::router::BftRouter;
+use wormsim::sim::runner::run_simulation;
+
+fn quick_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 3_000,
+        measure_cycles: 20_000,
+        drain_cap_cycles: 60_000,
+        seed,
+        batches: 8,
+    }
+}
+
+#[test]
+fn zero_load_latency_is_exact() {
+    // At vanishing load every message sails through unblocked and both
+    // model and simulation must produce s + D̄ − 1 (up to Monte-Carlo
+    // noise in the distance distribution).
+    for (n, s) in [(16usize, 16u32), (64, 32)] {
+        let params = BftParams::paper(n).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let model = BftModel::new(params, f64::from(s));
+        let expect = model.latency_at_message_rate(0.0).unwrap().total;
+        let result =
+            run_simulation(&router, &quick_cfg(3), &TrafficConfig::new(0.0002, s));
+        assert!(!result.saturated);
+        assert!(
+            (result.avg_latency - expect).abs() < 1.0,
+            "N={n} s={s}: sim {} vs model {expect}",
+            result.avg_latency
+        );
+    }
+}
+
+#[test]
+fn model_tracks_simulation_at_moderate_load() {
+    // Mid-range loads (paper: "agree very closely over a wide range of
+    // load rate"): demand ≤ 5% relative error away from the knee.
+    let cases = [
+        (64usize, 16u32, 0.02f64),
+        (64, 32, 0.04),
+        (256, 16, 0.015),
+        (256, 32, 0.02),
+    ];
+    for (n, s, load) in cases {
+        let params = BftParams::paper(n).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let model = BftModel::new(params, f64::from(s));
+        let m = model.latency_at_flit_load(load).unwrap().total;
+        let r = run_simulation(&router, &quick_cfg(11), &TrafficConfig::from_flit_load(load, s));
+        assert!(!r.saturated, "N={n} s={s} load={load} saturated unexpectedly");
+        let err = (m - r.avg_latency).abs() / r.avg_latency;
+        assert!(
+            err < 0.05,
+            "N={n} s={s} load={load}: model {m:.2} vs sim {:.2} ({:.1}% off)",
+            r.avg_latency,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn model_is_conservative_near_the_knee() {
+    // Close to saturation the model over-predicts latency (visible in
+    // Figure 3 as the model curve bending up first). Check sign, not size.
+    let params = BftParams::paper(256).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let model = BftModel::new(params, 32.0);
+    let knee = model.saturation_flit_load().unwrap();
+    let load = knee * 0.88;
+    let m = model.latency_at_flit_load(load).unwrap().total;
+    let r = run_simulation(&router, &quick_cfg(17), &TrafficConfig::from_flit_load(load, 32));
+    assert!(!r.saturated);
+    assert!(
+        m > r.avg_latency * 0.97,
+        "near the knee the model must not be optimistic: model {m:.2} vs sim {:.2}",
+        r.avg_latency
+    );
+}
+
+#[test]
+fn latency_curves_are_ordered_by_worm_length() {
+    // Figure 3's curve ordering: longer worms, higher latency, at equal
+    // flit load.
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let mut prev = 0.0;
+    for s in [16u32, 32, 64] {
+        let r = run_simulation(&router, &quick_cfg(23), &TrafficConfig::from_flit_load(0.02, s));
+        assert!(!r.saturated);
+        assert!(r.avg_latency > prev, "s={s}: {} not above {prev}", r.avg_latency);
+        prev = r.avg_latency;
+    }
+}
+
+#[test]
+fn injection_wait_matches_model_w01() {
+    // The source-queue wait W₀,₁ is directly comparable (Eq. 24, M/G/1).
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let model = BftModel::new(params, 16.0);
+    let traffic = TrafficConfig::from_flit_load(0.06, 16);
+    let audit = model.audit_at_message_rate(traffic.message_rate).unwrap();
+    let r = run_simulation(&router, &quick_cfg(29), &traffic);
+    assert!(!r.saturated);
+    let w_model = audit.w_up[0];
+    let w_sim = r.injection_wait_mean;
+    assert!(
+        (w_model - w_sim).abs() < 0.35 * w_sim.max(1.0),
+        "W01 model {w_model:.3} vs sim {w_sim:.3}"
+    );
+}
