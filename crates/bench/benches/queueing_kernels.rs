@@ -15,8 +15,7 @@ fn bench_kernels(c: &mut Criterion) {
 
     group.bench_function("hokstad_mg2", |b| {
         b.iter(|| {
-            mgm::hokstad_mg2_waiting_time(black_box(0.05), black_box(18.0), black_box(0.4))
-                .unwrap()
+            mgm::hokstad_mg2_waiting_time(black_box(0.05), black_box(18.0), black_box(0.4)).unwrap()
         })
     });
 

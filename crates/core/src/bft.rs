@@ -85,8 +85,15 @@ impl BftModel {
     /// Model with explicit (possibly ablated) options.
     #[must_use]
     pub fn with_options(params: BftParams, worm_flits: f64, options: ModelOptions) -> Self {
-        assert!(worm_flits > 0.0 && worm_flits.is_finite(), "worm length must be positive");
-        Self { params, worm_flits, options }
+        assert!(
+            worm_flits > 0.0 && worm_flits.is_finite(),
+            "worm length must be positive"
+        );
+        Self {
+            params,
+            worm_flits,
+            options,
+        }
     }
 
     /// The topology parameters.
@@ -196,7 +203,13 @@ impl BftModel {
         let nl = n as usize;
 
         let lambda_down: Vec<f64> = (0..=nl)
-            .map(|l| if l == 0 { 0.0 } else { self.lambda_down(l as u32, lambda0) })
+            .map(|l| {
+                if l == 0 {
+                    0.0
+                } else {
+                    self.lambda_down(l as u32, lambda0)
+                }
+            })
             .collect();
         let lambda_up: Vec<f64> = (0..nl).map(|l| self.lambda_up(l as u32, lambda0)).collect();
 
@@ -256,7 +269,14 @@ impl BftModel {
             x_up[0] = x_down[1] + pb * w_down[1];
         }
 
-        Ok(ChannelAudit { lambda_down, x_down, w_down, lambda_up, x_up, w_up })
+        Ok(ChannelAudit {
+            lambda_down,
+            x_down,
+            w_down,
+            lambda_up,
+            x_up,
+            w_up,
+        })
     }
 
     /// Average latency at source message rate `lambda0` (Eq. 25).
@@ -269,7 +289,12 @@ impl BftModel {
         let w = audit.w_up[0];
         let x = audit.x_up[0];
         let d = self.params.average_distance();
-        Ok(LatencyBreakdown { w_injection: w, x_injection: x, avg_distance: d, total: w + x + d - 1.0 })
+        Ok(LatencyBreakdown {
+            w_injection: w,
+            x_injection: x,
+            avg_distance: d,
+            total: w + x + d - 1.0,
+        })
     }
 
     /// Average latency at a *flit* load (flits/cycle/PE, the paper's
@@ -364,8 +389,7 @@ mod tests {
         let l0 = 0.001;
         // λ_{l,l+1} = λ0 (4^n − 4^l)/(4^n − 1) 2^l.
         for l in 1..5u32 {
-            let expect =
-                l0 * ((1024.0 - 4f64.powi(l as i32)) / 1023.0) * 2f64.powi(l as i32);
+            let expect = l0 * ((1024.0 - 4f64.powi(l as i32)) / 1023.0) * 2f64.powi(l as i32);
             assert!((m.lambda_up(l, l0) - expect).abs() < 1e-15, "level {l}");
             assert!((m.lambda_down(l + 1, l0) - expect).abs() < 1e-15);
         }
@@ -382,8 +406,7 @@ mod tests {
         // Eq. 16: ejection service is exactly s.
         assert_eq!(a.x_down[1], 16.0);
         // Eq. 17 with deterministic service at the floor: W = M/D/1 wait.
-        let w_expected =
-            wormsim_queueing::mg1::waiting_time(0.001, 16.0, 0.0).unwrap();
+        let w_expected = wormsim_queueing::mg1::waiting_time(0.001, 16.0, 0.0).unwrap();
         assert!((a.w_down[1] - w_expected).abs() < 1e-12);
         // Down chain grows monotonically (each level adds waiting).
         for l in 1..4 {
@@ -419,8 +442,8 @@ mod tests {
         assert!((a.x_up[1] - x12).abs() < 1e-12);
         // Eq. 21 with margin correction: two-server wait at combined 2λ.
         let lam2 = 2.0 * lam_u1;
-        let w12 = lam2 * lam2 * x12.powi(3) / (2.0 * (4.0 - lam2 * lam2 * x12 * x12))
-            * (1.0 + scv(x12));
+        let w12 =
+            lam2 * lam2 * x12.powi(3) / (2.0 * (4.0 - lam2 * lam2 * x12 * x12)) * (1.0 + scv(x12));
         assert!((a.w_up[1] - w12).abs() < 1e-12, "{} vs {w12}", a.w_up[1]);
 
         // Eq. 22 for ⟨0,1⟩ then Eq. 24.
@@ -456,7 +479,11 @@ mod tests {
         assert!((sat.flit_load - sat.message_rate * 16.0).abs() < 1e-12);
         // The knee should land in Figure 3's neighbourhood (order 0.03–0.10
         // flits/cycle/PE for a 1024-node tree).
-        assert!(sat.flit_load > 0.01 && sat.flit_load < 0.2, "knee at {}", sat.flit_load);
+        assert!(
+            sat.flit_load > 0.01 && sat.flit_load < 0.2,
+            "knee at {}",
+            sat.flit_load
+        );
     }
 
     #[test]
@@ -486,8 +513,18 @@ mod tests {
         let prior = BftModel::with_options(params, 32.0, ModelOptions::prior_art())
             .latency_at_flit_load(load)
             .unwrap();
-        assert!(a1.total > paper.total, "A1 {} vs paper {}", a1.total, paper.total);
-        assert!(a2.total > paper.total, "A2 {} vs paper {}", a2.total, paper.total);
+        assert!(
+            a1.total > paper.total,
+            "A1 {} vs paper {}",
+            a1.total,
+            paper.total
+        );
+        assert!(
+            a2.total > paper.total,
+            "A2 {} vs paper {}",
+            a2.total,
+            paper.total
+        );
         assert!(prior.total >= a1.total.max(a2.total) * 0.999);
     }
 
@@ -498,10 +535,15 @@ mod tests {
             BftModel::with_options(
                 params,
                 32.0,
-                ModelOptions { scv, ..ModelOptions::paper() },
+                ModelOptions {
+                    scv,
+                    ..ModelOptions::paper()
+                },
             )
         };
-        let det = mk(ScvMode::Deterministic).latency_at_flit_load(0.02).unwrap();
+        let det = mk(ScvMode::Deterministic)
+            .latency_at_flit_load(0.02)
+            .unwrap();
         let worm = mk(ScvMode::Wormhole).latency_at_flit_load(0.02).unwrap();
         let exp = mk(ScvMode::Exponential).latency_at_flit_load(0.02).unwrap();
         assert!(det.total <= worm.total);

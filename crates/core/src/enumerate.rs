@@ -105,7 +105,9 @@ where
 {
     let n_pe = net.num_processors();
     if n_pe < 2 {
-        return Err(ModelError::Spec("enumeration needs at least two PEs".into()));
+        return Err(ModelError::Spec(
+            "enumeration needs at least two PEs".into(),
+        ));
     }
     // Accumulate integer pair counts and convert to rates at the end, so
     // forwarding probabilities stay well-defined even at λ₀ = 0.
@@ -170,7 +172,9 @@ where
         let is_terminal = transitions[ch].is_empty();
         let body = if is_terminal {
             // Ejection channels and any unused channels: fixed service.
-            ClassBody::Terminal { service_time: worm_flits }
+            ClassBody::Terminal {
+                service_time: worm_flits,
+            }
         } else {
             let mut forwards: Vec<Forward> = transitions[ch]
                 .iter()
@@ -192,8 +196,9 @@ where
         });
     }
 
-    let injections: Vec<ClassId> =
-        (0..n_pe).map(|pe| ClassId(net.processors()[pe].inject.index())).collect();
+    let injections: Vec<ClassId> = (0..n_pe)
+        .map(|pe| ClassId(net.processors()[pe].inject.index()))
+        .collect();
 
     let spec = NetworkSpec {
         classes,
@@ -254,7 +259,10 @@ mod tests {
         let expect = lambda0 * (n / 2.0) / (n - 1.0);
         for (i, class) in m.spec.classes.iter().enumerate() {
             let info = cube.network().channel(ChannelId(i));
-            if matches!(info.class, wormsim_topology::graph::ChannelClass::Dimension { .. }) {
+            if matches!(
+                info.class,
+                wormsim_topology::graph::ChannelClass::Dimension { .. }
+            ) {
                 assert!(
                     (class.lambda - expect).abs() < 1e-12,
                     "channel {i}: λ {} vs {expect}",
@@ -338,14 +346,12 @@ mod tests {
             mesh.network(),
             |node, _dest| {
                 let out = &mesh.network().node(node).out_channels;
-                out.iter()
-                    .copied()
-                    .find(|&ch| {
-                        !matches!(
-                            mesh.network().node(mesh.network().channel(ch).dst).kind,
-                            wormsim_topology::graph::NodeKind::Processor { .. }
-                        )
-                    })
+                out.iter().copied().find(|&ch| {
+                    !matches!(
+                        mesh.network().node(mesh.network().channel(ch).dst).kind,
+                        wormsim_topology::graph::NodeKind::Processor { .. }
+                    )
+                })
             },
             16.0,
             0.001,
@@ -358,8 +364,8 @@ mod tests {
     fn wrong_ejection_switch_is_detected() {
         let mesh = Mesh::new(3, 2);
         // Eject immediately everywhere: wrong switch for almost all pairs.
-        let err = enumerate_deterministic(mesh.network(), |_node, _dest| None, 16.0, 0.001)
-            .unwrap_err();
+        let err =
+            enumerate_deterministic(mesh.network(), |_node, _dest| None, 16.0, 0.001).unwrap_err();
         assert!(err.to_string().contains("wrong switch"));
     }
 }

@@ -23,7 +23,10 @@ pub enum ModelError {
 impl ModelError {
     /// Convenience constructor tagging a queueing error with its channel.
     pub fn at(class: impl Into<String>, source: QueueingError) -> Self {
-        ModelError::Queueing { class: class.into(), source }
+        ModelError::Queueing {
+            class: class.into(),
+            source,
+        }
     }
 
     /// True when the failure is a saturation (as opposed to a usage error).
@@ -31,8 +34,10 @@ impl ModelError {
     pub fn is_saturation(&self) -> bool {
         matches!(
             self,
-            ModelError::Queueing { source: QueueingError::Saturated { .. }, .. }
-                | ModelError::Saturation(_)
+            ModelError::Queueing {
+                source: QueueingError::Saturated { .. },
+                ..
+            } | ModelError::Saturation(_)
         )
     }
 }
@@ -72,8 +77,9 @@ mod tests {
 
     #[test]
     fn saturation_detection() {
-        assert!(ModelError::at("<1,0>", QueueingError::Saturated { utilization: 1.0 })
-            .is_saturation());
+        assert!(
+            ModelError::at("<1,0>", QueueingError::Saturated { utilization: 1.0 }).is_saturation()
+        );
         assert!(ModelError::Saturation("no bracket".into()).is_saturation());
         assert!(!ModelError::Spec("bad".into()).is_saturation());
         assert!(!ModelError::at("<1,0>", QueueingError::InvalidServerCount).is_saturation());

@@ -121,23 +121,37 @@ impl NetworkSpec {
     /// [`ModelError::Spec`] describing the first inconsistency.
     pub fn validate(&self) -> Result<()> {
         if !(self.worm_flits.is_finite() && self.worm_flits > 0.0) {
-            return Err(ModelError::Spec(format!("invalid worm length {}", self.worm_flits)));
+            return Err(ModelError::Spec(format!(
+                "invalid worm length {}",
+                self.worm_flits
+            )));
         }
         if !(self.avg_distance.is_finite() && self.avg_distance >= 1.0) {
-            return Err(ModelError::Spec(format!("invalid average distance {}", self.avg_distance)));
+            return Err(ModelError::Spec(format!(
+                "invalid average distance {}",
+                self.avg_distance
+            )));
         }
         if self.injection.0 >= self.classes.len() {
             return Err(ModelError::Spec("injection class out of range".into()));
         }
         if self.classes[self.injection.0].servers != 1 {
-            return Err(ModelError::Spec("injection class must be single-server".into()));
+            return Err(ModelError::Spec(
+                "injection class must be single-server".into(),
+            ));
         }
         for (i, class) in self.classes.iter().enumerate() {
             if !(class.lambda.is_finite() && class.lambda >= 0.0) {
-                return Err(ModelError::Spec(format!("class {}: invalid rate {}", class.name, class.lambda)));
+                return Err(ModelError::Spec(format!(
+                    "class {}: invalid rate {}",
+                    class.name, class.lambda
+                )));
             }
             if class.servers == 0 {
-                return Err(ModelError::Spec(format!("class {}: zero servers", class.name)));
+                return Err(ModelError::Spec(format!(
+                    "class {}: zero servers",
+                    class.name
+                )));
             }
             match &class.body {
                 ClassBody::Terminal { service_time } => {
@@ -201,7 +215,12 @@ impl NetworkSpec {
         let class = &self.classes[j];
         let scv = options.scv.scv(x, self.worm_flits);
         let res = if class.servers > 1 && options.multi_server_up {
-            mgm::waiting_time(class.servers, f64::from(class.servers) * class.lambda, x, scv)
+            mgm::waiting_time(
+                class.servers,
+                f64::from(class.servers) * class.lambda,
+                x,
+                scv,
+            )
         } else {
             mg1::waiting_time(class.lambda, x, scv)
         };
@@ -269,8 +288,7 @@ impl NetworkSpec {
             }
         }
         let mut order = Vec::with_capacity(n);
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| out_deg[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| out_deg[i] == 0).collect();
         while let Some(i) = ready.pop() {
             order.push(i);
             for &d in &dependents[i] {
@@ -300,7 +318,11 @@ impl NetworkSpec {
             }
             iterations = 0;
         } else {
-            let cfg = FixedPointConfig { tolerance: 1e-12, max_iterations: 20_000, damping: 0.5 };
+            let cfg = FixedPointConfig {
+                tolerance: 1e-12,
+                max_iterations: 20_000,
+                damping: 0.5,
+            };
             let mut deferred: Result<()> = Ok(());
             let outcome = fixed_point(&x, cfg, |cur, next| {
                 for (i, slot) in next.iter_mut().enumerate() {
@@ -331,7 +353,11 @@ impl NetworkSpec {
         for i in 0..n {
             w[i] = self.station_wait(i, x[i], options)?;
         }
-        Ok(Solution { service_times: x, waiting_times: w, iterations })
+        Ok(Solution {
+            service_times: x,
+            waiting_times: w,
+            iterations,
+        })
     }
 
     /// Average latency via Eq. 2/25: `L = W_inj + x̄_inj + D̄ − 1`.
@@ -375,7 +401,9 @@ pub fn bft_spec(
     // Down classes.
     for l in 1..=n {
         let body = if l == 1 {
-            ClassBody::Terminal { service_time: worm_flits }
+            ClassBody::Terminal {
+                service_time: worm_flits,
+            }
         } else {
             // ⟨l, l−1⟩ forwards to one of c children ⟨l−1, l−2⟩.
             ClassBody::Interior {
@@ -401,7 +429,11 @@ pub fn bft_spec(
         let p_down = params.p_down(arriving_level);
         let mut forwards = Vec::new();
         if arriving_level < params.levels() {
-            forwards.push(Forward { to: up_idx(l + 1), multiplicity: 1, prob_each: p_up });
+            forwards.push(Forward {
+                to: up_idx(l + 1),
+                multiplicity: 1,
+                prob_each: p_up,
+            });
         }
         // Downward continuation through c−1 siblings ⟨arr, arr−1⟩.
         forwards.push(Forward {
@@ -410,7 +442,11 @@ pub fn bft_spec(
             prob_each: p_down / (c - 1.0),
         });
         classes.push(ClassSpec {
-            name: if l == 0 { "<0,1>".to_string() } else { format!("<{},{}>", l, l + 1) },
+            name: if l == 0 {
+                "<0,1>".to_string()
+            } else {
+                format!("<{},{}>", l, l + 1)
+            },
             lambda: model.lambda_up(lu, lambda0),
             servers: if l == 0 { 1 } else { params.parents() as u32 },
             body: ClassBody::Interior { forwards },
@@ -445,7 +481,11 @@ mod tests {
                     lambda,
                     servers: 1,
                     body: ClassBody::Interior {
-                        forwards: vec![Forward { to: ClassId(0), multiplicity: 1, prob_each: 1.0 }],
+                        forwards: vec![Forward {
+                            to: ClassId(0),
+                            multiplicity: 1,
+                            prob_each: 1.0,
+                        }],
                     },
                 },
                 ClassSpec {
@@ -453,7 +493,11 @@ mod tests {
                     lambda,
                     servers: 1,
                     body: ClassBody::Interior {
-                        forwards: vec![Forward { to: ClassId(1), multiplicity: 1, prob_each: 1.0 }],
+                        forwards: vec![Forward {
+                            to: ClassId(1),
+                            multiplicity: 1,
+                            prob_each: 1.0,
+                        }],
                     },
                 },
             ],
@@ -484,7 +528,10 @@ mod tests {
     fn line_without_blocking_correction_accumulates_waits() {
         let spec = line_spec(0.01, 16.0);
         let sol = spec.solve(&ModelOptions::no_blocking_correction()).unwrap();
-        assert!(sol.service_times[2] > 16.0, "P=1 must add waiting at every hop");
+        assert!(
+            sol.service_times[2] > 16.0,
+            "P=1 must add waiting at every hop"
+        );
     }
 
     #[test]
@@ -509,9 +556,8 @@ mod tests {
                     ModelOptions::prior_art(),
                 ] {
                     for lambda0 in [0.0, 0.0005, 0.002] {
-                        let closed =
-                            crate::bft::BftModel::with_options(params, s, options)
-                                .latency_at_message_rate(lambda0);
+                        let closed = crate::bft::BftModel::with_options(params, s, options)
+                            .latency_at_message_rate(lambda0);
                         let spec = bft_spec(&params, s, lambda0);
                         let generic = spec.latency(&options);
                         match (closed, generic) {
@@ -563,8 +609,16 @@ mod tests {
                     servers: 1,
                     body: ClassBody::Interior {
                         forwards: vec![
-                            Forward { to: ClassId(2), multiplicity: 1, prob_each: 0.5 },
-                            Forward { to: ClassId(0), multiplicity: 1, prob_each: 0.5 },
+                            Forward {
+                                to: ClassId(2),
+                                multiplicity: 1,
+                                prob_each: 0.5,
+                            },
+                            Forward {
+                                to: ClassId(0),
+                                multiplicity: 1,
+                                prob_each: 0.5,
+                            },
                         ],
                     },
                 },
@@ -574,8 +628,16 @@ mod tests {
                     servers: 1,
                     body: ClassBody::Interior {
                         forwards: vec![
-                            Forward { to: ClassId(1), multiplicity: 1, prob_each: 0.5 },
-                            Forward { to: ClassId(0), multiplicity: 1, prob_each: 0.5 },
+                            Forward {
+                                to: ClassId(1),
+                                multiplicity: 1,
+                                prob_each: 0.5,
+                            },
+                            Forward {
+                                to: ClassId(0),
+                                multiplicity: 1,
+                                prob_each: 0.5,
+                            },
                         ],
                     },
                 },
@@ -584,7 +646,11 @@ mod tests {
                     lambda: 0.01,
                     servers: 1,
                     body: ClassBody::Interior {
-                        forwards: vec![Forward { to: ClassId(1), multiplicity: 1, prob_each: 1.0 }],
+                        forwards: vec![Forward {
+                            to: ClassId(1),
+                            multiplicity: 1,
+                            prob_each: 1.0,
+                        }],
                     },
                 },
             ],
@@ -597,7 +663,9 @@ mod tests {
         assert!(sol.iterations > 0, "cycle must engage the fixed point");
         // The fixed point must satisfy the service equations.
         for i in 0..spec.classes.len() {
-            let rhs = spec.service_equation(i, &sol.service_times, &ModelOptions::paper()).unwrap();
+            let rhs = spec
+                .service_equation(i, &sol.service_times, &ModelOptions::paper())
+                .unwrap();
             assert!(
                 (sol.service_times[i] - rhs).abs() < 1e-8,
                 "class {i}: {} vs {rhs}",

@@ -53,7 +53,9 @@ pub fn hypercube_spec(dim: u32, worm_flits: f64, lambda0: f64) -> NetworkSpec {
         name: "eject".to_string(),
         lambda: lambda0,
         servers: 1,
-        body: ClassBody::Terminal { service_time: worm_flits },
+        body: ClassBody::Terminal {
+            service_time: worm_flits,
+        },
     });
     for k in 0..d {
         // Forward to each higher dimension j with 2^{-(j-k)}, eject with
@@ -96,7 +98,12 @@ pub fn hypercube_spec(dim: u32, worm_flits: f64, lambda0: f64) -> NetworkSpec {
     // Average distance: d·2^{d-1}/(2^d − 1) switch hops + inject + eject.
     let avg_distance = f64::from(dim) * (n_nodes / 2.0) / (n_nodes - 1.0) + 2.0;
 
-    NetworkSpec { classes, worm_flits, injection, avg_distance }
+    NetworkSpec {
+        classes,
+        worm_flits,
+        injection,
+        avg_distance,
+    }
 }
 
 /// Convenience: average latency of the hypercube model at a message rate.
@@ -207,7 +214,11 @@ mod tests {
             prev = lat.total;
         }
         let sat = saturation(10, 16.0, &ModelOptions::paper()).unwrap();
-        assert!(sat.message_rate > 0.004, "cube saturation unreasonably low: {}", sat.message_rate);
+        assert!(
+            sat.message_rate > 0.004,
+            "cube saturation unreasonably low: {}",
+            sat.message_rate
+        );
         // Past the knee the model must refuse.
         assert!(
             latency_at_message_rate(10, 16.0, sat.message_rate * 1.5, &ModelOptions::paper())

@@ -54,25 +54,39 @@ impl ModelOptions {
     /// wormhole SCV.
     #[must_use]
     pub fn paper() -> Self {
-        Self { multi_server_up: true, blocking_correction: true, scv: ScvMode::Wormhole }
+        Self {
+            multi_server_up: true,
+            blocking_correction: true,
+            scv: ScvMode::Wormhole,
+        }
     }
 
     /// Ablation A1: independent single-server up-links (novelty 1 removed).
     #[must_use]
     pub fn single_server_up() -> Self {
-        Self { multi_server_up: false, ..Self::paper() }
+        Self {
+            multi_server_up: false,
+            ..Self::paper()
+        }
     }
 
     /// Ablation A2: no blocking-probability correction (novelty 2 removed).
     #[must_use]
     pub fn no_blocking_correction() -> Self {
-        Self { blocking_correction: false, ..Self::paper() }
+        Self {
+            blocking_correction: false,
+            ..Self::paper()
+        }
     }
 
     /// The pre-paper state of the art: both novelties removed.
     #[must_use]
     pub fn prior_art() -> Self {
-        Self { multi_server_up: false, blocking_correction: false, scv: ScvMode::Wormhole }
+        Self {
+            multi_server_up: false,
+            blocking_correction: false,
+            scv: ScvMode::Wormhole,
+        }
     }
 }
 

@@ -71,7 +71,10 @@ where
             "no saturation found for λ₀ ≤ 4 messages/cycle".to_string(),
         ));
     }
-    let cfg = BisectionConfig { x_tolerance: 1e-12, max_iterations: 200 };
+    let cfg = BisectionConfig {
+        x_tolerance: 1e-12,
+        max_iterations: 200,
+    };
     let root = bisect_increasing(lo, hi, cfg, |lambda| {
         source_service(lambda)
             .map(|x| x - 1.0 / lambda)
@@ -86,7 +89,11 @@ where
             })
     })
     .map_err(|e| ModelError::Saturation(e.to_string()))?;
-    Ok(SaturationPoint { message_rate: root, flit_load: root * worm_flits, worm_flits })
+    Ok(SaturationPoint {
+        message_rate: root,
+        flit_load: root * worm_flits,
+        worm_flits,
+    })
 }
 
 #[cfg(test)]
@@ -133,10 +140,8 @@ mod tests {
 
     #[test]
     fn failure_at_vanishing_load_is_reported() {
-        let err = saturation_point(16.0, |_| {
-            Err::<f64, _>(ModelError::Spec("broken".into()))
-        })
-        .unwrap_err();
+        let err = saturation_point(16.0, |_| Err::<f64, _>(ModelError::Spec("broken".into())))
+            .unwrap_err();
         assert!(err.to_string().contains("vanishing load"));
     }
 

@@ -16,14 +16,24 @@ impl Series {
     /// Convenience constructor.
     #[must_use]
     pub fn new(label: impl Into<String>, symbol: char, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), symbol, points }
+        Self {
+            label: label.into(),
+            symbol,
+            points,
+        }
     }
 }
 
 /// Renders series on a `width × height` character grid with auto-scaled
 /// axes and a legend. Returns a ready-to-print string.
 #[must_use]
-pub fn plot(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+pub fn plot(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     let width = width.clamp(20, 200);
     let height = height.clamp(5, 60);
     let finite: Vec<(f64, f64)> = series
@@ -118,7 +128,11 @@ mod tests {
 
     #[test]
     fn skips_non_finite_points() {
-        let s = Series::new("s", '*', vec![(0.0, f64::NAN), (1.0, 5.0), (f64::INFINITY, 3.0)]);
+        let s = Series::new(
+            "s",
+            '*',
+            vec![(0.0, f64::NAN), (1.0, 5.0), (f64::INFINITY, 3.0)],
+        );
         let out = plot(&[s], 30, 6, "x", "y");
         assert!(out.matches('*').count() >= 1);
     }

@@ -82,7 +82,10 @@ fn main() -> ExitCode {
                 let started = std::time::Instant::now();
                 match run_by_name(id, &ctx) {
                     Ok(out) => {
-                        println!("##### {id} ({:.1}s) #####\n", started.elapsed().as_secs_f64());
+                        println!(
+                            "##### {id} ({:.1}s) #####\n",
+                            started.elapsed().as_secs_f64()
+                        );
                         println!("{}", out.report);
                         for a in &out.artifacts {
                             println!("[artifact] {}", a.display());

@@ -17,7 +17,10 @@ impl Csv {
     /// Starts a document with a header row.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        let mut csv = Self { buffer: String::new(), columns: header.len() };
+        let mut csv = Self {
+            buffer: String::new(),
+            columns: header.len(),
+        };
         csv.push_row_raw(header.iter().map(|s| (*s).to_string()).collect());
         csv
     }

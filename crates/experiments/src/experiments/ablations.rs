@@ -27,10 +27,22 @@ struct Variant {
 
 fn variants() -> Vec<Variant> {
     vec![
-        Variant { label: "paper", options: ModelOptions::paper() },
-        Variant { label: "A1 single-server", options: ModelOptions::single_server_up() },
-        Variant { label: "A2 no blocking", options: ModelOptions::no_blocking_correction() },
-        Variant { label: "prior art (both off)", options: ModelOptions::prior_art() },
+        Variant {
+            label: "paper",
+            options: ModelOptions::paper(),
+        },
+        Variant {
+            label: "A1 single-server",
+            options: ModelOptions::single_server_up(),
+        },
+        Variant {
+            label: "A2 no blocking",
+            options: ModelOptions::no_blocking_correction(),
+        },
+        Variant {
+            label: "prior art (both off)",
+            options: ModelOptions::prior_art(),
+        },
     ]
 }
 
@@ -42,10 +54,16 @@ fn run_ablation(ctx: &ExperimentContext, name: &str, intro: &str) -> ExperimentO
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
-    let loads = if ctx.quick { vec![0.01, 0.02, 0.03] } else { vec![0.01, 0.02, 0.03, 0.035] };
+    let loads = if ctx.quick {
+        vec![0.01, 0.02, 0.03]
+    } else {
+        vec![0.01, 0.02, 0.03, 0.035]
+    };
 
     out.section(intro);
-    out.section(format!("Butterfly fat-tree N={n}, worms of {s} flits; simulator as ground truth."));
+    out.section(format!(
+        "Butterfly fat-tree N={n}, worms of {s} flits; simulator as ground truth."
+    ));
 
     let sims = sweep_flit_loads(&router, &cfg, s, &loads);
     let vs = variants();
@@ -54,7 +72,13 @@ fn run_ablation(ctx: &ExperimentContext, name: &str, intro: &str) -> ExperimentO
         tbl_header.push(format!("{} (err%)", v.label));
     }
     let mut tbl = Table::new(tbl_header);
-    let mut csv = Csv::new(&["flit_load", "sim_latency", "variant", "model_latency", "rel_err_pct"]);
+    let mut csv = Csv::new(&[
+        "flit_load",
+        "sim_latency",
+        "variant",
+        "model_latency",
+        "rel_err_pct",
+    ]);
     let mut sums: Vec<(f64, u32)> = vec![(0.0, 0); vs.len()];
 
     for r in &sims {
@@ -99,7 +123,11 @@ fn run_ablation(ctx: &ExperimentContext, name: &str, intro: &str) -> ExperimentO
         let (sum, cnt) = sums[vi];
         summary.row(vec![
             v.label.to_string(),
-            if cnt > 0 { num(sum / f64::from(cnt), 2) } else { "-".into() },
+            if cnt > 0 {
+                num(sum / f64::from(cnt), 2)
+            } else {
+                "-".into()
+            },
             cnt.to_string(),
         ]);
     }
@@ -160,7 +188,11 @@ mod tests {
                 .next()
                 .unwrap_or(f64::INFINITY)
         };
-        let paper = lines.iter().find(|l| l.starts_with("paper")).map(|l| mean_of(l)).unwrap();
+        let paper = lines
+            .iter()
+            .find(|l| l.starts_with("paper"))
+            .map(|l| mean_of(l))
+            .unwrap();
         for l in &lines {
             if !l.starts_with("paper") {
                 assert!(

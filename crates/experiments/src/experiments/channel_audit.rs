@@ -43,7 +43,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         .audit_at_message_rate(traffic.message_rate)
         .expect("operating point must be below saturation");
     let sim = run_simulation(&router, &cfg, &traffic);
-    assert!(!sim.saturated, "audit operating point saturated in simulation");
+    assert!(
+        !sim.saturated,
+        "audit operating point saturated in simulation"
+    );
 
     let mut tbl = Table::new(vec![
         "class",
@@ -66,7 +69,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // Down classes ⟨l, l−1⟩ incl. ejection, then up classes ⟨l, l+1⟩ incl.
     // injection — the paper's full channel inventory.
     let mut entries: Vec<(ChannelClass, f64, f64)> = Vec::new();
-    entries.push((ChannelClass::Ejection, audit.lambda_down[1], audit.x_down[1]));
+    entries.push((
+        ChannelClass::Ejection,
+        audit.lambda_down[1],
+        audit.x_down[1],
+    ));
     for l in 2..=n {
         entries.push((
             ChannelClass::Down { from: l },

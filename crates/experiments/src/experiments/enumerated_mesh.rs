@@ -37,8 +37,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         mesh.network().num_channels(),
     ));
 
-    let loads = if ctx.quick { vec![0.02, 0.05, 0.08] } else { vec![0.02, 0.05, 0.08, 0.12] };
-    let mut tbl = Table::new(vec!["load", "model L", "sim L", "ci95", "rel err %", "state"]);
+    let loads = if ctx.quick {
+        vec![0.02, 0.05, 0.08]
+    } else {
+        vec![0.02, 0.05, 0.08, 0.12]
+    };
+    let mut tbl = Table::new(vec![
+        "load",
+        "model L",
+        "sim L",
+        "ci95",
+        "rel err %",
+        "state",
+    ]);
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
@@ -77,7 +88,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                     num(sim.avg_latency, 1),
                     num(sim.latency_ci95, 1),
                     "-".to_string(),
-                    if sat { "saturated".to_string() } else { "stable".to_string() },
+                    if sat {
+                        "saturated".to_string()
+                    } else {
+                        "stable".to_string()
+                    },
                 ]);
             }
         }

@@ -31,9 +31,22 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         4usize.pow(levels)
     ));
 
-    let mut tbl =
-        Table::new(vec!["p", "load", "model L", "sim L", "ci95", "rel err %", "state"]);
-    let mut csv = Csv::new(&["parents", "flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
+    let mut tbl = Table::new(vec![
+        "p",
+        "load",
+        "model L",
+        "sim L",
+        "ci95",
+        "rel err %",
+        "state",
+    ]);
+    let mut csv = Csv::new(&[
+        "parents",
+        "flit_load",
+        "model_latency",
+        "sim_latency",
+        "rel_err_pct",
+    ]);
 
     for p in [1usize, 2, 4] {
         let params = BftParams::new(4, p, levels).expect("valid parameters");
@@ -48,7 +61,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         };
         let results = sweep_flit_loads(&router, &cfg, s, &base);
         for r in &results {
-            let model_l = model.latency_at_flit_load(r.offered_flit_load).map(|l| l.total);
+            let model_l = model
+                .latency_at_flit_load(r.offered_flit_load)
+                .map(|l| l.total);
             match (model_l, r.saturated) {
                 (Ok(m), false) => {
                     let err = 100.0 * (m - r.avg_latency) / r.avg_latency;
@@ -77,7 +92,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                         num(r.avg_latency, 1),
                         num(r.latency_ci95, 1),
                         "-".to_string(),
-                        if sat { "saturated".into() } else { "stable".to_string() },
+                        if sat {
+                            "saturated".into()
+                        } else {
+                            "stable".to_string()
+                        },
                     ]);
                 }
             }

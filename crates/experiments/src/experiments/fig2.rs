@@ -20,10 +20,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     out.section("Figure 2 — butterfly fat-tree with 64 processors (c=4, p=2, n=3).");
 
     let mut census = Table::new(vec!["level", "switches", "up channels", "down channels"]);
-    census.row(vec!["0 (PEs)".to_string(), "64".to_string(), "64 (inject)".to_string(), "64 (eject)".to_string()]);
+    census.row(vec![
+        "0 (PEs)".to_string(),
+        "64".to_string(),
+        "64 (inject)".to_string(),
+        "64 (eject)".to_string(),
+    ]);
     for l in 1..=params.levels() {
         let s = params.switches_at_level(l);
-        let ups = if l < params.levels() { s * params.parents() } else { 0 };
+        let ups = if l < params.levels() {
+            s * params.parents()
+        } else {
+            0
+        };
         census.row(vec![
             l.to_string(),
             s.to_string(),
@@ -49,7 +58,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             .and_then(|()| std::fs::write(dir.join("fig2_bft64.dot"), &dot))
         {
             Ok(()) => out.artifacts.push(dir.join("fig2_bft64.dot")),
-            Err(e) => out.report.push_str(&format!("[warn] DOT write failed: {e}\n")),
+            Err(e) => out
+                .report
+                .push_str(&format!("[warn] DOT write failed: {e}\n")),
         }
     }
     out

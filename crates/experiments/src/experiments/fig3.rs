@@ -76,7 +76,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             dense += 0.0005;
         }
         for r in &results {
-            let model_l = model.latency_at_flit_load(r.offered_flit_load).map(|l| l.total);
+            let model_l = model
+                .latency_at_flit_load(r.offered_flit_load)
+                .map(|l| l.total);
             let (model_txt, err_txt, err_pct) = match (&model_l, r.saturated) {
                 (Ok(m), false) => {
                     let err = 100.0 * (m - r.avg_latency) / r.avg_latency;
@@ -91,7 +93,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                 num(r.avg_latency, 1),
                 num(r.latency_ci95, 1),
                 err_txt,
-                if r.saturated { "saturated".to_string() } else { "stable".to_string() },
+                if r.saturated {
+                    "saturated".to_string()
+                } else {
+                    "stable".to_string()
+                },
             ]);
             if !r.saturated {
                 sim_pts.push((r.offered_flit_load, r.avg_latency));
@@ -99,16 +105,24 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             csv.row(&[
                 s.to_string(),
                 format!("{:.4}", r.offered_flit_load),
-                model_l.map(|v| format!("{v:.3}")).unwrap_or_else(|_| "saturated".into()),
+                model_l
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|_| "saturated".into()),
                 format!("{:.3}", r.avg_latency),
                 format!("{:.3}", r.latency_ci95),
                 r.saturated.to_string(),
-                err_pct.map(|e| format!("{e:.2}")).unwrap_or_else(|| "-".into()),
+                err_pct
+                    .map(|e| format!("{e:.2}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         out.section(format!("== worms of {s} flits =="));
         out.section(tbl.render());
-        all_series.push(Series::new(format!("model {s}-flit"), symbols[si], model_pts));
+        all_series.push(Series::new(
+            format!("model {s}-flit"),
+            symbols[si],
+            model_pts,
+        ));
         all_series.push(Series::new(
             format!("sim {s}-flit"),
             char::from_u32('a' as u32 + si as u32).expect("ascii"),
@@ -116,7 +130,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         ));
     }
 
-    out.section(plot(&all_series, 72, 22, "flit load (flits/cycle/PE)", "latency (cycles)"));
+    out.section(plot(
+        &all_series,
+        72,
+        22,
+        "flit load (flits/cycle/PE)",
+        "latency (cycles)",
+    ));
     ctx.write_csv(&csv, "fig3_latency_vs_load.csv", &mut out);
     out.section(
         "Expected shape (paper): curves ordered 16 < 32 < 64 flits, flat near \

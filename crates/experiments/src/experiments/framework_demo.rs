@@ -36,8 +36,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         cube.num_processors()
     ));
 
-    let loads = if ctx.quick { vec![0.01, 0.03, 0.05] } else { vec![0.01, 0.03, 0.05, 0.08] };
-    let mut tbl = Table::new(vec!["load", "model L", "sim L", "ci95", "rel err %", "state"]);
+    let loads = if ctx.quick {
+        vec![0.01, 0.03, 0.05]
+    } else {
+        vec![0.01, 0.03, 0.05, 0.08]
+    };
+    let mut tbl = Table::new(vec![
+        "load",
+        "model L",
+        "sim L",
+        "ci95",
+        "rel err %",
+        "state",
+    ]);
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
@@ -75,7 +86,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                     num(sim.avg_latency, 1),
                     num(sim.latency_ci95, 1),
                     "-".to_string(),
-                    if sat { "saturated".to_string() } else { "stable".to_string() },
+                    if sat {
+                        "saturated".to_string()
+                    } else {
+                        "stable".to_string()
+                    },
                 ]);
             }
         }

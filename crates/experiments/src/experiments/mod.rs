@@ -5,12 +5,12 @@ use std::path::PathBuf;
 pub mod ablations;
 pub mod channel_audit;
 pub mod enumerated_mesh;
-pub mod tail_latency;
 pub mod extension_mgm;
 pub mod fig2;
 pub mod fig3;
 pub mod framework_demo;
 pub mod scaling;
+pub mod tail_latency;
 pub mod throughput;
 
 /// Shared experiment knobs.
@@ -27,7 +27,11 @@ pub struct ExperimentContext {
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        Self { quick: false, out_dir: None, seed: 0xC0FFEE }
+        Self {
+            quick: false,
+            out_dir: None,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -35,7 +39,10 @@ impl ExperimentContext {
     /// Quick-mode context (what `--quick` sets).
     #[must_use]
     pub fn quick() -> Self {
-        Self { quick: true, ..Self::default() }
+        Self {
+            quick: true,
+            ..Self::default()
+        }
     }
 
     /// Simulation config matched to the context's effort level.
@@ -65,7 +72,9 @@ impl ExperimentContext {
         if let Some(dir) = &self.out_dir {
             match csv.write_to(dir, name) {
                 Ok(path) => out.artifacts.push(path),
-                Err(e) => out.report.push_str(&format!("\n[warn] failed to write {name}: {e}\n")),
+                Err(e) => out
+                    .report
+                    .push_str(&format!("\n[warn] failed to write {name}: {e}\n")),
             }
         }
     }
@@ -86,7 +95,10 @@ impl ExperimentOutput {
     /// Starts an output for `name`.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), ..Self::default() }
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
     }
 
     /// Appends a paragraph to the report.
@@ -104,17 +116,61 @@ pub type ExperimentFn = fn(&ExperimentContext) -> ExperimentOutput;
 
 /// The registry: `(id, runner, description)`.
 pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
-    ("fig2", fig2::run, "Figure 2: the 64-processor butterfly fat-tree topology"),
-    ("fig3", fig3::run, "Figure 3: latency vs load, model & simulation, N=1024, s in {16,32,64}"),
-    ("scaling", scaling::run, "S3.6: model accuracy across N in {64,256,1024}"),
-    ("throughput", throughput::run, "S3.5/Eq. 26: saturation throughput, model vs simulation"),
-    ("framework-demo", framework_demo::run, "Figure 1/S2: the general model applied to a hypercube, vs simulation"),
-    ("ablation-servers", ablations::run_servers, "Ablation A1: M/G/2 up-link bundles vs independent M/G/1"),
-    ("ablation-blocking", ablations::run_blocking, "Ablation A2: Eq. 10 blocking correction on/off"),
-    ("extension-mgm", extension_mgm::run, "Extension A3: M/G/p for (c,p) fat-trees, p in {1,2,4}"),
-    ("enumerated-mesh", enumerated_mesh::run, "Extension A4: automatic per-channel model for a mesh (no symmetry), vs simulation"),
-    ("tail-latency", tail_latency::run, "Extension A5: latency percentiles under load (what the mean-value model conceals)"),
-    ("channel-audit", channel_audit::run, "Validity V1: per-level rates and service times vs Eqs. 14-24"),
+    (
+        "fig2",
+        fig2::run,
+        "Figure 2: the 64-processor butterfly fat-tree topology",
+    ),
+    (
+        "fig3",
+        fig3::run,
+        "Figure 3: latency vs load, model & simulation, N=1024, s in {16,32,64}",
+    ),
+    (
+        "scaling",
+        scaling::run,
+        "S3.6: model accuracy across N in {64,256,1024}",
+    ),
+    (
+        "throughput",
+        throughput::run,
+        "S3.5/Eq. 26: saturation throughput, model vs simulation",
+    ),
+    (
+        "framework-demo",
+        framework_demo::run,
+        "Figure 1/S2: the general model applied to a hypercube, vs simulation",
+    ),
+    (
+        "ablation-servers",
+        ablations::run_servers,
+        "Ablation A1: M/G/2 up-link bundles vs independent M/G/1",
+    ),
+    (
+        "ablation-blocking",
+        ablations::run_blocking,
+        "Ablation A2: Eq. 10 blocking correction on/off",
+    ),
+    (
+        "extension-mgm",
+        extension_mgm::run,
+        "Extension A3: M/G/p for (c,p) fat-trees, p in {1,2,4}",
+    ),
+    (
+        "enumerated-mesh",
+        enumerated_mesh::run,
+        "Extension A4: automatic per-channel model for a mesh (no symmetry), vs simulation",
+    ),
+    (
+        "tail-latency",
+        tail_latency::run,
+        "Extension A5: latency percentiles under load (what the mean-value model conceals)",
+    ),
+    (
+        "channel-audit",
+        channel_audit::run,
+        "Validity V1: per-level rates and service times vs Eqs. 14-24",
+    ),
 ];
 
 /// Runs an experiment by id.
@@ -130,7 +186,11 @@ pub fn run_by_name(name: &str, ctx: &ExperimentContext) -> Result<ExperimentOutp
     }
     Err(format!(
         "unknown experiment {name:?}; known: {}",
-        EXPERIMENTS.iter().map(|(id, _, _)| *id).collect::<Vec<_>>().join(", ")
+        EXPERIMENTS
+            .iter()
+            .map(|(id, _, _)| *id)
+            .collect::<Vec<_>>()
+            .join(", ")
     ))
 }
 

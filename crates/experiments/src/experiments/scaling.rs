@@ -14,7 +14,11 @@ use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("scaling");
-    let sizes: &[usize] = if ctx.quick { &[16, 64, 256] } else { &[64, 256, 1024] };
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 64, 256]
+    } else {
+        &[64, 256, 1024]
+    };
     let s = 32u32;
     let cfg = ctx.sim_config();
     let loads = [0.005, 0.015, 0.025];
@@ -24,7 +28,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          \"networks with up to 1024 processing nodes\")."
     ));
 
-    let mut csv = Csv::new(&["processors", "flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
+    let mut csv = Csv::new(&[
+        "processors",
+        "flit_load",
+        "model_latency",
+        "sim_latency",
+        "rel_err_pct",
+    ]);
     let mut tbl = Table::new(vec!["N", "load", "model L", "sim L", "ci95", "rel err %"]);
     let mut worst_err: f64 = 0.0;
 

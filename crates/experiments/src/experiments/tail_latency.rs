@@ -33,15 +33,31 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          percentiles the mean conceals."
     ));
 
-    let loads: Vec<f64> =
-        if ctx.quick { vec![0.01, 0.02, 0.03] } else { vec![0.005, 0.015, 0.025, 0.03, 0.035] };
+    let loads: Vec<f64> = if ctx.quick {
+        vec![0.01, 0.02, 0.03]
+    } else {
+        vec![0.005, 0.015, 0.025, 0.03, 0.035]
+    };
     let results = sweep_flit_loads(&router, &cfg, s, &loads);
 
     let mut tbl = Table::new(vec![
-        "load", "model mean", "sim mean", "p50", "p95", "p99", "max", "p99/p50",
+        "load",
+        "model mean",
+        "sim mean",
+        "p50",
+        "p95",
+        "p99",
+        "max",
+        "p99/p50",
     ]);
     let mut csv = Csv::new(&[
-        "flit_load", "model_mean", "sim_mean", "p50", "p95", "p99", "max",
+        "flit_load",
+        "model_mean",
+        "sim_mean",
+        "p50",
+        "p95",
+        "p99",
+        "max",
     ]);
     for r in &results {
         if r.saturated {

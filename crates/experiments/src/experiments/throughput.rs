@@ -18,7 +18,11 @@ use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("throughput");
-    let sizes: &[usize] = if ctx.quick { &[16, 64] } else { &[64, 256, 1024] };
+    let sizes: &[usize] = if ctx.quick {
+        &[16, 64]
+    } else {
+        &[64, 256, 1024]
+    };
     let worms: &[u32] = if ctx.quick { &[16, 32] } else { &[16, 32, 64] };
     let cfg = ctx.sim_config();
 
@@ -35,7 +39,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         "sim saturated >=",
         "model inside bracket",
     ]);
-    let mut csv = Csv::new(&["processors", "worm_flits", "model_knee", "sim_last_stable", "sim_first_saturated"]);
+    let mut csv = Csv::new(&[
+        "processors",
+        "worm_flits",
+        "model_knee",
+        "sim_last_stable",
+        "sim_first_saturated",
+    ]);
 
     for &n in sizes {
         let params = BftParams::paper(n).expect("power of 4");
@@ -74,7 +84,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                 s.to_string(),
                 format!("{knee:.5}"),
                 format!("{stable:.5}"),
-                if bad.is_nan() { "-".to_string() } else { format!("{bad:.5}") },
+                if bad.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{bad:.5}")
+                },
             ]);
         }
     }

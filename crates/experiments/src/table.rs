@@ -11,7 +11,10 @@ impl Table {
     /// New table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (padded or truncated to the header width).
@@ -52,7 +55,10 @@ impl Table {
                     line.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                let numeric = cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
                     && cell.parse::<f64>().is_ok();
                 if numeric {
                     line.push_str(&format!("{cell:>w$}", w = widths[i]));

@@ -62,7 +62,9 @@ pub fn blocking_probability(
         return Err(QueueingError::InvalidRate { rate: lambda_out });
     }
     if !routing_probability.is_finite() || !(0.0..=1.0).contains(&routing_probability) {
-        return Err(QueueingError::InvalidProbability { probability: routing_probability });
+        return Err(QueueingError::InvalidProbability {
+            probability: routing_probability,
+        });
     }
     if lambda_out == 0.0 {
         // No traffic on the outgoing channel: no contention to correct for.
@@ -96,7 +98,9 @@ pub fn blocking_probability_raw(
         return Err(QueueingError::InvalidRate { rate: lambda_out });
     }
     if !routing_probability.is_finite() || !(0.0..=1.0).contains(&routing_probability) {
-        return Err(QueueingError::InvalidProbability { probability: routing_probability });
+        return Err(QueueingError::InvalidProbability {
+            probability: routing_probability,
+        });
     }
     if lambda_out == 0.0 {
         return Ok(1.0);

@@ -67,7 +67,10 @@ impl ServiceMoments {
         if !variance.is_finite() || variance < 0.0 {
             return Err(QueueingError::InvalidScv { scv: variance });
         }
-        Ok(Self { mean, scv: variance / (mean * mean) })
+        Ok(Self {
+            mean,
+            scv: variance / (mean * mean),
+        })
     }
 
     /// The wormhole service-variance surrogate of the paper (Eq. 5):

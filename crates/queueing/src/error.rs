@@ -57,16 +57,25 @@ impl fmt::Display for QueueingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueueingError::Saturated { utilization } => {
-                write!(f, "queue saturated: per-server utilization {utilization} >= 1")
+                write!(
+                    f,
+                    "queue saturated: per-server utilization {utilization} >= 1"
+                )
             }
             QueueingError::InvalidRate { rate } => {
                 write!(f, "invalid arrival rate {rate}: must be finite and >= 0")
             }
             QueueingError::InvalidServiceTime { service_time } => {
-                write!(f, "invalid mean service time {service_time}: must be finite and > 0")
+                write!(
+                    f,
+                    "invalid mean service time {service_time}: must be finite and > 0"
+                )
             }
             QueueingError::InvalidScv { scv } => {
-                write!(f, "invalid squared coefficient of variation {scv}: must be finite and >= 0")
+                write!(
+                    f,
+                    "invalid squared coefficient of variation {scv}: must be finite and >= 0"
+                )
             }
             QueueingError::InvalidServerCount => {
                 write!(f, "server count must be at least 1")
@@ -74,7 +83,10 @@ impl fmt::Display for QueueingError {
             QueueingError::InvalidProbability { probability } => {
                 write!(f, "invalid probability {probability}: must lie in [0, 1]")
             }
-            QueueingError::NoConvergence { iterations, residual } => {
+            QueueingError::NoConvergence {
+                iterations,
+                residual,
+            } => {
                 write!(f, "fixed point did not converge after {iterations} iterations (residual {residual:e})")
             }
             QueueingError::BracketError { lo, hi } => {
@@ -119,12 +131,24 @@ mod tests {
         let cases: Vec<(QueueingError, &str)> = vec![
             (QueueingError::Saturated { utilization: 1.2 }, "saturated"),
             (QueueingError::InvalidRate { rate: -1.0 }, "arrival rate"),
-            (QueueingError::InvalidServiceTime { service_time: 0.0 }, "service time"),
-            (QueueingError::InvalidScv { scv: -0.5 }, "coefficient of variation"),
-            (QueueingError::InvalidServerCount, "server count"),
-            (QueueingError::InvalidProbability { probability: 1.5 }, "probability"),
             (
-                QueueingError::NoConvergence { iterations: 10, residual: 1e-3 },
+                QueueingError::InvalidServiceTime { service_time: 0.0 },
+                "service time",
+            ),
+            (
+                QueueingError::InvalidScv { scv: -0.5 },
+                "coefficient of variation",
+            ),
+            (QueueingError::InvalidServerCount, "server count"),
+            (
+                QueueingError::InvalidProbability { probability: 1.5 },
+                "probability",
+            ),
+            (
+                QueueingError::NoConvergence {
+                    iterations: 10,
+                    residual: 1e-3,
+                },
                 "converge",
             ),
             (QueueingError::BracketError { lo: 0.0, hi: 1.0 }, "bracket"),

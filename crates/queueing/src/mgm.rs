@@ -23,9 +23,9 @@
 //! point ([`waiting_time`]) serves every channel multiplicity in the model.
 
 use crate::error::{check_rate, check_scv, check_service_time};
-use crate::{mmm, QueueingError, Result};
 #[cfg(test)]
 use crate::mg1;
+use crate::{mmm, QueueingError, Result};
 
 /// Hokstad's closed-form approximation for the M/G/2 mean waiting time
 /// (paper Eq. 7): `W = λ²x̄³(1 + C_b²) / (2(4 − λ²x̄²))`.

@@ -44,7 +44,9 @@ pub fn erlang_c(servers: u32, offered_load: f64) -> Result<f64> {
     let b = erlang_b(servers, offered_load)?;
     let m = f64::from(servers);
     if offered_load >= m {
-        return Err(QueueingError::Saturated { utilization: offered_load / m });
+        return Err(QueueingError::Saturated {
+            utilization: offered_load / m,
+        });
     }
     Ok(m * b / (m - offered_load * (1.0 - b)))
 }
@@ -102,7 +104,9 @@ pub fn probability_empty(servers: u32, offered_load: f64) -> Result<f64> {
     }
     let m = f64::from(servers);
     if offered_load >= m {
-        return Err(QueueingError::Saturated { utilization: offered_load / m });
+        return Err(QueueingError::Saturated {
+            utilization: offered_load / m,
+        });
     }
     // Σ_{k<m} a^k/k! + a^m/(m!·(1−ρ)), accumulated with a running term to
     // avoid explicit factorials.

@@ -27,7 +27,11 @@ pub struct FixedPointConfig {
 
 impl Default for FixedPointConfig {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iterations: 10_000, damping: 0.5 }
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+            damping: 0.5,
+        }
     }
 }
 
@@ -54,7 +58,11 @@ pub struct FixedPointOutcome {
 ///
 /// * [`QueueingError::NoConvergence`] after `max_iterations`.
 /// * Any error returned by `f` (typically [`QueueingError::Saturated`]).
-pub fn fixed_point<F>(initial: &[f64], config: FixedPointConfig, mut f: F) -> Result<FixedPointOutcome>
+pub fn fixed_point<F>(
+    initial: &[f64],
+    config: FixedPointConfig,
+    mut f: F,
+) -> Result<FixedPointOutcome>
 where
     F: FnMut(&[f64], &mut [f64]) -> Result<()>,
 {
@@ -70,7 +78,11 @@ where
             *xi = next;
         }
         if residual < config.tolerance {
-            return Ok(FixedPointOutcome { values: x, iterations: iteration, residual });
+            return Ok(FixedPointOutcome {
+                values: x,
+                iterations: iteration,
+                residual,
+            });
         }
     }
     let mut residual = 0.0f64;
@@ -78,7 +90,10 @@ where
     for (xi, fxi) in x.iter().zip(fx.iter()) {
         residual = residual.max((theta * (fxi - xi)).abs());
     }
-    Err(QueueingError::NoConvergence { iterations: config.max_iterations, residual })
+    Err(QueueingError::NoConvergence {
+        iterations: config.max_iterations,
+        residual,
+    })
 }
 
 /// Configuration for [`bisect_increasing`].
@@ -92,7 +107,10 @@ pub struct BisectionConfig {
 
 impl Default for BisectionConfig {
     fn default() -> Self {
-        Self { x_tolerance: 1e-12, max_iterations: 200 }
+        Self {
+            x_tolerance: 1e-12,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -185,7 +203,10 @@ mod tests {
     #[test]
     fn fixed_point_reports_nonconvergence() {
         // x = 2x + 1 diverges.
-        let cfg = FixedPointConfig { max_iterations: 50, ..Default::default() };
+        let cfg = FixedPointConfig {
+            max_iterations: 50,
+            ..Default::default()
+        };
         let err = fixed_point(&[1.0], cfg, |x, fx| {
             fx[0] = 2.0 * x[0] + 1.0;
             Ok(())
@@ -206,7 +227,10 @@ mod tests {
     #[test]
     fn fixed_point_damping_still_converges() {
         for damping in [0.1, 0.5, 1.0] {
-            let cfg = FixedPointConfig { damping, ..Default::default() };
+            let cfg = FixedPointConfig {
+                damping,
+                ..Default::default()
+            };
             let out = fixed_point(&[0.0], cfg, |x, fx| {
                 fx[0] = 0.5 * x[0] + 3.0;
                 Ok(())
@@ -219,8 +243,8 @@ mod tests {
     #[test]
     fn bisect_finds_simple_root() {
         // g(x) = x² − 2 on [0, 2] → √2.
-        let root = bisect_increasing(0.0, 2.0, BisectionConfig::default(), |x| Ok(x * x - 2.0))
-            .unwrap();
+        let root =
+            bisect_increasing(0.0, 2.0, BisectionConfig::default(), |x| Ok(x * x - 2.0)).unwrap();
         assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
     }
 
@@ -253,18 +277,20 @@ mod tests {
         // Degenerate interval.
         assert!(bisect_increasing(1.0, 1.0, BisectionConfig::default(), Ok).is_err());
         // Error at lo propagates.
-        assert!(bisect_increasing(
-            0.0,
-            1.0,
-            BisectionConfig::default(),
-            |_| Err::<f64, _>(QueueingError::InvalidServerCount)
-        )
-        .is_err());
+        assert!(
+            bisect_increasing(0.0, 1.0, BisectionConfig::default(), |_| Err::<f64, _>(
+                QueueingError::InvalidServerCount
+            ))
+            .is_err()
+        );
     }
 
     #[test]
     fn bisect_respects_tolerance() {
-        let cfg = BisectionConfig { x_tolerance: 1e-3, max_iterations: 1000 };
+        let cfg = BisectionConfig {
+            x_tolerance: 1e-3,
+            max_iterations: 1000,
+        };
         let root = bisect_increasing(0.0, 10.0, cfg, |x| Ok(x - 3.3)).unwrap();
         assert!((root - 3.3).abs() < 1e-3);
     }

@@ -71,7 +71,12 @@ pub fn w_mg2(lambda: f64, mean_service: f64, worm_flits: f64) -> Result<f64> {
 ///
 /// Same as [`mgm::waiting_time`].
 pub fn w_mgm(servers: u32, lambda: f64, mean_service: f64, worm_flits: f64) -> Result<f64> {
-    mgm::waiting_time(servers, lambda, mean_service, wormhole_scv(mean_service, worm_flits))
+    mgm::waiting_time(
+        servers,
+        lambda,
+        mean_service,
+        wormhole_scv(mean_service, worm_flits),
+    )
 }
 
 #[cfg(test)]

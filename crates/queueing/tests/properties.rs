@@ -11,8 +11,7 @@ use wormsim_queueing::{blocking, mg1, mgm, mmm, solver, wormhole};
 /// Strategy: a stable single-server operating point (ρ ≤ 0.95).
 fn stable_mg1_point() -> impl Strategy<Value = (f64, f64, f64)> {
     // (rho, mean_service, scv)
-    (0.0..0.95f64, 1.0..200.0f64, 0.0..4.0f64)
-        .prop_map(|(rho, x, scv)| (rho / x, x, scv))
+    (0.0..0.95f64, 1.0..200.0f64, 0.0..4.0f64).prop_map(|(rho, x, scv)| (rho / x, x, scv))
 }
 
 /// Strategy: a stable m-server operating point.
@@ -146,5 +145,126 @@ proptest! {
         }).unwrap();
         let expect = offset / (1.0 - slope);
         prop_assert!((out.values[0] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases of the queueing kernels: zero load, operation at and above the
+// saturation boundary (rho >= 1), and the single-server degeneracy where
+// every multi-server formula must collapse to M/G/1 (or M/M/1) exactly.
+// ---------------------------------------------------------------------------
+
+mod edge_cases {
+    use wormsim_queueing::{mg1, mgm, mmm, wormhole, QueueingError};
+    use wormsim_testutil::assert_close;
+
+    #[test]
+    fn zero_load_means_zero_wait_everywhere() {
+        for &x in &[1.0, 18.0, 200.0] {
+            for &scv in &[0.0, 0.4, 1.0, 3.7] {
+                assert_eq!(mg1::waiting_time(0.0, x, scv).unwrap(), 0.0);
+                assert_eq!(mg1::waiting_time_or_inf(0.0, x, scv), 0.0);
+                for m in 1..=8u32 {
+                    assert_eq!(mgm::waiting_time(m, 0.0, x, scv).unwrap(), 0.0);
+                    assert_eq!(mmm::waiting_time(m, 0.0, x).unwrap(), 0.0);
+                }
+            }
+        }
+        assert_eq!(mg1::utilization(0.0, 42.0), 0.0);
+        // Erlang blocking/queueing probabilities vanish with the load.
+        for m in 1..=8u32 {
+            assert_eq!(mmm::erlang_b(m, 0.0).unwrap(), 0.0);
+            assert_eq!(mmm::erlang_c(m, 0.0).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn load_at_saturation_is_rejected_with_the_utilization() {
+        // rho exactly 1: lambda = m / x.
+        let x = 20.0;
+        let err = mg1::waiting_time(1.0 / x, x, 0.5).unwrap_err();
+        match err {
+            QueueingError::Saturated { utilization } => {
+                assert_close(utilization, 1.0, 1e-12, 0.0, "rho at the boundary")
+            }
+            other => panic!("expected Saturated, got {other}"),
+        }
+        for m in 1..=4u32 {
+            let lambda = f64::from(m) / x;
+            assert!(
+                mgm::waiting_time(m, lambda, x, 0.5).is_err(),
+                "m={m} at rho=1"
+            );
+            assert!(mmm::waiting_time(m, lambda, x).is_err(), "m={m} at rho=1");
+        }
+    }
+
+    #[test]
+    fn load_above_saturation_is_rejected_and_or_inf_returns_infinity() {
+        let x = 20.0;
+        for rho in [1.0, 1.1, 2.5, 100.0] {
+            let lambda1 = rho / x;
+            match mg1::waiting_time(lambda1, x, 0.5) {
+                Err(QueueingError::Saturated { utilization }) => {
+                    assert_close(utilization, rho, 1e-9, 1e-12, "reported utilization")
+                }
+                other => panic!("rho={rho}: expected Saturated, got {other:?}"),
+            }
+            assert_eq!(mg1::waiting_time_or_inf(lambda1, x, 0.5), f64::INFINITY);
+            for m in [1u32, 2, 4] {
+                let lambda_m = rho * f64::from(m) / x;
+                assert!(mgm::waiting_time(m, lambda_m, x, 0.5).is_err());
+                assert_eq!(mgm::waiting_time_or_inf(m, lambda_m, x, 0.5), f64::INFINITY);
+                assert_eq!(mmm::waiting_time_or_inf(m, lambda_m, x), f64::INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn wait_diverges_as_load_approaches_saturation() {
+        // W(rho) must blow up as rho -> 1-: each halving of the gap to
+        // saturation must increase the wait (and the wait must exceed any
+        // bound eventually).
+        let x = 20.0;
+        let mut prev = 0.0;
+        for k in 1..=12 {
+            let rho = 1.0 - 0.5f64.powi(k);
+            let w = mg1::waiting_time(rho / x, x, 0.7).unwrap();
+            assert!(
+                w > prev,
+                "W must grow toward saturation (k={k}: {w} <= {prev})"
+            );
+            prev = w;
+        }
+        assert!(prev > 1e3 * x, "wait must diverge near rho=1, got {prev}");
+    }
+
+    #[test]
+    fn single_server_mgm_degenerates_to_mg1_exactly() {
+        // M/G/m with m = 1 must agree with Pollaczek-Khinchine to the last
+        // bit of rounding, across loads and variabilities.
+        for &rho in &[1e-6, 0.1, 0.5, 0.9, 0.99] {
+            for &x in &[1.0, 18.0, 250.0] {
+                for &scv in &[0.0, 0.3, 1.0, 4.0] {
+                    let lambda = rho / x;
+                    let a = mgm::waiting_time(1, lambda, x, scv).unwrap();
+                    let b = mg1::waiting_time(lambda, x, scv).unwrap();
+                    assert_close(a, b, 1e-12, 1e-12, "M/G/1 degeneracy");
+                }
+                // And with exponential service (scv = 1), both must agree
+                // with the exact M/M/1 wait.
+                let lambda = rho / x;
+                let mm1 = mg1::mm1_waiting_time(lambda, x).unwrap();
+                let mgm1 = mgm::waiting_time(1, lambda, x, 1.0).unwrap();
+                let mmm1 = mmm::waiting_time(1, lambda, x).unwrap();
+                assert_close(mgm1, mm1, 1e-12, 1e-9, "M/M/1 via M/G/1");
+                assert_close(mmm1, mm1, 1e-12, 1e-9, "M/M/1 via Erlang C");
+            }
+        }
+        // The wormhole wrappers collapse the same way.
+        let (lambda, x, s) = (0.02, 24.0, 16.0);
+        let a = wormhole::w_mgm(1, lambda, x, s).unwrap();
+        let b = wormhole::w_mg1(lambda, x, s).unwrap();
+        assert_close(a, b, 1e-12, 1e-12, "wormhole single-server degeneracy");
     }
 }

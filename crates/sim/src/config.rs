@@ -33,7 +33,12 @@ impl SimConfig {
     /// A reduced-accuracy configuration for quick tests and examples.
     #[must_use]
     pub fn quick() -> Self {
-        Self { warmup_cycles: 2_000, measure_cycles: 20_000, drain_cap_cycles: 50_000, ..Self::default() }
+        Self {
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            drain_cap_cycles: 50_000,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with a different seed (used by sweep replication).
@@ -80,16 +85,26 @@ impl TrafficConfig {
     /// Builds uniform traffic from a message rate.
     #[must_use]
     pub fn new(message_rate: f64, worm_flits: u32) -> Self {
-        assert!(message_rate >= 0.0 && message_rate.is_finite(), "invalid message rate");
+        assert!(
+            message_rate >= 0.0 && message_rate.is_finite(),
+            "invalid message rate"
+        );
         assert!(worm_flits >= 1, "worms need at least one flit");
-        Self { message_rate, worm_flits, pattern: TrafficPattern::UniformRandom }
+        Self {
+            message_rate,
+            worm_flits,
+            pattern: TrafficPattern::UniformRandom,
+        }
     }
 
     /// Builds uniform traffic from a *flit* load (flits/cycle/PE — Figure
     /// 3's x-axis): `λ₀ = load / worm_flits`.
     #[must_use]
     pub fn from_flit_load(flit_load: f64, worm_flits: u32) -> Self {
-        assert!(flit_load >= 0.0 && flit_load.is_finite(), "invalid flit load");
+        assert!(
+            flit_load >= 0.0 && flit_load.is_finite(),
+            "invalid flit load"
+        );
         Self::new(flit_load / f64::from(worm_flits), worm_flits)
     }
 

@@ -265,12 +265,17 @@ impl<'a, R: Router> Engine<'a, R> {
             return;
         }
         let ch = self.worms[widx as usize].path[idx];
-        debug_assert_eq!(self.channel_holder[ch.index()], widx, "release by holder only");
+        debug_assert_eq!(
+            self.channel_holder[ch.index()],
+            widx,
+            "release by holder only"
+        );
         self.channel_holder[ch.index()] = NO_WORM;
         let granted_at = self.channel_grant_time[ch.index()];
         if granted_at >= self.window_start && granted_at < self.window_end {
             let hold = t - granted_at + 1;
-            self.audit.record_release(self.channel_class_idx[ch.index()] as usize, hold);
+            self.audit
+                .record_release(self.channel_class_idx[ch.index()] as usize, hold);
         }
         let st = self.router.network().channel(ch).station;
         self.mark_station_ready(st);
@@ -311,10 +316,16 @@ impl<'a, R: Router> Engine<'a, R> {
         // Phase 0: arrivals.
         self.arrivals.clear();
         let mut arrivals = std::mem::take(&mut self.arrivals);
-        self.traffic_gen.arrivals_into(t, &mut self.rng, &mut arrivals);
+        self.traffic_gen
+            .arrivals_into(t, &mut self.rng, &mut arrivals);
         for a in &arrivals {
-            debug_assert!(a.dest < self.sources.len(), "pattern must map inside PE range");
-            self.sources[a.src].pending.push_back((a.dest as u32, a.cycle));
+            debug_assert!(
+                a.dest < self.sources.len(),
+                "pattern must map inside PE range"
+            );
+            self.sources[a.src]
+                .pending
+                .push_back((a.dest as u32, a.cycle));
             self.generated_total += 1;
             if self.in_window(t) {
                 self.generated_in_window += 1;
@@ -336,8 +347,11 @@ impl<'a, R: Router> Engine<'a, R> {
                     let ports = self.router.network().processors()[w.src as usize];
                     (self.router.network().channel(ports.inject).station, true)
                 } else {
-                    let head_node =
-                        self.router.network().channel(*w.path.last().expect("non-empty")).dst;
+                    let head_node = self
+                        .router
+                        .network()
+                        .channel(*w.path.last().expect("non-empty"))
+                        .dst;
                     (self.router.next_station(head_node, w.dest as usize), false)
                 }
             };
@@ -375,9 +389,15 @@ impl<'a, R: Router> Engine<'a, R> {
                     exhausted_free = true;
                     break;
                 }
-                let pick = if n_free == 1 { 0 } else { self.rng.gen_range(0..n_free.min(8)) };
+                let pick = if n_free == 1 {
+                    0
+                } else {
+                    self.rng.gen_range(0..n_free.min(8))
+                };
                 let ch = free[pick].expect("picked a free member");
-                let widx = self.station_queue[st.index()].pop_front().expect("non-empty");
+                let widx = self.station_queue[st.index()]
+                    .pop_front()
+                    .expect("non-empty");
                 self.channel_holder[ch.index()] = widx;
                 self.channel_grant_time[ch.index()] = t;
                 // Wait statistics: source-queue wait for injections
@@ -385,7 +405,11 @@ impl<'a, R: Router> Engine<'a, R> {
                 // the request at head arrival.
                 let (wait, measured_grant) = {
                     let w = &self.worms[widx as usize];
-                    let anchor = if w.path.is_empty() { w.gen_time } else { w.request_time };
+                    let anchor = if w.path.is_empty() {
+                        w.gen_time
+                    } else {
+                        w.request_time
+                    };
                     (t - anchor, w.path.is_empty() && w.measured)
                 };
                 if t >= self.window_start && t < self.window_end {
@@ -444,7 +468,10 @@ impl<'a, R: Router> Engine<'a, R> {
             }
             self.release_tail(widx, t);
             let dst_is_pe = matches!(
-                self.router.network().node(self.router.network().channel(ch).dst).kind,
+                self.router
+                    .network()
+                    .node(self.router.network().channel(ch).dst)
+                    .kind,
                 NodeKind::Processor { .. }
             );
             if dst_is_pe {
@@ -504,8 +531,9 @@ impl<'a, R: Router> Engine<'a, R> {
         }
 
         let incomplete = self.outstanding_measured;
-        let backlog_growth =
-            self.backlog_at_window_end.saturating_sub(self.backlog_at_window_start);
+        let backlog_growth = self
+            .backlog_at_window_end
+            .saturating_sub(self.backlog_at_window_start);
         let growth_threshold = 20.0 + 0.05 * self.generated_in_window as f64;
         let saturated = incomplete > 0 || (backlog_growth as f64) > growth_threshold;
 
@@ -611,11 +639,15 @@ impl<'a, R: Router> Engine<'a, R> {
                 }
             }
             if w.state == WormState::Draining
-                && w.path.last().map(|&ch| net.channel(ch).dst).map(|n| {
-                    !matches!(net.node(n).kind, NodeKind::Processor { .. })
-                }) == Some(true)
+                && w.path
+                    .last()
+                    .map(|&ch| net.channel(ch).dst)
+                    .map(|n| !matches!(net.node(n).kind, NodeKind::Processor { .. }))
+                    == Some(true)
             {
-                return Err(format!("draining worm {wi} whose path does not end at a PE"));
+                return Err(format!(
+                    "draining worm {wi} whose path does not end at a PE"
+                ));
             }
         }
         Ok(())

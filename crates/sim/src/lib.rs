@@ -31,7 +31,7 @@
 //! * [`stats`] — Welford accumulators, batch-means confidence intervals,
 //!   per-channel-class audit counters.
 //! * [`runner`] — warmup/measure/drain orchestration, saturation detection,
-//!   and crossbeam-parallel load sweeps with deterministic per-point seeds.
+//!   and thread-parallel load sweeps with deterministic per-point seeds.
 //!
 //! # Example
 //!

@@ -62,7 +62,12 @@ impl Router for BftRouter<'_> {
 
     fn label(&self) -> String {
         let p = self.tree.params();
-        format!("bft(c={},p={},N={})", p.children(), p.parents(), p.num_processors())
+        format!(
+            "bft(c={},p={},N={})",
+            p.children(),
+            p.parents(),
+            p.num_processors()
+        )
     }
 }
 

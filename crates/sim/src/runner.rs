@@ -66,13 +66,44 @@ impl SimResult {
 
 /// Runs one simulation to completion.
 #[must_use]
-pub fn run_simulation<R: Router>(router: &R, cfg: &SimConfig, traffic: &TrafficConfig) -> SimResult {
+pub fn run_simulation<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+) -> SimResult {
     Engine::new(router, cfg, traffic).run()
 }
 
+/// Derives the uncorrelated per-point seed used by [`sweep_flit_loads`]
+/// for point `index`: mixing with a splitmix64-style odd constant keeps
+/// the streams uncorrelated while staying reproducible from the base
+/// seed. Public (like [`replication_seed`] and [`saturation_probe_seed`])
+/// so tests and helper crates can reproduce individual runs without
+/// copying the formula.
+#[must_use]
+pub fn point_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Derives the seed [`replicate`] uses for replication `index` (a distinct
+/// odd-constant stream from [`point_seed`], so a sweep point and a
+/// replication with equal indices never share an RNG stream).
+#[must_use]
+pub fn replication_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
+/// Derives the seed [`find_saturation`] uses for its `index`-th load probe
+/// (its own stream constant; index 0 intentionally reuses the base seed so
+/// the first probe matches a plain [`run_simulation`] call).
+#[must_use]
+pub fn saturation_probe_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed.wrapping_add(index.wrapping_mul(0x2545_F491_4F6C_DD1D))
+}
+
 /// Runs one simulation per offered flit load, in parallel across OS threads
-/// (crossbeam scoped threads; one deterministic seed per point derived from
-/// the base seed), returning results in input order.
+/// (std scoped threads; one deterministic seed per point derived from
+/// the base seed via [`point_seed`]), returning results in input order.
 #[must_use]
 pub fn sweep_flit_loads<R: Router>(
     router: &R,
@@ -83,30 +114,27 @@ pub fn sweep_flit_loads<R: Router>(
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut results: Vec<Option<SimResult>> = vec![None; flit_loads.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let results_mutex = std::sync::Mutex::new(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(flit_loads.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= flit_loads.len() {
                     break;
                 }
-                // Distinct deterministic seed per point: mixing with a
-                // splitmix64-style constant keeps streams uncorrelated.
-                let seed = cfg
-                    .seed
-                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let point_cfg = cfg.with_seed(seed);
+                let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
                 let traffic = TrafficConfig::from_flit_load(flit_loads[i], worm_flits);
                 let result = run_simulation(router, &point_cfg, &traffic);
-                results_mutex.lock()[i] = Some(result);
+                results_mutex.lock().expect("sweep threads must not panic")[i] = Some(result);
             });
         }
-    })
-    .expect("sweep threads must not panic");
+    });
 
-    results.into_iter().map(|r| r.expect("every point computed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every point computed"))
+        .collect()
 }
 
 /// Aggregate of several independent replications of the same operating
@@ -137,28 +165,28 @@ pub fn replicate<R: Router>(
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut runs: Vec<Option<SimResult>> = vec![None; replications];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = parking_lot::Mutex::new(&mut runs);
-    crossbeam::thread::scope(|scope| {
+    let slots = std::sync::Mutex::new(&mut runs);
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(replications) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= replications {
                     break;
                 }
-                let seed = cfg
-                    .seed
-                    .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+                let seed = replication_seed(cfg.seed, i as u64);
                 let result = run_simulation(router, &cfg.with_seed(seed), traffic);
-                slots.lock()[i] = Some(result);
+                slots.lock().expect("replication threads must not panic")[i] = Some(result);
             });
         }
-    })
-    .expect("replication threads must not panic");
+    });
     let runs: Vec<SimResult> = runs.into_iter().map(|r| r.expect("computed")).collect();
     let n = runs.len() as f64;
     let mean_latency = runs.iter().map(|r| r.avg_latency).sum::<f64>() / n;
     let var = if runs.len() > 1 {
-        runs.iter().map(|r| (r.avg_latency - mean_latency).powi(2)).sum::<f64>() / (n - 1.0)
+        runs.iter()
+            .map(|r| (r.avg_latency - mean_latency).powi(2))
+            .sum::<f64>()
+            / (n - 1.0)
     } else {
         0.0
     };
@@ -187,7 +215,7 @@ pub fn find_saturation<R: Router>(
     let mut load = start_load;
     let mut idx = 0u64;
     while load <= max_load {
-        let seed = cfg.seed.wrapping_add(idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let seed = saturation_probe_seed(cfg.seed, idx);
         let traffic = TrafficConfig::from_flit_load(load, worm_flits);
         let result = run_simulation(router, &cfg.with_seed(seed), &traffic);
         if result.saturated {
@@ -206,6 +234,9 @@ mod tests {
     use crate::router::BftRouter;
     use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
+    // Mirrors `wormsim_testutil::quick_sim_config`, which cannot be used
+    // here: testutil depends on this crate, and a dev-dependency cycle
+    // would make its `SimConfig` a distinct type in this build.
     fn quick_cfg() -> SimConfig {
         SimConfig {
             warmup_cycles: 1_000,

@@ -176,7 +176,8 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
             self.sorted = true;
         }
     }
@@ -291,7 +292,11 @@ impl ClassAudit {
                     class,
                     channels,
                     grants: self.grants[i],
-                    lambda: if denom > 0.0 { self.grants[i] as f64 / denom } else { 0.0 },
+                    lambda: if denom > 0.0 {
+                        self.grants[i] as f64 / denom
+                    } else {
+                        0.0
+                    },
                     mean_service: self.service[i].mean(),
                     mean_wait: self.wait[i].mean(),
                     utilization: if denom > 0.0 {
@@ -326,8 +331,10 @@ mod tests {
 
     #[test]
     fn welford_merge_equals_single_stream() {
-        let (a, b): (Vec<f64>, Vec<f64>) =
-            ((0..50).map(f64::from).collect(), (50..120).map(f64::from).collect());
+        let (a, b): (Vec<f64>, Vec<f64>) = (
+            (0..50).map(f64::from).collect(),
+            (50..120).map(f64::from).collect(),
+        );
         let mut w1 = Welford::new();
         for &x in a.iter().chain(b.iter()) {
             w1.add(x);
@@ -430,7 +437,10 @@ mod tests {
         audit.record_release(inj, 16);
         audit.record_grant(ej, 0);
         let stats = audit.finish(100);
-        let inj_stats = stats.iter().find(|s| s.class == ChannelClass::Injection).unwrap();
+        let inj_stats = stats
+            .iter()
+            .find(|s| s.class == ChannelClass::Injection)
+            .unwrap();
         assert_eq!(inj_stats.channels, 16);
         assert_eq!(inj_stats.grants, 2);
         assert!((inj_stats.mean_wait - 3.0).abs() < 1e-12);

@@ -72,7 +72,12 @@ impl TrafficGenerator {
                 heap.push(Pending { time: t, pe });
             }
         }
-        Self { heap, num_pes, rate: traffic.message_rate, pattern: traffic.pattern }
+        Self {
+            heap,
+            num_pes,
+            rate: traffic.message_rate,
+            pattern: traffic.pattern,
+        }
     }
 
     /// Pops every arrival with generation time inside cycle `cycle`
@@ -90,8 +95,15 @@ impl TrafficGenerator {
             }
             let Pending { time, pe } = self.heap.pop().expect("peeked entry exists");
             let dest = self.pick_dest(pe, rng);
-            out.push(Arrival { src: pe, dest, cycle });
-            self.heap.push(Pending { time: time + exponential(rng, self.rate), pe });
+            out.push(Arrival {
+                src: pe,
+                dest,
+                cycle,
+            });
+            self.heap.push(Pending {
+                time: time + exponential(rng, self.rate),
+                pe,
+            });
         }
     }
 
@@ -265,7 +277,10 @@ mod tests {
         let frac = to_zero / out.len() as f64;
         // Expected: 1/8 hot traffic + (7/8)·(1/31) uniform share ≈ 0.153.
         let expect = 1.0 / 8.0 + (7.0 / 8.0) / 31.0;
-        assert!((frac - expect).abs() < 0.02, "hotspot fraction {frac} vs {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "hotspot fraction {frac} vs {expect}"
+        );
         for a in &out {
             assert_ne!(a.src, a.dest);
         }

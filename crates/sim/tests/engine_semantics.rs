@@ -28,8 +28,7 @@ fn half_shift_zero_load_latency_is_exact() {
         let params = BftParams::paper(n_procs).unwrap();
         let tree = ButterflyFatTree::new(params);
         let router = BftRouter::new(&tree);
-        let traffic =
-            TrafficConfig::new(0.00005, 16).with_pattern(TrafficPattern::HalfShift);
+        let traffic = TrafficConfig::new(0.00005, 16).with_pattern(TrafficPattern::HalfShift);
         let r = run_simulation(&router, &tiny_cfg(3), &traffic);
         assert!(!r.saturated);
         assert!(r.messages_completed > 5, "need data");

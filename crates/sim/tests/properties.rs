@@ -11,9 +11,8 @@ use wormsim_topology::hypercube::Hypercube;
 use wormsim_topology::mesh::Mesh;
 
 fn small_bft() -> impl Strategy<Value = BftParams> {
-    (2usize..=4, 1usize..=2, 1u32..=3).prop_filter_map("valid params", |(c, p, n)| {
-        BftParams::new(c, p, n).ok()
-    })
+    (2usize..=4, 1usize..=2, 1u32..=3)
+        .prop_filter_map("valid params", |(c, p, n)| BftParams::new(c, p, n).ok())
 }
 
 fn pattern() -> impl Strategy<Value = TrafficPattern> {

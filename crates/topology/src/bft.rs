@@ -61,7 +61,10 @@ impl fmt::Display for BftError {
             BftError::ParentsTooSmall => write!(f, "butterfly fat-tree needs p >= 1 parents"),
             BftError::LevelsTooSmall => write!(f, "butterfly fat-tree needs n >= 1 levels"),
             BftError::NotAPowerOfArity { processors, arity } => {
-                write!(f, "{processors} processors is not a positive power of {arity}")
+                write!(
+                    f,
+                    "{processors} processors is not a positive power of {arity}"
+                )
             }
             BftError::TooLarge => write!(f, "network too large (node count would overflow)"),
         }
@@ -111,7 +114,11 @@ impl BftParams {
                 return Err(BftError::TooLarge);
             }
         }
-        Ok(Self { children, parents, levels })
+        Ok(Self {
+            children,
+            parents,
+            levels,
+        })
     }
 
     /// The paper's `(4, 2)` butterfly fat-tree with the given number of
@@ -128,7 +135,10 @@ impl BftParams {
             n += 1;
         }
         if v != num_processors || n == 0 {
-            return Err(BftError::NotAPowerOfArity { processors: num_processors, arity: 4 });
+            return Err(BftError::NotAPowerOfArity {
+                processors: num_processors,
+                arity: 4,
+            });
         }
         Self::new(4, 2, n)
     }
@@ -164,7 +174,11 @@ impl BftParams {
     /// Panics when `l` is outside `[1, n]`.
     #[must_use]
     pub fn switches_at_level(&self, l: u32) -> usize {
-        assert!((1..=self.levels).contains(&l), "level {l} out of range 1..={}", self.levels);
+        assert!(
+            (1..=self.levels).contains(&l),
+            "level {l} out of range 1..={}",
+            self.levels
+        );
         self.children.pow(self.levels - l) * self.parents.pow(l - 1)
     }
 
@@ -181,7 +195,11 @@ impl BftParams {
     /// (the root reaches every leaf).
     #[must_use]
     pub fn p_up(&self, l: u32) -> f64 {
-        assert!(l <= self.levels, "level {l} out of range 0..={}", self.levels);
+        assert!(
+            l <= self.levels,
+            "level {l} out of range 0..={}",
+            self.levels
+        );
         let n_leaves = self.num_processors() as f64;
         let reach = (self.children.pow(l)) as f64;
         (n_leaves - reach) / (n_leaves - 1.0)
@@ -292,7 +310,10 @@ impl ButterflyFatTree {
             let count = params.switches_at_level(l);
             let mut ids = Vec::with_capacity(count);
             for a in 0..count {
-                ids.push(network.add_node(NodeKind::Switch { level: l, address: a }));
+                ids.push(network.add_node(NodeKind::Switch {
+                    level: l,
+                    address: a,
+                }));
             }
             total += count;
             switch_node.push(ids);
@@ -317,9 +338,17 @@ impl ButterflyFatTree {
             let inject = network.add_channel(pe, sw, ChannelClass::Injection);
             let eject = network.add_channel(sw, pe, ChannelClass::Ejection);
             let s = slot(1, x / c);
-            assert_eq!(down_channels[s][x % c], sentinel, "double-wired ejection port");
+            assert_eq!(
+                down_channels[s][x % c],
+                sentinel,
+                "double-wired ejection port"
+            );
             down_channels[s][x % c] = eject;
-            network.add_processor_ports(ProcessorPorts { node: pe, inject, eject });
+            network.add_processor_ports(ProcessorPorts {
+                node: pe,
+                inject,
+                eject,
+            });
         }
 
         // Switch-to-switch wiring for l in [1, n-1].
@@ -335,15 +364,28 @@ impl ButterflyFatTree {
                 let g = a / group_stride;
                 let i = (a % group_stride) / p_pow[lp];
                 for k in 0..p {
-                    let parent_addr = g * p_pow[l as usize] + (a + k * p_pow[lp]) % p_pow[l as usize];
+                    let parent_addr =
+                        g * p_pow[l as usize] + (a + k * p_pow[lp]) % p_pow[l as usize];
                     let parent_id = switch_node[l as usize][parent_addr];
-                    let up =
-                        network.add_channel_in_station(child_id, parent_id, ChannelClass::Up { from: l }, st);
+                    let up = network.add_channel_in_station(
+                        child_id,
+                        parent_id,
+                        ChannelClass::Up { from: l },
+                        st,
+                    );
                     up_channels[child_slot].push(up);
-                    let down =
-                        network.add_channel(parent_id, child_id, ChannelClass::Down { from: l + 1 });
+                    let down = network.add_channel(
+                        parent_id,
+                        child_id,
+                        ChannelClass::Down { from: l + 1 },
+                    );
                     let ps = slot(l + 1, parent_addr);
-                    assert_eq!(down_channels[ps][i], sentinel, "double-wired child port {i} at S({},{parent_addr})", l + 1);
+                    assert_eq!(
+                        down_channels[ps][i],
+                        sentinel,
+                        "double-wired child port {i} at S({},{parent_addr})",
+                        l + 1
+                    );
                     down_channels[ps][i] = down;
                 }
             }
@@ -478,10 +520,9 @@ impl ButterflyFatTree {
             let port = self.child_port_for(l, dest);
             RouteChoice::Down(self.down_channels[self.switch_slot(node)][port])
         } else {
-            RouteChoice::Up(
-                self.up_station[self.switch_slot(node)]
-                    .expect("non-root switch must have an up station when destination is outside its subtree"),
-            )
+            RouteChoice::Up(self.up_station[self.switch_slot(node)].expect(
+                "non-root switch must have an up station when destination is outside its subtree",
+            ))
         }
     }
 
@@ -494,7 +535,9 @@ impl ButterflyFatTree {
     /// Iterator over `(level, address, node)` for all switches.
     pub fn switches(&self) -> impl Iterator<Item = (u32, usize, NodeId)> + '_ {
         self.switch_node.iter().enumerate().flat_map(|(li, ids)| {
-            ids.iter().enumerate().map(move |(a, &id)| ((li + 1) as u32, a, id))
+            ids.iter()
+                .enumerate()
+                .map(move |(a, &id)| ((li + 1) as u32, a, id))
         })
     }
 }
@@ -585,8 +628,14 @@ mod tests {
         let ups15 = tree.up_channels_of(s15);
         assert_eq!(net.channel(ups15[0]).dst, tree.switch(2, 3));
         assert_eq!(net.channel(ups15[1]).dst, tree.switch(2, 2));
-        assert_eq!(net.channel(tree.down_channels_of(tree.switch(2, 3))[1]).dst, s15);
-        assert_eq!(net.channel(tree.down_channels_of(tree.switch(2, 2))[1]).dst, s15);
+        assert_eq!(
+            net.channel(tree.down_channels_of(tree.switch(2, 3))[1]).dst,
+            s15
+        );
+        assert_eq!(
+            net.channel(tree.down_channels_of(tree.switch(2, 2))[1]).dst,
+            s15
+        );
     }
 
     #[test]
@@ -598,7 +647,10 @@ mod tests {
             assert_eq!(net.channel(ports.inject).dst, tree.switch(1, x / 4));
             assert_eq!(net.channel(ports.eject).src, tree.switch(1, x / 4));
             // Ejection channel occupies child port x mod 4.
-            assert_eq!(tree.down_channels_of(tree.switch(1, x / 4))[x % 4], ports.eject);
+            assert_eq!(
+                tree.down_channels_of(tree.switch(1, x / 4))[x % 4],
+                ports.eject
+            );
         }
     }
 
@@ -661,7 +713,11 @@ mod tests {
                     let down = tree.down_channels_of(cur)[port];
                     let nxt = net.channel(down).dst;
                     if cl == 1 {
-                        assert_eq!(nxt, NodeId(d), "descent from S({l},{a}) must reach leaf {d}");
+                        assert_eq!(
+                            nxt,
+                            NodeId(d),
+                            "descent from S({l},{a}) must reach leaf {d}"
+                        );
                         break;
                     }
                     cur = nxt;
@@ -757,7 +813,13 @@ mod tests {
 
     #[test]
     fn generalized_trees_build_and_validate() {
-        for (c, p, n) in [(2usize, 1usize, 3u32), (2, 2, 4), (3, 2, 3), (4, 4, 3), (4, 2, 5)] {
+        for (c, p, n) in [
+            (2usize, 1usize, 3u32),
+            (2, 2, 4),
+            (3, 2, 3),
+            (4, 4, 3),
+            (4, 2, 5),
+        ] {
             let params = BftParams::new(c, p, n).unwrap();
             let tree = ButterflyFatTree::new(params);
             tree.network().validate().unwrap();

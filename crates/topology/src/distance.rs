@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn bfs_average_matches_closed_form() {
-        for params in [BftParams::paper(16).unwrap(), BftParams::new(2, 2, 3).unwrap()] {
+        for params in [
+            BftParams::paper(16).unwrap(),
+            BftParams::new(2, 2, 3).unwrap(),
+        ] {
             let tree = ButterflyFatTree::new(params);
             let avg = average_processor_distance(tree.network());
             assert!(
@@ -118,13 +121,19 @@ mod tests {
     fn diameter_is_twice_levels() {
         let params = BftParams::paper(64).unwrap();
         let tree = ButterflyFatTree::new(params);
-        assert_eq!(processor_diameter(tree.network()), 2 * params.levels() as usize);
+        assert_eq!(
+            processor_diameter(tree.network()),
+            2 * params.levels() as usize
+        );
     }
 
     #[test]
     fn all_nodes_reachable_from_any_processor() {
         let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
         let dist = bfs_distances(tree.network(), NodeId(0));
-        assert!(dist.iter().all(|&d| d != usize::MAX), "BFT must be strongly connected");
+        assert!(
+            dist.iter().all(|&d| d != usize::MAX),
+            "BFT must be strongly connected"
+        );
     }
 }

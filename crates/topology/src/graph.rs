@@ -137,20 +137,32 @@ impl ChannelNetwork {
     /// Creates an empty network; used by topology builders.
     #[must_use]
     pub fn empty() -> Self {
-        Self { nodes: Vec::new(), channels: Vec::new(), stations: Vec::new(), processors: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            stations: Vec::new(),
+            processors: Vec::new(),
+        }
     }
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { kind, out_channels: Vec::new(), in_channels: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            out_channels: Vec::new(),
+            in_channels: Vec::new(),
+        });
         id
     }
 
     /// Adds a channel inside a fresh single-server station and returns its id.
     pub fn add_channel(&mut self, src: NodeId, dst: NodeId, class: ChannelClass) -> ChannelId {
         let station = StationId(self.stations.len());
-        self.stations.push(Station { node: src, channels: Vec::new() });
+        self.stations.push(Station {
+            node: src,
+            channels: Vec::new(),
+        });
         self.add_channel_in_station(src, dst, class, station)
     }
 
@@ -167,13 +179,22 @@ impl ChannelNetwork {
         class: ChannelClass,
         station: StationId,
     ) -> ChannelId {
-        assert!(station.index() < self.stations.len(), "station {station} does not exist");
+        assert!(
+            station.index() < self.stations.len(),
+            "station {station} does not exist"
+        );
         assert_eq!(
-            self.stations[station.index()].node, src,
+            self.stations[station.index()].node,
+            src,
             "station {station} belongs to a different node"
         );
         let id = ChannelId(self.channels.len());
-        self.channels.push(Channel { src, dst, station, class });
+        self.channels.push(Channel {
+            src,
+            dst,
+            station,
+            class,
+        });
         self.stations[station.index()].channels.push(id);
         self.nodes[src.index()].out_channels.push(id);
         self.nodes[dst.index()].in_channels.push(id);
@@ -184,7 +205,10 @@ impl ChannelNetwork {
     /// its id.
     pub fn add_station(&mut self, node: NodeId) -> StationId {
         let id = StationId(self.stations.len());
-        self.stations.push(Station { node, channels: Vec::new() });
+        self.stations.push(Station {
+            node,
+            channels: Vec::new(),
+        });
         id
     }
 
@@ -297,7 +321,9 @@ impl ChannelNetwork {
                     return Err(format!("station {id} mixes channels from different nodes"));
                 }
                 if self.channels[ch.index()].station != id {
-                    return Err(format!("station {id} contains channel {ch} pointing elsewhere"));
+                    return Err(format!(
+                        "station {id} contains channel {ch} pointing elsewhere"
+                    ));
                 }
             }
         }
@@ -305,16 +331,26 @@ impl ChannelNetwork {
             let inj = self.channel(ports.inject);
             let ej = self.channel(ports.eject);
             if inj.src != ports.node {
-                return Err(format!("processor {pi}: inject channel does not leave the PE"));
+                return Err(format!(
+                    "processor {pi}: inject channel does not leave the PE"
+                ));
             }
             if ej.dst != ports.node {
-                return Err(format!("processor {pi}: eject channel does not enter the PE"));
+                return Err(format!(
+                    "processor {pi}: eject channel does not enter the PE"
+                ));
             }
             if inj.class != ChannelClass::Injection {
-                return Err(format!("processor {pi}: inject channel has class {}", inj.class));
+                return Err(format!(
+                    "processor {pi}: inject channel has class {}",
+                    inj.class
+                ));
             }
             if ej.class != ChannelClass::Ejection {
-                return Err(format!("processor {pi}: eject channel has class {}", ej.class));
+                return Err(format!(
+                    "processor {pi}: eject channel has class {}",
+                    ej.class
+                ));
             }
             match self.node(ports.node).kind {
                 NodeKind::Processor { index } if index == pi => {}
@@ -334,10 +370,17 @@ mod tests {
     fn tiny() -> ChannelNetwork {
         let mut net = ChannelNetwork::empty();
         let pe = net.add_node(NodeKind::Processor { index: 0 });
-        let sw = net.add_node(NodeKind::Switch { level: 1, address: 0 });
+        let sw = net.add_node(NodeKind::Switch {
+            level: 1,
+            address: 0,
+        });
         let inject = net.add_channel(pe, sw, ChannelClass::Injection);
         let eject = net.add_channel(sw, pe, ChannelClass::Ejection);
-        net.add_processor_ports(ProcessorPorts { node: pe, inject, eject });
+        net.add_processor_ports(ProcessorPorts {
+            node: pe,
+            inject,
+            eject,
+        });
         net
     }
 
@@ -354,9 +397,18 @@ mod tests {
     #[test]
     fn multi_channel_station_groups_up_links() {
         let mut net = ChannelNetwork::empty();
-        let sw0 = net.add_node(NodeKind::Switch { level: 1, address: 0 });
-        let sw1 = net.add_node(NodeKind::Switch { level: 2, address: 0 });
-        let sw2 = net.add_node(NodeKind::Switch { level: 2, address: 1 });
+        let sw0 = net.add_node(NodeKind::Switch {
+            level: 1,
+            address: 0,
+        });
+        let sw1 = net.add_node(NodeKind::Switch {
+            level: 2,
+            address: 0,
+        });
+        let sw2 = net.add_node(NodeKind::Switch {
+            level: 2,
+            address: 1,
+        });
         let st = net.add_station(sw0);
         let up0 = net.add_channel_in_station(sw0, sw1, ChannelClass::Up { from: 1 }, st);
         let up1 = net.add_channel_in_station(sw0, sw2, ChannelClass::Up { from: 1 }, st);
@@ -371,8 +423,14 @@ mod tests {
     #[should_panic(expected = "different node")]
     fn station_rejects_foreign_channels() {
         let mut net = ChannelNetwork::empty();
-        let a = net.add_node(NodeKind::Switch { level: 1, address: 0 });
-        let b = net.add_node(NodeKind::Switch { level: 1, address: 1 });
+        let a = net.add_node(NodeKind::Switch {
+            level: 1,
+            address: 0,
+        });
+        let b = net.add_node(NodeKind::Switch {
+            level: 1,
+            address: 1,
+        });
         let st = net.add_station(a);
         let _ = net.add_channel_in_station(b, a, ChannelClass::Up { from: 1 }, st);
     }

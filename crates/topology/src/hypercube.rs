@@ -32,19 +32,32 @@ impl Hypercube {
     /// Panics when `dim` is 0 or the network would be absurdly large.
     #[must_use]
     pub fn new(dim: u32) -> Self {
-        assert!((1..=20).contains(&dim), "hypercube dimension must be in 1..=20");
+        assert!(
+            (1..=20).contains(&dim),
+            "hypercube dimension must be in 1..=20"
+        );
         let n = 1usize << dim;
         let mut network = ChannelNetwork::empty();
         for x in 0..n {
             let id = network.add_node(NodeKind::Processor { index: x });
             debug_assert_eq!(id.index(), x);
         }
-        let switch_node: Vec<NodeId> =
-            (0..n).map(|x| network.add_node(NodeKind::Switch { level: 0, address: x })).collect();
+        let switch_node: Vec<NodeId> = (0..n)
+            .map(|x| {
+                network.add_node(NodeKind::Switch {
+                    level: 0,
+                    address: x,
+                })
+            })
+            .collect();
         for (x, &sw) in switch_node.iter().enumerate() {
             let inject = network.add_channel(NodeId(x), sw, ChannelClass::Injection);
             let eject = network.add_channel(sw, NodeId(x), ChannelClass::Ejection);
-            network.add_processor_ports(ProcessorPorts { node: NodeId(x), inject, eject });
+            network.add_processor_ports(ProcessorPorts {
+                node: NodeId(x),
+                inject,
+                eject,
+            });
         }
         let mut neighbor_channel = vec![Vec::with_capacity(dim as usize); n];
         for x in 0..n {
@@ -59,7 +72,12 @@ impl Hypercube {
             }
         }
         debug_assert_eq!(network.validate(), Ok(()));
-        Self { dim, network, neighbor_channel, switch_node }
+        Self {
+            dim,
+            network,
+            neighbor_channel,
+            switch_node,
+        }
     }
 
     /// Dimension `d`.

@@ -44,12 +44,22 @@ impl Mesh {
             let id = network.add_node(NodeKind::Processor { index: x });
             debug_assert_eq!(id.index(), x);
         }
-        let switch_node: Vec<NodeId> =
-            (0..n).map(|x| network.add_node(NodeKind::Switch { level: 0, address: x })).collect();
+        let switch_node: Vec<NodeId> = (0..n)
+            .map(|x| {
+                network.add_node(NodeKind::Switch {
+                    level: 0,
+                    address: x,
+                })
+            })
+            .collect();
         for (x, &sw) in switch_node.iter().enumerate() {
             let inject = network.add_channel(NodeId(x), sw, ChannelClass::Injection);
             let eject = network.add_channel(sw, NodeId(x), ChannelClass::Ejection);
-            network.add_processor_ports(ProcessorPorts { node: NodeId(x), inject, eject });
+            network.add_processor_ports(ProcessorPorts {
+                node: NodeId(x),
+                inject,
+                eject,
+            });
         }
         let mut plus_channel = vec![vec![None; dims as usize]; n];
         let mut minus_channel = vec![vec![None; dims as usize]; n];
@@ -76,7 +86,14 @@ impl Mesh {
             stride *= radix;
         }
         debug_assert_eq!(network.validate(), Ok(()));
-        Self { radix, dims, network, plus_channel, minus_channel, switch_node }
+        Self {
+            radix,
+            dims,
+            network,
+            plus_channel,
+            minus_channel,
+            switch_node,
+        }
     }
 
     /// The radix `k`.

@@ -14,11 +14,18 @@ pub fn bft_to_dot(tree: &ButterflyFatTree) -> String {
     out.push_str("digraph bft {\n  rankdir=BT;\n  node [shape=circle];\n");
     // Rank groups per level.
     let n = tree.num_levels();
-    let _ = writeln!(out, "  {{ rank=same; {} }}",
-        (0..tree.num_processors()).map(|x| format!("P{x}")).collect::<Vec<_>>().join("; "));
+    let _ = writeln!(
+        out,
+        "  {{ rank=same; {} }}",
+        (0..tree.num_processors())
+            .map(|x| format!("P{x}"))
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
     for l in 1..=n {
-        let names: Vec<String> =
-            (0..tree.switches_at_level(l)).map(|a| format!("S{l}_{a}")).collect();
+        let names: Vec<String> = (0..tree.switches_at_level(l))
+            .map(|a| format!("S{l}_{a}"))
+            .collect();
         let _ = writeln!(out, "  {{ rank=same; {} }}", names.join("; "));
     }
     for x in 0..tree.num_processors() {
@@ -38,8 +45,13 @@ pub fn bft_to_dot(tree: &ButterflyFatTree) -> String {
                 }
             }
             ChannelClass::Up { from } => {
-                if let (NodeKind::Switch { address: a, .. }, NodeKind::Switch { level: pl, address: pa }) =
-                    (net.node(ch.src).kind, net.node(ch.dst).kind)
+                if let (
+                    NodeKind::Switch { address: a, .. },
+                    NodeKind::Switch {
+                        level: pl,
+                        address: pa,
+                    },
+                ) = (net.node(ch.src).kind, net.node(ch.dst).kind)
                 {
                     let _ = writeln!(out, "  S{from}_{a} -> S{pl}_{pa} [dir=both];");
                 }
@@ -87,8 +99,12 @@ pub fn bft_to_ascii(tree: &ButterflyFatTree) -> String {
         }
         out.push('\n');
     }
-    let _ = writeln!(out, "level 0: P0..P{} (processor x attaches to S(1, x/{}))",
-        tree.num_processors() - 1, tree.params().children());
+    let _ = writeln!(
+        out,
+        "level 0: P0..P{} (processor x attaches to S(1, x/{}))",
+        tree.num_processors() - 1,
+        tree.params().children()
+    );
     out
 }
 
@@ -107,7 +123,10 @@ mod tests {
             assert!(dot.contains(&format!("P{x} [shape=box")), "missing P{x}");
         }
         for (l, a, _) in tree.switches() {
-            assert!(dot.contains(&format!("S{l}_{a} [label")), "missing S({l},{a})");
+            assert!(
+                dot.contains(&format!("S{l}_{a} [label")),
+                "missing S({l},{a})"
+            );
         }
         // One bidirectional edge per injection and per up channel:
         // 16 inject edges + (level 1: 4 switches × 2 parents) up channels.

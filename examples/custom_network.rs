@@ -33,14 +33,20 @@ fn spec(lambda0: f64, worm_flits: f64) -> NetworkSpec {
                 name: "eject".into(),
                 lambda: lambda0,
                 servers: 1,
-                body: ClassBody::Terminal { service_time: worm_flits },
+                body: ClassBody::Terminal {
+                    service_time: worm_flits,
+                },
             },
             ClassSpec {
                 name: "middle-pair".into(),
                 lambda: 2.0 * lambda0,
                 servers: 2,
                 body: ClassBody::Interior {
-                    forwards: vec![Forward { to: eject, multiplicity: 4, prob_each: 0.25 }],
+                    forwards: vec![Forward {
+                        to: eject,
+                        multiplicity: 4,
+                        prob_each: 0.25,
+                    }],
                 },
             },
             ClassSpec {
@@ -48,7 +54,11 @@ fn spec(lambda0: f64, worm_flits: f64) -> NetworkSpec {
                 lambda: lambda0,
                 servers: 1,
                 body: ClassBody::Interior {
-                    forwards: vec![Forward { to: middle, multiplicity: 1, prob_each: 1.0 }],
+                    forwards: vec![Forward {
+                        to: middle,
+                        multiplicity: 1,
+                        prob_each: 1.0,
+                    }],
                 },
             },
         ],
@@ -85,8 +95,13 @@ fn main() {
     println!("\npaper M/G/2 bundle vs independent M/G/1 middle links @ λ0 = 0.02:");
     let net = spec(0.02, s);
     let paper = net.latency(&ModelOptions::paper()).expect("stable");
-    let single = net.latency(&ModelOptions::single_server_up()).expect("stable");
+    let single = net
+        .latency(&ModelOptions::single_server_up())
+        .expect("stable");
     println!("  M/G/2 bundle     : {:.3} cycles", paper.total);
     println!("  independent M/G/1: {:.3} cycles", single.total);
-    println!("  pooling saves    : {:.3} cycles", single.total - paper.total);
+    println!(
+        "  pooling saves    : {:.3} cycles",
+        single.total - paper.total
+    );
 }

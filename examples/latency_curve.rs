@@ -24,16 +24,24 @@ fn main() {
     let model = BftModel::new(params, f64::from(s));
 
     let loads: Vec<f64> = (1..=10).map(|i| 0.004 * f64::from(i)).collect();
-    println!("N={n}, worms of {s} flits; sweeping {} load points...\n", loads.len());
+    println!(
+        "N={n}, worms of {s} flits; sweeping {} load points...\n",
+        loads.len()
+    );
 
-    let cfg = SimConfig { measure_cycles: 30_000, ..SimConfig::quick() };
+    let cfg = SimConfig {
+        measure_cycles: 30_000,
+        ..SimConfig::quick()
+    };
     let results = sweep_flit_loads(&router, &cfg, s, &loads);
 
     println!("{:>8}  {:>9}  {:>9}  {:>7}", "load", "model", "sim", "err%");
     let mut model_pts = Vec::new();
     let mut sim_pts = Vec::new();
     for r in &results {
-        let m = model.latency_at_flit_load(r.offered_flit_load).map(|l| l.total);
+        let m = model
+            .latency_at_flit_load(r.offered_flit_load)
+            .map(|l| l.total);
         match (m, r.saturated) {
             (Ok(m), false) => {
                 println!(
@@ -49,7 +57,8 @@ fn main() {
             (m, _) => println!(
                 "{:>8.4}  {:>9}  {:>9.2}  {:>7}",
                 r.offered_flit_load,
-                m.map(|v| format!("{v:.2}")).unwrap_or_else(|_| "SAT".into()),
+                m.map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|_| "SAT".into()),
                 r.avg_latency,
                 "-"
             ),
@@ -60,7 +69,10 @@ fn main() {
     println!(
         "{}",
         plot(
-            &[Series::new("model", 'o', model_pts), Series::new("sim", 'x', sim_pts)],
+            &[
+                Series::new("model", 'o', model_pts),
+                Series::new("sim", 'x', sim_pts)
+            ],
             64,
             18,
             "flits/cycle/PE",

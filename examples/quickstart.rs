@@ -49,5 +49,8 @@ fn main() {
 
     // Where does the network run out of steam?
     let sat = model.saturation_flit_load().expect("model saturates");
-    println!("\nmodel saturation: {sat:.4} flits/cycle/PE ({:.2}% of a flit/cycle)", sat * 100.0);
+    println!(
+        "\nmodel saturation: {sat:.4} flits/cycle/PE ({:.2}% of a flit/cycle)",
+        sat * 100.0
+    );
 }

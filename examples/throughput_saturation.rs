@@ -12,15 +12,20 @@ use wormsim::sim::router::BftRouter;
 use wormsim::sim::runner::find_saturation;
 
 fn main() {
-    let n: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
     let params = BftParams::paper(n).expect("N must be a power of 4");
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = SimConfig::quick();
 
     println!("N={n}: saturation points (flits/cycle/PE)\n");
-    println!("{:>6}  {:>12}  {:>14}  {:>16}", "flits", "model knee", "sim stable <=", "sim saturated >=");
+    println!(
+        "{:>6}  {:>12}  {:>14}  {:>16}",
+        "flits", "model knee", "sim stable <=", "sim saturated >="
+    );
     for s in [16u32, 32, 64] {
         let model = BftModel::new(params, f64::from(s));
         let knee = model.saturation_flit_load().expect("saturates");
@@ -28,7 +33,9 @@ fn main() {
             find_saturation(&router, &cfg, s, knee * 0.6, knee * 0.08, knee * 2.5);
         println!(
             "{s:>6}  {knee:>12.4}  {stable:>14.4}  {:>16}",
-            first_bad.map(|b| format!("{b:.4}")).unwrap_or_else(|| "none".into())
+            first_bad
+                .map(|b| format!("{b:.4}"))
+                .unwrap_or_else(|| "none".into())
         );
     }
     println!(

@@ -35,7 +35,10 @@ fn main() {
     println!("{}", render::bft_to_ascii(&tree));
     println!("channels: {}", tree.network().num_channels());
     println!("stations: {}", tree.network().num_stations());
-    println!("average distance: {:.4} channels", params.average_distance());
+    println!(
+        "average distance: {:.4} channels",
+        params.average_distance()
+    );
     println!("diameter: {} channels", 2 * params.levels());
     for l in 0..params.levels() {
         println!("P(up) at level {l}: {:.4}", params.p_up(l));

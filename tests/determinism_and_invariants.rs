@@ -5,6 +5,115 @@ use wormsim::sim::config::{SimConfig, TrafficConfig};
 use wormsim::sim::engine::Engine;
 use wormsim::sim::router::BftRouter;
 use wormsim::sim::runner::{run_simulation, sweep_flit_loads};
+use wormsim_testutil::{mix_seed, quick_sim_config, test_traffic, TEST_SEED};
+
+/// Exact, total encoding of a [`SimResult`] — every field, floats by bit
+/// pattern. The exhaustive destructure (no `..` rest pattern) makes adding
+/// a field to `SimResult` a compile error here, so replay tests cannot
+/// silently ignore a drifting field.
+fn fingerprint(r: &SimResult) -> String {
+    let SimResult {
+        topology,
+        num_processors,
+        worm_flits,
+        offered_message_rate,
+        offered_flit_load,
+        avg_latency,
+        latency_ci95,
+        latency_p50,
+        latency_p95,
+        latency_p99,
+        latency_max,
+        injection_wait_mean,
+        messages_measured,
+        messages_completed,
+        messages_incomplete,
+        delivered_flit_load,
+        saturated,
+        backlog_growth,
+        cycles_run,
+        max_active_worms,
+        class_stats,
+        seed,
+    } = r;
+    let mut s = String::new();
+    use std::fmt::Write as _;
+    let _ = write!(
+        s,
+        "{};{};{};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{};{};{};{:x};{};{};{};{};{};{}",
+        topology,
+        num_processors,
+        worm_flits,
+        offered_message_rate.to_bits(),
+        offered_flit_load.to_bits(),
+        avg_latency.to_bits(),
+        latency_p50.to_bits(),
+        latency_p95.to_bits(),
+        latency_p99.to_bits(),
+        latency_max.to_bits(),
+        injection_wait_mean.to_bits(),
+        messages_measured,
+        messages_completed,
+        messages_incomplete,
+        delivered_flit_load.to_bits(),
+        saturated,
+        backlog_growth,
+        cycles_run,
+        max_active_worms,
+        seed,
+        class_stats.len(),
+    );
+    for c in class_stats {
+        let _ = write!(
+            s,
+            ";{:?}:{}:{}:{:x}:{:x}:{:x}:{:x}",
+            c.class,
+            c.channels,
+            c.grants,
+            c.lambda.to_bits(),
+            c.mean_service.to_bits(),
+            c.mean_wait.to_bits(),
+            c.utilization.to_bits()
+        );
+    }
+    // latency_ci95 is NaN for tiny populations; NaN != NaN, so compare its
+    // bit pattern too rather than leaving it out.
+    let _ = write!(s, ";{:x}", latency_ci95.to_bits());
+    s
+}
+
+#[test]
+fn replay_same_seed_identical_simresult_different_seed_differs() {
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(TEST_SEED);
+    let traffic = test_traffic(0.03, 16);
+
+    let a = run_simulation(&router, &cfg, &traffic);
+    let b = run_simulation(&router, &cfg, &traffic);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "same seed must replay the complete SimResult bit-for-bit"
+    );
+
+    let c = run_simulation(&router, &cfg.with_seed(mix_seed(TEST_SEED, 1)), &traffic);
+    assert_eq!(
+        c.seed,
+        mix_seed(TEST_SEED, 1),
+        "seed must be recorded in the result"
+    );
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&c),
+        "a different seed must produce a different trajectory"
+    );
+    // The operating point itself is seed-independent.
+    assert_eq!(a.num_processors, c.num_processors);
+    assert_eq!(a.worm_flits, c.worm_flits);
+    assert_eq!(a.offered_flit_load.to_bits(), c.offered_flit_load.to_bits());
+}
 
 #[test]
 fn identical_seeds_reproduce_bit_identical_results() {
@@ -18,7 +127,10 @@ fn identical_seeds_reproduce_bit_identical_results() {
     assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
     assert_eq!(a.messages_completed, b.messages_completed);
     assert_eq!(a.cycles_run, b.cycles_run);
-    assert_eq!(a.injection_wait_mean.to_bits(), b.injection_wait_mean.to_bits());
+    assert_eq!(
+        a.injection_wait_mean.to_bits(),
+        b.injection_wait_mean.to_bits()
+    );
     for (sa, sb) in a.class_stats.iter().zip(&b.class_stats) {
         assert_eq!(sa.grants, sb.grants);
         assert_eq!(sa.mean_service.to_bits(), sb.mean_service.to_bits());
@@ -27,7 +139,7 @@ fn identical_seeds_reproduce_bit_identical_results() {
 
 #[test]
 fn parallel_sweep_equals_sequential_runs() {
-    // The crossbeam sweep derives per-point seeds deterministically, so
+    // The parallel sweep derives per-point seeds deterministically, so
     // running points one at a time must give identical numbers.
     let params = BftParams::paper(16).unwrap();
     let tree = ButterflyFatTree::new(params);
@@ -36,7 +148,8 @@ fn parallel_sweep_equals_sequential_runs() {
     let loads = [0.01, 0.03, 0.06];
     let swept = sweep_flit_loads(&router, &cfg, 16, &loads);
     for (i, &load) in loads.iter().enumerate() {
-        let seed = cfg.seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // testutil's mix_seed encodes the same derivation the sweep uses.
+        let seed = mix_seed(cfg.seed, i as u64);
         let single = run_simulation(
             &router,
             &cfg.with_seed(seed),
@@ -101,9 +214,15 @@ fn different_seeds_vary_but_agree_statistically() {
         assert!(!r.saturated);
         means.push(r.avg_latency);
     }
-    assert!(means[0] != means[1] || means[1] != means[2], "seeds must differ");
+    assert!(
+        means[0] != means[1] || means[1] != means[2],
+        "seeds must differ"
+    );
     let avg: f64 = means.iter().sum::<f64>() / 3.0;
     for m in &means {
-        assert!((m - avg).abs() / avg < 0.02, "seed variance too high: {means:?}");
+        assert!(
+            (m - avg).abs() / avg < 0.02,
+            "seed variance too high: {means:?}"
+        );
     }
 }

@@ -30,7 +30,10 @@ fn csv_artifacts_are_written_when_requested() {
     assert!(!out.artifacts.is_empty(), "channel-audit should emit CSV");
     for artifact in &out.artifacts {
         let content = std::fs::read_to_string(artifact).unwrap();
-        assert!(content.lines().count() > 1, "artifact {artifact:?} is empty");
+        assert!(
+            content.lines().count() > 1,
+            "artifact {artifact:?} is empty"
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,15 +5,10 @@ use wormsim::prelude::*;
 use wormsim::sim::config::{SimConfig, TrafficConfig};
 use wormsim::sim::router::BftRouter;
 use wormsim::sim::runner::run_simulation;
+use wormsim_testutil::validation_sim_config;
 
 fn quick_cfg(seed: u64) -> SimConfig {
-    SimConfig {
-        warmup_cycles: 3_000,
-        measure_cycles: 20_000,
-        drain_cap_cycles: 60_000,
-        seed,
-        batches: 8,
-    }
+    validation_sim_config(seed)
 }
 
 #[test]
@@ -27,8 +22,7 @@ fn zero_load_latency_is_exact() {
         let router = BftRouter::new(&tree);
         let model = BftModel::new(params, f64::from(s));
         let expect = model.latency_at_message_rate(0.0).unwrap().total;
-        let result =
-            run_simulation(&router, &quick_cfg(3), &TrafficConfig::new(0.0002, s));
+        let result = run_simulation(&router, &quick_cfg(3), &TrafficConfig::new(0.0002, s));
         assert!(!result.saturated);
         assert!(
             (result.avg_latency - expect).abs() < 1.0,
@@ -54,8 +48,15 @@ fn model_tracks_simulation_at_moderate_load() {
         let router = BftRouter::new(&tree);
         let model = BftModel::new(params, f64::from(s));
         let m = model.latency_at_flit_load(load).unwrap().total;
-        let r = run_simulation(&router, &quick_cfg(11), &TrafficConfig::from_flit_load(load, s));
-        assert!(!r.saturated, "N={n} s={s} load={load} saturated unexpectedly");
+        let r = run_simulation(
+            &router,
+            &quick_cfg(11),
+            &TrafficConfig::from_flit_load(load, s),
+        );
+        assert!(
+            !r.saturated,
+            "N={n} s={s} load={load} saturated unexpectedly"
+        );
         let err = (m - r.avg_latency).abs() / r.avg_latency;
         assert!(
             err < 0.05,
@@ -77,7 +78,11 @@ fn model_is_conservative_near_the_knee() {
     let knee = model.saturation_flit_load().unwrap();
     let load = knee * 0.88;
     let m = model.latency_at_flit_load(load).unwrap().total;
-    let r = run_simulation(&router, &quick_cfg(17), &TrafficConfig::from_flit_load(load, 32));
+    let r = run_simulation(
+        &router,
+        &quick_cfg(17),
+        &TrafficConfig::from_flit_load(load, 32),
+    );
     assert!(!r.saturated);
     assert!(
         m > r.avg_latency * 0.97,
@@ -95,9 +100,17 @@ fn latency_curves_are_ordered_by_worm_length() {
     let router = BftRouter::new(&tree);
     let mut prev = 0.0;
     for s in [16u32, 32, 64] {
-        let r = run_simulation(&router, &quick_cfg(23), &TrafficConfig::from_flit_load(0.02, s));
+        let r = run_simulation(
+            &router,
+            &quick_cfg(23),
+            &TrafficConfig::from_flit_load(0.02, s),
+        );
         assert!(!r.saturated);
-        assert!(r.avg_latency > prev, "s={s}: {} not above {prev}", r.avg_latency);
+        assert!(
+            r.avg_latency > prev,
+            "s={s}: {} not above {prev}",
+            r.avg_latency
+        );
         prev = r.avg_latency;
     }
 }

@@ -31,8 +31,16 @@ fn simulated_channel_rates_match_eq14() {
     let l0 = traffic.message_rate;
     let inj = r.class(ChannelClass::Injection).unwrap();
     let ej = r.class(ChannelClass::Ejection).unwrap();
-    assert!((inj.lambda - l0).abs() / l0 < 0.05, "inject λ {} vs {l0}", inj.lambda);
-    assert!((ej.lambda - l0).abs() / l0 < 0.05, "eject λ {} vs {l0}", ej.lambda);
+    assert!(
+        (inj.lambda - l0).abs() / l0 < 0.05,
+        "inject λ {} vs {l0}",
+        inj.lambda
+    );
+    assert!(
+        (ej.lambda - l0).abs() / l0 < 0.05,
+        "eject λ {} vs {l0}",
+        ej.lambda
+    );
 
     // Up/down rates per level (Eq. 14/15).
     for l in 1..params.levels() {

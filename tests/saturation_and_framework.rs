@@ -18,7 +18,8 @@ fn model_knee_is_near_simulated_stability_boundary() {
     let model = BftModel::new(params, 16.0);
     let knee = model.saturation_flit_load().unwrap();
     let cfg = SimConfig::quick().with_seed(31);
-    let (stable, first_bad) = find_saturation(&router, &cfg, 16, knee * 0.6, knee * 0.08, knee * 2.5);
+    let (stable, first_bad) =
+        find_saturation(&router, &cfg, 16, knee * 0.6, knee * 0.08, knee * 2.5);
     let bad = first_bad.expect("the tree must saturate");
     // The knee must be within 25% of the simulator's bracket.
     let lo = stable.min(bad) * 0.75;
@@ -33,7 +34,9 @@ fn model_knee_is_near_simulated_stability_boundary() {
 fn framework_bft_equals_closed_form_cross_crate() {
     let params = BftParams::paper(256).unwrap();
     for lambda0 in [0.0, 0.001] {
-        let closed = BftModel::new(params, 32.0).latency_at_message_rate(lambda0).unwrap();
+        let closed = BftModel::new(params, 32.0)
+            .latency_at_message_rate(lambda0)
+            .unwrap();
         let spec = framework::bft_spec(&params, 32.0, lambda0);
         let generic = spec.latency(&ModelOptions::paper()).unwrap();
         assert!((closed.total - generic.total).abs() < 1e-9);
@@ -58,7 +61,10 @@ fn hypercube_framework_model_tracks_hypercube_simulation() {
         .unwrap()
         .total;
         let r = run_simulation(&router, &cfg, &traffic);
-        assert!(!r.saturated, "load {load} saturated the 6-cube unexpectedly");
+        assert!(
+            !r.saturated,
+            "load {load} saturated the 6-cube unexpectedly"
+        );
         let err = (m - r.avg_latency).abs() / r.avg_latency;
         assert!(
             err < 0.08,
@@ -101,12 +107,29 @@ fn pooled_up_links_beat_single_server_trees_in_simulation() {
         "(4,2) capacity {knee2:.4} should far exceed (4,1) capacity {knee1:.4}"
     );
     let load = 1.35 * knee1; // past the (4,1) knee, well under the (4,2) one
-    assert!(load < 0.8 * knee2, "chosen load must be comfortably stable for (4,2)");
+    assert!(
+        load < 0.8 * knee2,
+        "chosen load must be comfortably stable for (4,2)"
+    );
     let t1 = ButterflyFatTree::new(p1);
     let t2 = ButterflyFatTree::new(p2);
     let cfg = SimConfig::quick().with_seed(43);
-    let r1 = run_simulation(&BftRouter::new(&t1), &cfg, &TrafficConfig::from_flit_load(load, 16));
-    let r2 = run_simulation(&BftRouter::new(&t2), &cfg, &TrafficConfig::from_flit_load(load, 16));
-    assert!(r1.saturated, "(4,1) tree should saturate at {load:.4} (knee {knee1:.4})");
-    assert!(!r2.saturated, "(4,2) tree should sustain {load:.4} (knee {knee2:.4})");
+    let r1 = run_simulation(
+        &BftRouter::new(&t1),
+        &cfg,
+        &TrafficConfig::from_flit_load(load, 16),
+    );
+    let r2 = run_simulation(
+        &BftRouter::new(&t2),
+        &cfg,
+        &TrafficConfig::from_flit_load(load, 16),
+    );
+    assert!(
+        r1.saturated,
+        "(4,1) tree should saturate at {load:.4} (knee {knee1:.4})"
+    );
+    assert!(
+        !r2.saturated,
+        "(4,2) tree should sustain {load:.4} (knee {knee2:.4})"
+    );
 }

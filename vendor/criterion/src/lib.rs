@@ -1,0 +1,227 @@
+//! Offline vendored shim for the subset of the `criterion` API this
+//! workspace's benchmarks use.
+//!
+//! The build environment has no network access to crates.io, so this tiny
+//! local crate keeps the `benches/` targets compiling and runnable with
+//! the familiar surface — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — while implementing a deliberately simple
+//! measurement loop: each benchmark is warmed up briefly, then timed over
+//! a fixed wall-clock budget, and the mean/min iteration times are printed
+//! one line per benchmark. No statistics, plots or baselines; when real
+//! criterion becomes available, swapping the workspace dependency back is
+//! a one-line change.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (forwards to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate label attached to a group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark, e.g. `name/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measure_budget: Duration,
+    /// Filled by [`Bencher::iter`]: (iterations, total elapsed).
+    outcome: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warmup, then as many timed iterations
+    /// as fit in the measurement budget (at least one).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: run until ~1/10 of the budget is spent,
+        // counting iterations to size the measurement batches.
+        let warmup_budget = self.measure_budget / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup_budget {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Read the clock once per batch (~100 reads over the budget) so
+        // clock overhead is not attributed to nanosecond-scale kernels.
+        let batch = (warm_iters / 10).max(1);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if start.elapsed() >= self.measure_budget {
+                break;
+            }
+        }
+        self.outcome = Some((iters, start.elapsed()));
+    }
+}
+
+/// Settings shared by [`Criterion`] and its groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measure_budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) harness CLI arguments such as `--bench`,
+    /// which cargo passes to `harness = false` bench targets.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.settings, name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Real criterion interprets this as the target number of samples;
+    /// here it only scales the per-benchmark time budget mildly so tiny
+    /// sample counts (used for slow benchmarks) stay fast.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let ms = if n <= 10 { 200 } else { 300 };
+        self.settings.measure_budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Records the work rate of subsequent benchmarks (printed only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl core::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.settings, &format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.settings, &format!("{}/{}", self.name, id), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        measure_budget: settings.measure_budget,
+        outcome: None,
+    };
+    f(&mut bencher);
+    match bencher.outcome {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "bench: {label:<50} {:>12.3} us/iter ({iters} iters)",
+                per_iter * 1e6
+            );
+        }
+        None => println!("bench: {label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group-runner function from benchmark functions (API-parity
+/// subset: `criterion_group!(name, target, ...)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,89 @@
+//! The (deliberately small) test-running machinery: configuration, the
+//! deterministic per-test RNG, and case outcomes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching real proptest's default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG handed to strategies; deterministic per test name so failures
+/// reproduce by re-running the same test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator (public to the crate's strategy impls).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Builds the deterministic RNG for a named test (FNV-1a over the
+    /// fully qualified test name).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// Outcome of one failing or discarded case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and is not counted.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (from `prop_assume!`).
+    #[must_use]
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+
+    /// A failure with a message (from `prop_assert!`).
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// Whether this outcome is a rejection rather than a failure.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}

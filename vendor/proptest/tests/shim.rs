@@ -1,0 +1,108 @@
+//! Self-tests for the vendored proptest shim: the `proptest!` macro must
+//! actually execute test bodies, honor configuration, reject via
+//! `prop_assume!`, and surface `prop_assert!` failures as panics. Without
+//! these, a macro bug could make every property suite in the workspace
+//! pass vacuously.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static PLAIN_RUNS: AtomicU32 = AtomicU32::new(0);
+static CONFIGURED_RUNS: AtomicU32 = AtomicU32::new(0);
+static ACCEPTED_RUNS: AtomicU32 = AtomicU32::new(0);
+
+// Counting probes: expanded by `proptest!` but *not* marked `#[test]`, so
+// the harness never runs them concurrently with the explicit driver test
+// below (which would race on the counters).
+proptest! {
+    fn counted_default_cases(x in 0.0..1.0f64) {
+        PLAIN_RUNS.fetch_add(1, Ordering::Relaxed);
+        prop_assert!((0.0..1.0).contains(&x));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    fn counted_configured_cases(x in 5u32..10, y in 0usize..=3) {
+        CONFIGURED_RUNS.fetch_add(1, Ordering::Relaxed);
+        prop_assert!((5..10).contains(&x));
+        prop_assert!(y <= 3);
+    }
+
+    fn counted_assume_discards(x in 0u32..100) {
+        // Half the draws are discarded; the accepted half must still reach
+        // the configured case count.
+        prop_assume!(x % 2 == 0);
+        ACCEPTED_RUNS.fetch_add(1, Ordering::Relaxed);
+        prop_assert_eq!(x % 2, 0);
+    }
+}
+
+#[test]
+fn case_counts_match_configuration() {
+    counted_default_cases();
+    counted_configured_cases();
+    counted_assume_discards();
+    assert_eq!(
+        PLAIN_RUNS.load(Ordering::Relaxed),
+        256,
+        "default case count"
+    );
+    assert_eq!(
+        CONFIGURED_RUNS.load(Ordering::Relaxed),
+        17,
+        "with_cases(17)"
+    );
+    assert_eq!(
+        ACCEPTED_RUNS.load(Ordering::Relaxed),
+        17,
+        "accepted cases only"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    #[test]
+    fn tuples_maps_filters_and_oneof_compose(
+        (a, b) in (1u32..5, 1u32..5).prop_map(|(a, b)| (a * 10, b)),
+        c in prop_oneof![Just(1u8), Just(2u8)],
+        d in (0u32..100).prop_filter_map("multiples of three", |v| {
+            (v % 3 == 0).then_some(v)
+        }),
+        e in any::<bool>(),
+    ) {
+        prop_assert!((10..50).contains(&a) && a % 10 == 0);
+        prop_assert!((1..5).contains(&b));
+        prop_assert!(c == 1 || c == 2);
+        prop_assert_eq!(d % 3, 0);
+        prop_assert!(usize::from(e) <= 1, "bool sampled through any::<bool>()");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed for input")]
+    fn failing_assertion_panics_with_input_echo(x in 3u32..7) {
+        prop_assert!(x > 100, "x={x} is never above 100");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected samples")]
+    fn impossible_assumption_is_detected(x in 0u32..10) {
+        prop_assume!(x > 100);
+    }
+}
+
+#[test]
+fn deterministic_per_test_rng_is_stable_across_runs() {
+    use proptest::strategy::Strategy;
+    let strat = (0u32..1000, 0.0..1.0f64);
+    let mut r1 = proptest::test_runner::TestRng::for_test("stable-name");
+    let mut r2 = proptest::test_runner::TestRng::for_test("stable-name");
+    let mut r3 = proptest::test_runner::TestRng::for_test("other-name");
+    let a: Vec<_> = (0..16).map(|_| strat.sample(&mut r1).unwrap()).collect();
+    let b: Vec<_> = (0..16).map(|_| strat.sample(&mut r2).unwrap()).collect();
+    let c: Vec<_> = (0..16).map(|_| strat.sample(&mut r3).unwrap()).collect();
+    assert_eq!(a, b, "same name, same stream");
+    assert_ne!(a, c, "different name, different stream");
+}
