@@ -1,0 +1,85 @@
+//! Workload hot paths: destination sampling (per-arrival cost in the
+//! simulator) and flow-vector construction + per-station model assembly
+//! (per-operating-point cost on the analytical side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wormsim_core::flows::model_from_flows;
+use wormsim_core::options::ModelOptions;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::mesh::Mesh;
+use wormsim_workload::{DestinationPattern, FlowVector};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_sampling");
+    let n = 1024usize;
+    let draws = 10_000u64;
+    group.throughput(Throughput::Elements(draws));
+    for pattern in [
+        DestinationPattern::Uniform,
+        DestinationPattern::hot_spot(),
+        DestinationPattern::BitComplement,
+        DestinationPattern::Tornado,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sample", pattern.label()),
+            &pattern,
+            |b, p| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..draws {
+                        acc ^= p.sample((i as usize * 37) % n, n, &mut rng);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_flow_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_flows");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let tree = ButterflyFatTree::new(BftParams::paper(n).unwrap());
+        group.bench_with_input(BenchmarkId::new("bft_uniform", n), &tree, |b, t| {
+            b.iter(|| FlowVector::build(t, &DestinationPattern::Uniform).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bft_hotspot", n), &tree, |b, t| {
+            b.iter(|| FlowVector::build(t, &DestinationPattern::hot_spot()).unwrap())
+        });
+    }
+    let mesh = Mesh::new(8, 2);
+    group.bench_function("mesh8x8_tornado", |b| {
+        b.iter(|| FlowVector::build(&mesh, &DestinationPattern::Tornado).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_model_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_model");
+    group.sample_size(10);
+    let tree = ButterflyFatTree::new(BftParams::paper(256).unwrap());
+    let flows = FlowVector::build(&tree, &DestinationPattern::hot_spot()).unwrap();
+    group.bench_function("bft256_hotspot_spec_and_solve", |b| {
+        b.iter(|| {
+            model_from_flows(tree.network(), &flows, 16.0, 0.0005)
+                .unwrap()
+                .latency(&ModelOptions::paper())
+                .unwrap()
+                .total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_flow_vectors,
+    bench_model_assembly
+);
+criterion_main!(benches);

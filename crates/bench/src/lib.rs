@@ -10,6 +10,8 @@
 //! * `figures` — one benchmark per reproduced artifact (Figure 2, a Figure
 //!   3 point, a throughput bracket probe, a channel-audit run), so the cost
 //!   of regenerating each paper artifact is tracked over time.
+//! * `workload` — destination-sampling and flow-vector/per-station-model
+//!   hot paths of the workload subsystem.
 
 #![warn(missing_docs)]
 
@@ -31,7 +33,7 @@ pub fn bench_sim_config(seed: u64) -> SimConfig {
 /// Standard bench traffic: 16-flit worms at a moderate load.
 #[must_use]
 pub fn bench_traffic(flit_load: f64) -> TrafficConfig {
-    TrafficConfig::from_flit_load(flit_load, 16)
+    TrafficConfig::from_flit_load(flit_load, 16).unwrap()
 }
 
 #[cfg(test)]

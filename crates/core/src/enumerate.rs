@@ -178,11 +178,7 @@ where
         } else {
             let mut forwards: Vec<Forward> = transitions[ch]
                 .iter()
-                .map(|(&to, &cnt)| Forward {
-                    to: ClassId(to),
-                    multiplicity: 1,
-                    prob_each: cnt as f64 / counts[ch] as f64,
-                })
+                .map(|(&to, &cnt)| Forward::flat(ClassId(to), 1, cnt as f64 / counts[ch] as f64))
                 .collect();
             // Deterministic order for reproducible solves.
             forwards.sort_by_key(|f| f.to.0);

@@ -1,0 +1,317 @@
+//! Workload-driven model construction from per-channel flow vectors.
+//!
+//! [`model_from_flows`] is the nonuniform-traffic counterpart of
+//! [`crate::enumerate`]: where the path enumerator rebuilds uniform
+//! traffic from scratch, this module accepts a precomputed
+//! [`FlowVector`] — *any* destination
+//! pattern pushed through the router's deterministic/adaptive path logic —
+//! and assembles the §2 model from it with **one channel class per
+//! arbitration station**:
+//!
+//! * single-channel stations (down-links, dimension hops, ejections)
+//!   become ordinary M/G/1 classes carrying that channel's exact flow;
+//! * multi-channel stations (the fat-tree's `p`-wide up-link bundles)
+//!   stay M/G/p stations — the paper's key modeling ingredient survives
+//!   the generalization — with the per-channel rate `λ = flow/m`;
+//! * forwarding probabilities `R(i|j)` are read off the flow transitions,
+//!   so spatially concentrated patterns (hot-spot) produce the asymmetric
+//!   continuation structure the closed-form model cannot see.
+//!
+//! Per Eq. 2, latency averages the injection wait and service over every
+//! PE, which under nonuniform patterns genuinely differ by position.
+
+use crate::bft::LatencyBreakdown;
+use crate::enumerate::EnumeratedModel;
+use crate::error::ModelError;
+use crate::framework::{ClassBody, ClassId, ClassSpec, Forward, NetworkSpec};
+use crate::Result;
+use wormsim_topology::graph::ChannelNetwork;
+use wormsim_topology::ids::ChannelId;
+use wormsim_workload::FlowVector;
+
+/// Builds a per-station §2 model from a flow vector at per-PE message
+/// rate `lambda0`.
+///
+/// The returned [`EnumeratedModel`] solves Eq. 11 over the station
+/// classes and averages Eq. 2 over the per-PE injection stations.
+///
+/// # Errors
+///
+/// [`ModelError::Spec`] when the flow vector does not match `net` or
+/// `lambda0` is invalid.
+pub fn model_from_flows(
+    net: &ChannelNetwork,
+    flows: &FlowVector,
+    worm_flits: f64,
+    lambda0: f64,
+) -> Result<EnumeratedModel> {
+    if !(lambda0.is_finite() && lambda0 >= 0.0) {
+        return Err(ModelError::Spec(format!("invalid message rate {lambda0}")));
+    }
+    if flows.num_channels() != net.num_channels() || flows.num_pes() != net.num_processors() {
+        return Err(ModelError::Spec(format!(
+            "flow vector shape ({} PEs, {} channels) does not match the network \
+             ({} PEs, {} channels)",
+            flows.num_pes(),
+            flows.num_channels(),
+            net.num_processors(),
+            net.num_channels()
+        )));
+    }
+
+    let n_st = net.num_stations();
+    // Aggregate channel-level flows and continuations by station. For each
+    // target station, track both the total continuation weight and the
+    // *sending flow* — the flow of the member channels that can actually
+    // reach the target. Their ratio is the blocking probability of Eq. 10
+    // conditioned on the worm's realized channel: in a fat-tree up-link
+    // pair each parent owns its own sibling down-links, so the worm that
+    // landed at that parent enters them with the full per-channel
+    // probability, not the bundle-marginal one.
+    let mut station_flow = vec![0.0f64; n_st];
+    // (target station, continuation weight, sending flow)
+    let mut station_out: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); n_st];
+    let mut per_channel: Vec<(usize, f64)> = Vec::new();
+    for (st_idx, station) in net.stations().iter().enumerate() {
+        for &ch in &station.channels {
+            let ch_flow = flows.unit_flow(ch);
+            station_flow[st_idx] += ch_flow;
+            // Collapse this channel's transitions by target station first,
+            // so its flow counts once per reachable station.
+            per_channel.clear();
+            for &(to_ch, w) in flows.transitions(ch) {
+                let to_st = net.channel(ChannelId(to_ch)).station.index();
+                match per_channel.iter_mut().find(|(s, _)| *s == to_st) {
+                    Some(entry) => entry.1 += w,
+                    None => per_channel.push((to_st, w)),
+                }
+            }
+            for &(to_st, w) in &per_channel {
+                match station_out[st_idx].iter_mut().find(|(s, _, _)| *s == to_st) {
+                    Some(entry) => {
+                        entry.1 += w;
+                        entry.2 += ch_flow;
+                    }
+                    None => station_out[st_idx].push((to_st, w, ch_flow)),
+                }
+            }
+        }
+    }
+
+    let mut classes = Vec::with_capacity(n_st);
+    for (st_idx, station) in net.stations().iter().enumerate() {
+        let servers = station.servers();
+        let lambda = station_flow[st_idx] * lambda0 / f64::from(servers);
+        let out_total: f64 = station_out[st_idx].iter().map(|&(_, w, _)| w).sum();
+        let body = if out_total > 0.0 {
+            let mut forwards: Vec<Forward> = station_out[st_idx]
+                .iter()
+                .map(|&(to, w, sending)| Forward {
+                    to: ClassId(to),
+                    multiplicity: 1,
+                    prob_each: w / out_total,
+                    blocking_prob: (w / sending).min(1.0),
+                })
+                .collect();
+            forwards.sort_unstable_by_key(|f| f.to.0);
+            ClassBody::Interior { forwards }
+        } else {
+            // Ejection stations and channels the pattern never uses.
+            ClassBody::Terminal {
+                service_time: worm_flits,
+            }
+        };
+        let lead = station.channels.first().expect("stations are non-empty");
+        classes.push(ClassSpec {
+            name: format!("{} st{st_idx}", net.channel(*lead).class),
+            lambda,
+            servers,
+            body,
+        });
+    }
+
+    let injections: Vec<ClassId> = (0..net.num_processors())
+        .map(|pe| ClassId(net.channel(net.processors()[pe].inject).station.index()))
+        .collect();
+
+    let spec = NetworkSpec {
+        classes,
+        worm_flits,
+        injection: injections[0],
+        avg_distance: flows.avg_distance(),
+    };
+    Ok(EnumeratedModel { spec, injections })
+}
+
+/// Convenience: build the flows for `routing` under `pattern` and solve
+/// the model at `lambda0` with the paper's options, returning the latency
+/// breakdown. The long-form API ([`FlowVector::build`] +
+/// [`model_from_flows`]) amortizes the flow computation across a load
+/// sweep; this one-shot form suits single operating points.
+///
+/// # Errors
+///
+/// Workload errors surface as [`ModelError::Spec`]; solver errors as in
+/// [`EnumeratedModel::latency`].
+pub fn workload_latency(
+    routing: &impl wormsim_workload::FlowRouting,
+    pattern: &wormsim_workload::DestinationPattern,
+    worm_flits: f64,
+    lambda0: f64,
+) -> Result<LatencyBreakdown> {
+    let flows = FlowVector::build(routing, pattern)
+        .map_err(|e| ModelError::Spec(format!("workload: {e}")))?;
+    let model = model_from_flows(routing.network(), &flows, worm_flits, lambda0)?;
+    model.latency(&crate::options::ModelOptions::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bft::BftModel;
+    use crate::enumerate::enumerate_deterministic;
+    use crate::options::ModelOptions;
+    use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+    use wormsim_topology::hypercube::Hypercube;
+    use wormsim_topology::mesh::Mesh;
+    use wormsim_workload::DestinationPattern;
+
+    #[test]
+    fn uniform_flows_track_the_closed_form_bft_model() {
+        // The per-station model is *sharper* than §3's closed form under
+        // uniform traffic: flow transitions condition the up/down turn on
+        // the worm's realized path (a worm arriving at level 2 has already
+        // left its own block: 48/60 at N=64), where Eq. 12 uses the
+        // unconditional per-level ratio (48/63). Agreement is therefore
+        // very close but not bit-exact; bit-exact Figure 2/3 reproduction
+        // is the job of `bft_spec_with_rates` + `BftLevelRates`.
+        for n in [16usize, 64, 256] {
+            let params = BftParams::paper(n).unwrap();
+            let tree = ButterflyFatTree::new(params);
+            let flows = FlowVector::build(&tree, &DestinationPattern::Uniform).unwrap();
+            for s in [16.0, 32.0] {
+                for lambda0 in [0.0, 0.0005, 0.001] {
+                    let closed = BftModel::new(params, s).latency_at_message_rate(lambda0);
+                    let station = model_from_flows(tree.network(), &flows, s, lambda0)
+                        .unwrap()
+                        .latency(&ModelOptions::paper());
+                    match (closed, station) {
+                        (Ok(a), Ok(b)) => {
+                            assert!(
+                                (a.total - b.total).abs() < 1e-2 * (1.0 + a.total),
+                                "N={n} s={s} λ0={lambda0}: closed {} vs per-station {}",
+                                a.total,
+                                b.total
+                            );
+                            if lambda0 == 0.0 {
+                                // At zero load both are exact.
+                                assert!((a.total - b.total).abs() < 1e-9);
+                            }
+                        }
+                        (Err(_), Err(_)) => {}
+                        (a, b) => panic!("disagreement at N={n} s={s} λ0={lambda0}: {a:?} {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_flows_match_path_enumeration_on_deterministic_routers() {
+        // For single-path routers the per-station model and the
+        // per-channel enumerated model are the same mathematical object.
+        let cube = Hypercube::new(4);
+        let flows = FlowVector::build(&cube, &DestinationPattern::Uniform).unwrap();
+        for lambda0 in [0.0, 0.002, 0.006] {
+            let a = model_from_flows(cube.network(), &flows, 16.0, lambda0)
+                .unwrap()
+                .latency(&ModelOptions::paper())
+                .unwrap();
+            let b = enumerate_deterministic(
+                cube.network(),
+                |node, dest| cube.route(node, dest),
+                16.0,
+                lambda0,
+            )
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap();
+            assert!(
+                (a.total - b.total).abs() < 1e-9 * (1.0 + a.total),
+                "λ0={lambda0}: flows {} vs enumerate {}",
+                a.total,
+                b.total
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_predicts_earlier_saturation_than_uniform() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let uniform = FlowVector::build(&tree, &DestinationPattern::Uniform).unwrap();
+        let hot = FlowVector::build(&tree, &DestinationPattern::hot_spot()).unwrap();
+        let s = 16.0;
+        // Hot ejector carries ≈ (N−1)·β + (1−β) ≈ 8.75 units: it saturates
+        // when λ0·8.75·16 ≥ 1, i.e. λ0 ≈ 0.0071, far below the uniform knee.
+        let lambda0 = 0.005;
+        let u = model_from_flows(tree.network(), &uniform, s, lambda0)
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap();
+        let h = model_from_flows(tree.network(), &hot, s, lambda0)
+            .unwrap()
+            .latency(&ModelOptions::paper());
+        match h {
+            Ok(h) => assert!(h.total > u.total, "hot {} vs uniform {}", h.total, u.total),
+            Err(e) => assert!(e.is_saturation(), "unexpected error {e}"),
+        }
+        // And well past the hot ejector's capacity it must saturate.
+        let sat = model_from_flows(tree.network(), &hot, s, 0.008)
+            .unwrap()
+            .latency(&ModelOptions::paper());
+        assert!(sat.is_err());
+    }
+
+    #[test]
+    fn zero_load_latency_is_exact_for_any_pattern() {
+        let mesh = Mesh::new(4, 2);
+        for pattern in [
+            DestinationPattern::Uniform,
+            DestinationPattern::Tornado,
+            DestinationPattern::Transpose,
+            DestinationPattern::hot_spot(),
+        ] {
+            let flows = FlowVector::build(&mesh, &pattern).unwrap();
+            let m = model_from_flows(mesh.network(), &flows, 16.0, 0.0).unwrap();
+            let lat = m.latency(&ModelOptions::paper()).unwrap();
+            let expect = 16.0 + flows.avg_distance() - 1.0;
+            assert!(
+                (lat.total - expect).abs() < 1e-12,
+                "{pattern:?}: {} vs {expect}",
+                lat.total
+            );
+        }
+    }
+
+    #[test]
+    fn one_shot_workload_latency_agrees_with_long_form() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let pattern = DestinationPattern::hot_spot();
+        let one = workload_latency(&tree, &pattern, 16.0, 0.001).unwrap();
+        let flows = FlowVector::build(&tree, &pattern).unwrap();
+        let long = model_from_flows(tree.network(), &flows, 16.0, 0.001)
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap();
+        assert_eq!(one.total.to_bits(), long.total.to_bits());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let tree16 = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let tree64 = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let flows = FlowVector::build(&tree16, &DestinationPattern::Uniform).unwrap();
+        assert!(model_from_flows(tree64.network(), &flows, 16.0, 0.001).is_err());
+        assert!(model_from_flows(tree16.network(), &flows, 16.0, f64::NAN).is_err());
+    }
+}

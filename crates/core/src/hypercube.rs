@@ -62,17 +62,9 @@ pub fn hypercube_spec(dim: u32, worm_flits: f64, lambda0: f64) -> NetworkSpec {
         // 2^{-(d-1-k)}.
         let mut forwards = Vec::with_capacity(d - k);
         for j in (k + 1)..d {
-            forwards.push(Forward {
-                to: dim_class(j),
-                multiplicity: 1,
-                prob_each: 2f64.powi(-((j - k) as i32)),
-            });
+            forwards.push(Forward::flat(dim_class(j), 1, 2f64.powi(-((j - k) as i32))));
         }
-        forwards.push(Forward {
-            to: eject,
-            multiplicity: 1,
-            prob_each: 2f64.powi(-((d - 1 - k) as i32)),
-        });
+        forwards.push(Forward::flat(eject, 1, 2f64.powi(-((d - 1 - k) as i32))));
         classes.push(ClassSpec {
             name: format!("dim{k}"),
             lambda: lambda_dim,
@@ -82,10 +74,12 @@ pub fn hypercube_spec(dim: u32, worm_flits: f64, lambda0: f64) -> NetworkSpec {
     }
     // Injection: first differing bit k with probability 2^{d-1-k}/(2^d − 1).
     let forwards = (0..d)
-        .map(|k| Forward {
-            to: dim_class(k),
-            multiplicity: 1,
-            prob_each: 2f64.powi((d - 1 - k) as i32) / (n_nodes - 1.0),
+        .map(|k| {
+            Forward::flat(
+                dim_class(k),
+                1,
+                2f64.powi((d - 1 - k) as i32) / (n_nodes - 1.0),
+            )
         })
         .collect();
     classes.push(ClassSpec {

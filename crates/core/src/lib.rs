@@ -20,8 +20,11 @@
 //! [`enumerate`] builds the framework spec *mechanically* for any
 //! deterministic-routing network by exact path enumeration (one class per
 //! physical channel — this is how asymmetric networks like meshes are
-//! modeled); and [`throughput`] hosts the saturation-point search shared
-//! by all models.
+//! modeled); [`flows`] generalizes that to **arbitrary workloads**: a
+//! `wormsim-workload` flow vector (any destination pattern pushed through
+//! the router) becomes a per-station §2 model, preserving the M/G/p
+//! up-link bundles; and [`throughput`] hosts the saturation-point search
+//! shared by all models.
 //!
 //! # Ablations
 //!
@@ -53,6 +56,7 @@
 pub mod bft;
 pub mod enumerate;
 pub mod error;
+pub mod flows;
 pub mod framework;
 pub mod hypercube;
 pub mod options;

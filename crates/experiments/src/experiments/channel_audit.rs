@@ -30,7 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
-    let traffic = TrafficConfig::from_flit_load(flit_load, s);
+    let traffic = TrafficConfig::from_flit_load(flit_load, s).unwrap();
 
     out.section(format!(
         "Channel-level audit: butterfly fat-tree N={n_procs}, worms of {s} flits, \

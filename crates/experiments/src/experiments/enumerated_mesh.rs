@@ -53,7 +53,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
-        let traffic = TrafficConfig::from_flit_load(load, s);
+        let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
         let model = enumerate_deterministic(
             mesh.network(),
             |node, dest| mesh.route(node, dest),
@@ -101,7 +101,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // Positional asymmetry: corner vs center injection under load.
     let load = loads[loads.len() - 2];
-    let traffic = TrafficConfig::from_flit_load(load, s);
+    let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
     let model = enumerate_deterministic(
         mesh.network(),
         |node, dest| mesh.route(node, dest),

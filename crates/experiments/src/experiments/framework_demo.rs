@@ -52,7 +52,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
-        let traffic = TrafficConfig::from_flit_load(load, s);
+        let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
         let model_l = cube_model::latency_at_message_rate(
             dim,
             f64::from(s),

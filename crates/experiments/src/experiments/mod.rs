@@ -3,12 +3,14 @@
 use std::path::PathBuf;
 
 pub mod ablations;
+pub mod bursty;
 pub mod channel_audit;
 pub mod enumerated_mesh;
 pub mod extension_mgm;
 pub mod fig2;
 pub mod fig3;
 pub mod framework_demo;
+pub mod hotspot;
 pub mod scaling;
 pub mod tail_latency;
 pub mod throughput;
@@ -170,6 +172,16 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "channel-audit",
         channel_audit::run,
         "Validity V1: per-level rates and service times vs Eqs. 14-24",
+    ),
+    (
+        "hotspot",
+        hotspot::run,
+        "Workload W1: hot-spot traffic, flow-vector model vs simulation, plus a beta sweep",
+    ),
+    (
+        "bursty",
+        bursty::run,
+        "Workload W2: MMPP bursty sources vs the Poisson and burst-corrected models",
     ),
 ];
 

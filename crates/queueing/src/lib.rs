@@ -16,6 +16,8 @@
 //! * [`blocking`] — the blocking-probability correction
 //!   `P(i|j) = 1 − m·(λᵢ/λⱼ)·R(i|j)` (paper Eq. 10) that adapts
 //!   Poisson-arrival queueing results to wormhole routing.
+//! * [`gg1`] — the Kingman / Allen–Cunneen G/G/1 correction for
+//!   non-Poisson (bursty MMPP) arrivals, used by the workload extension.
 //! * [`distribution`] — service-time distribution descriptions by moments.
 //! * [`solver`] — damped fixed-point iteration and bracketing root finding,
 //!   used to resolve cyclic channel dependencies and saturation points.
@@ -56,6 +58,7 @@
 pub mod blocking;
 pub mod distribution;
 pub mod error;
+pub mod gg1;
 pub mod mg1;
 pub mod mgm;
 pub mod mmm;

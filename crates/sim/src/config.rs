@@ -1,4 +1,17 @@
 //! Simulation and traffic configuration.
+//!
+//! Traffic is described by the shared `wormsim-workload` types: a
+//! [`DestinationPattern`] says *where* messages go and an
+//! [`ArrivalProcess`] says *when* they are generated, so one
+//! [`Workload`] value parameterizes the simulator and the analytical
+//! model identically.
+
+pub use wormsim_workload::{
+    ArrivalProcess, DestinationPattern, MmppProfile, Workload, WorkloadError,
+};
+
+/// The simulator's historical name for [`DestinationPattern`].
+pub type TrafficPattern = DestinationPattern;
 
 /// Measurement orchestration parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,62 +62,59 @@ impl SimConfig {
     }
 }
 
-/// Traffic pattern selection.
-///
-/// The paper studies uniform random traffic; the other patterns are common
-/// stress patterns provided as extensions (they exercise the same machinery
-/// with different spatial concentration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TrafficPattern {
-    /// Uniformly random destination ≠ source (the paper's assumption).
-    #[default]
-    UniformRandom,
-    /// Bit-complement permutation: `dest = !src` (mod N). Every message
-    /// crosses the root of a fat-tree — worst-case top-level pressure.
-    BitComplement,
-    /// Fixed cyclic shift by half the machine: `dest = src + N/2 mod N`.
-    HalfShift,
-    /// Hot-spot traffic: with probability 1/8 the destination is PE 0,
-    /// otherwise uniform. Concentrates load on one ejection channel — the
-    /// classic stress for output contention.
-    HotSpot,
-}
-
-/// Offered traffic description.
+/// Offered traffic description: rate, worm length and workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficConfig {
-    /// Message generation rate per PE, messages/cycle (the paper's `λ₀`).
+    /// Mean message generation rate per PE, messages/cycle (the paper's
+    /// `λ₀`; for MMPP sources this is the stationary mean).
     pub message_rate: f64,
     /// Worm length in flits (the paper's `s/f`).
     pub worm_flits: u32,
     /// Spatial traffic pattern.
-    pub pattern: TrafficPattern,
+    pub pattern: DestinationPattern,
+    /// Temporal arrival process.
+    pub arrival: ArrivalProcess,
 }
 
 impl TrafficConfig {
-    /// Builds uniform traffic from a message rate.
-    #[must_use]
-    pub fn new(message_rate: f64, worm_flits: u32) -> Self {
-        assert!(
-            message_rate >= 0.0 && message_rate.is_finite(),
-            "invalid message rate"
-        );
-        assert!(worm_flits >= 1, "worms need at least one flit");
-        Self {
+    /// Builds Poisson/uniform traffic from a message rate.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidParameter`] on a non-finite or negative
+    /// rate, or a zero-flit worm length.
+    pub fn new(message_rate: f64, worm_flits: u32) -> Result<Self, WorkloadError> {
+        if !(message_rate.is_finite() && message_rate >= 0.0) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "message rate {message_rate} must be finite and non-negative"
+            )));
+        }
+        if worm_flits == 0 {
+            return Err(WorkloadError::InvalidParameter(
+                "worms need at least one flit".into(),
+            ));
+        }
+        Ok(Self {
             message_rate,
             worm_flits,
-            pattern: TrafficPattern::UniformRandom,
-        }
+            pattern: DestinationPattern::Uniform,
+            arrival: ArrivalProcess::Poisson,
+        })
     }
 
-    /// Builds uniform traffic from a *flit* load (flits/cycle/PE — Figure
-    /// 3's x-axis): `λ₀ = load / worm_flits`.
-    #[must_use]
-    pub fn from_flit_load(flit_load: f64, worm_flits: u32) -> Self {
-        assert!(
-            flit_load >= 0.0 && flit_load.is_finite(),
-            "invalid flit load"
-        );
+    /// Builds Poisson/uniform traffic from a *flit* load (flits/cycle/PE —
+    /// Figure 3's x-axis): `λ₀ = load / worm_flits`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`] — an invalid flit load surfaces as an invalid
+    /// derived message rate.
+    pub fn from_flit_load(flit_load: f64, worm_flits: u32) -> Result<Self, WorkloadError> {
+        if worm_flits == 0 {
+            return Err(WorkloadError::InvalidParameter(
+                "worms need at least one flit".into(),
+            ));
+        }
         Self::new(flit_load / f64::from(worm_flits), worm_flits)
     }
 
@@ -116,9 +126,47 @@ impl TrafficConfig {
 
     /// Returns a copy with a different pattern.
     #[must_use]
-    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+    pub fn with_pattern(mut self, pattern: DestinationPattern) -> Self {
         self.pattern = pattern;
         self
+    }
+
+    /// Returns a copy with a different arrival process.
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Returns a copy carrying the given workload (pattern + arrival).
+    #[must_use]
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.pattern = workload.pattern;
+        self.arrival = workload.arrival;
+        self
+    }
+
+    /// The workload (pattern + arrival) this traffic realizes.
+    #[must_use]
+    pub fn workload(&self) -> Workload {
+        Workload {
+            arrival: self.arrival,
+            pattern: self.pattern,
+        }
+    }
+
+    /// Returns a copy at a different flit load, keeping worm length,
+    /// pattern and arrival process — the sweep primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidParameter`] on a non-finite or negative
+    /// load.
+    pub fn at_flit_load(&self, flit_load: f64) -> Result<Self, WorkloadError> {
+        let mut next = Self::from_flit_load(flit_load, self.worm_flits)?;
+        next.pattern = self.pattern;
+        next.arrival = self.arrival;
+        Ok(next)
     }
 }
 
@@ -139,27 +187,52 @@ mod tests {
 
     #[test]
     fn flit_load_round_trips() {
-        let t = TrafficConfig::from_flit_load(0.05, 16);
+        let t = TrafficConfig::from_flit_load(0.05, 16).unwrap();
         assert!((t.message_rate - 0.05 / 16.0).abs() < 1e-15);
         assert!((t.flit_load() - 0.05).abs() < 1e-15);
-        assert_eq!(t.pattern, TrafficPattern::UniformRandom);
+        assert_eq!(t.pattern, DestinationPattern::Uniform);
+        assert_eq!(t.arrival, ArrivalProcess::Poisson);
     }
 
     #[test]
-    fn pattern_override() {
-        let t = TrafficConfig::new(0.001, 32).with_pattern(TrafficPattern::BitComplement);
-        assert_eq!(t.pattern, TrafficPattern::BitComplement);
+    fn pattern_and_arrival_overrides() {
+        let t = TrafficConfig::new(0.001, 32)
+            .unwrap()
+            .with_pattern(DestinationPattern::BitComplement)
+            .with_arrival(ArrivalProcess::Mmpp(MmppProfile::default_bursty()));
+        assert_eq!(t.pattern, DestinationPattern::BitComplement);
+        assert!(matches!(t.arrival, ArrivalProcess::Mmpp(_)));
+        let w = t.workload();
+        assert_eq!(w.pattern, DestinationPattern::BitComplement);
+        let t2 = TrafficConfig::new(0.001, 32)
+            .unwrap()
+            .with_workload(Workload::hot_spot());
+        assert_eq!(t2.pattern, DestinationPattern::hot_spot());
     }
 
     #[test]
-    #[should_panic(expected = "at least one flit")]
-    fn zero_flit_worms_rejected() {
-        let _ = TrafficConfig::new(0.001, 0);
+    fn at_flit_load_preserves_the_workload() {
+        let base = TrafficConfig::from_flit_load(0.02, 16)
+            .unwrap()
+            .with_workload(Workload::hot_spot());
+        let moved = base.at_flit_load(0.04).unwrap();
+        assert_eq!(moved.pattern, base.pattern);
+        assert_eq!(moved.arrival, base.arrival);
+        assert!((moved.flit_load() - 0.04).abs() < 1e-15);
+        assert!(base.at_flit_load(f64::NAN).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "invalid message rate")]
-    fn negative_rate_rejected() {
-        let _ = TrafficConfig::new(-0.001, 8);
+    fn invalid_inputs_are_rejected_with_errors() {
+        assert!(matches!(
+            TrafficConfig::new(0.001, 0),
+            Err(WorkloadError::InvalidParameter(_))
+        ));
+        assert!(TrafficConfig::new(-0.001, 8).is_err());
+        assert!(TrafficConfig::new(f64::NAN, 8).is_err());
+        assert!(TrafficConfig::new(f64::INFINITY, 8).is_err());
+        assert!(TrafficConfig::from_flit_load(-0.1, 8).is_err());
+        assert!(TrafficConfig::from_flit_load(f64::NAN, 8).is_err());
+        assert!(TrafficConfig::from_flit_load(0.1, 0).is_err());
     }
 }

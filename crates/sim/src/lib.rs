@@ -7,7 +7,9 @@
 //! never released):
 //!
 //! 1. Poisson message generation at every PE, uniformly random destinations
-//!    (≠ source).
+//!    (≠ source) — generalized: any `wormsim-workload` destination pattern
+//!    and arrival process (two-state MMPP bursty sources included) can be
+//!    plugged in through [`config::TrafficConfig`].
 //! 2. Fixed worm length; worms move as **rigid chains** over single-flit
 //!    channel buffers — when the head advances one hop, every in-network
 //!    flit advances one hop; when the head blocks, all flits hold.
@@ -26,8 +28,9 @@
 //! * [`router`] — per-topology routing logic behind one trait
 //!   ([`router::Router`]): butterfly fat-tree, hypercube (e-cube),
 //!   k-ary n-mesh (dimension order).
-//! * [`traffic`] — Poisson sources on a continuous clock, merged through a
-//!   binary heap so per-cycle cost scales with arrivals, not PEs.
+//! * [`traffic`] — Poisson or MMPP-modulated sources on a continuous
+//!   clock, merged through a binary heap so per-cycle cost scales with
+//!   arrivals, not PEs; destinations sampled from the workload's pattern.
 //! * [`stats`] — Welford accumulators, batch-means confidence intervals,
 //!   per-channel-class audit counters.
 //! * [`runner`] — warmup/measure/drain orchestration, saturation detection,
@@ -44,7 +47,7 @@
 //! let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
 //! let router = BftRouter::new(&tree);
 //! let cfg = SimConfig { warmup_cycles: 2_000, measure_cycles: 10_000, ..SimConfig::default() };
-//! let traffic = TrafficConfig::from_flit_load(0.01, 16);
+//! let traffic = TrafficConfig::from_flit_load(0.01, 16).unwrap();
 //! let result = run_simulation(&router, &cfg, &traffic);
 //! assert!(!result.saturated);
 //! // Zero-ish load: latency close to s + D̄ − 1.

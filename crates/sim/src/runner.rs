@@ -104,6 +104,12 @@ pub fn saturation_probe_seed(base_seed: u64, index: u64) -> u64 {
 /// Runs one simulation per offered flit load, in parallel across OS threads
 /// (std scoped threads; one deterministic seed per point derived from
 /// the base seed via [`point_seed`]), returning results in input order.
+/// Poisson/uniform traffic; see [`sweep_traffic`] to sweep an arbitrary
+/// workload.
+///
+/// # Panics
+///
+/// Panics on non-finite/negative loads or zero-flit worms.
 #[must_use]
 pub fn sweep_flit_loads<R: Router>(
     router: &R,
@@ -111,6 +117,29 @@ pub fn sweep_flit_loads<R: Router>(
     worm_flits: u32,
     flit_loads: &[f64],
 ) -> Vec<SimResult> {
+    let base = TrafficConfig::from_flit_load(0.0, worm_flits).expect("valid worm length");
+    sweep_traffic(router, cfg, &base, flit_loads)
+}
+
+/// Like [`sweep_flit_loads`] but carrying `base`'s full workload (pattern
+/// and arrival process) to every point; only the offered load varies.
+///
+/// # Panics
+///
+/// Panics on non-finite/negative loads, or when `base`'s destination
+/// pattern cannot address this router's machine (checked up front on the
+/// calling thread, so the failure is a clear message rather than a
+/// worker-thread abort).
+#[must_use]
+pub fn sweep_traffic<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    base: &TrafficConfig,
+    flit_loads: &[f64],
+) -> Vec<SimResult> {
+    base.pattern
+        .validate(router.network().num_processors())
+        .expect("destination pattern must fit the machine");
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut results: Vec<Option<SimResult>> = vec![None; flit_loads.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -124,7 +153,7 @@ pub fn sweep_flit_loads<R: Router>(
                     break;
                 }
                 let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
-                let traffic = TrafficConfig::from_flit_load(flit_loads[i], worm_flits);
+                let traffic = base.at_flit_load(flit_loads[i]).expect("valid sweep load");
                 let result = run_simulation(router, &point_cfg, &traffic);
                 results_mutex.lock().expect("sweep threads must not panic")[i] = Some(result);
             });
@@ -216,7 +245,7 @@ pub fn find_saturation<R: Router>(
     let mut idx = 0u64;
     while load <= max_load {
         let seed = saturation_probe_seed(cfg.seed, idx);
-        let traffic = TrafficConfig::from_flit_load(load, worm_flits);
+        let traffic = TrafficConfig::from_flit_load(load, worm_flits).expect("valid probe load");
         let result = run_simulation(router, &cfg.with_seed(seed), &traffic);
         if result.saturated {
             return (last_stable, Some(load));
@@ -254,7 +283,7 @@ mod tests {
         // the distance distribution's range.
         let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
         let router = BftRouter::new(&tree);
-        let traffic = TrafficConfig::new(0.0001, 16);
+        let traffic = TrafficConfig::new(0.0001, 16).unwrap();
         let result = run_simulation(&router, &quick_cfg(), &traffic);
         assert!(!result.saturated);
         assert!(result.messages_completed > 0);
@@ -292,7 +321,7 @@ mod tests {
     fn determinism_same_seed_same_result() {
         let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
         let router = BftRouter::new(&tree);
-        let traffic = TrafficConfig::new(0.002, 16);
+        let traffic = TrafficConfig::new(0.002, 16).unwrap();
         let a = run_simulation(&router, &quick_cfg(), &traffic);
         let b = run_simulation(&router, &quick_cfg(), &traffic);
         assert_eq!(a.avg_latency, b.avg_latency);
@@ -307,7 +336,7 @@ mod tests {
         let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
         let router = BftRouter::new(&tree);
         // Far beyond capacity: ~0.5 flits/cycle/PE offered.
-        let traffic = TrafficConfig::from_flit_load(0.5, 16);
+        let traffic = TrafficConfig::from_flit_load(0.5, 16).unwrap();
         let result = run_simulation(&router, &quick_cfg(), &traffic);
         assert!(result.saturated);
         assert!(result.delivered_flit_load < 0.5 * 0.9);
@@ -317,7 +346,7 @@ mod tests {
     fn percentiles_are_ordered_and_bounded() {
         let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
         let router = BftRouter::new(&tree);
-        let traffic = TrafficConfig::from_flit_load(0.04, 16);
+        let traffic = TrafficConfig::from_flit_load(0.04, 16).unwrap();
         let r = run_simulation(&router, &quick_cfg(), &traffic);
         assert!(!r.saturated);
         // p50 ≤ mean-ish ≤ p95 ≤ p99 ≤ max, all at least the unblocked
@@ -333,7 +362,7 @@ mod tests {
     fn replication_reduces_to_deterministic_runs() {
         let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
         let router = BftRouter::new(&tree);
-        let traffic = TrafficConfig::from_flit_load(0.03, 16);
+        let traffic = TrafficConfig::from_flit_load(0.03, 16).unwrap();
         let rep = replicate(&router, &quick_cfg(), &traffic, 4);
         assert_eq!(rep.runs.len(), 4);
         assert!(!rep.any_saturated);
@@ -346,6 +375,20 @@ mod tests {
         // Single replication works.
         let one = replicate(&router, &quick_cfg(), &traffic, 1);
         assert_eq!(one.between_rep_std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must fit")]
+    fn sweep_rejects_patterns_that_do_not_fit_the_machine() {
+        let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+        let router = BftRouter::new(&tree);
+        let base = TrafficConfig::new(0.001, 16).unwrap().with_pattern(
+            crate::config::DestinationPattern::HotSpot {
+                fraction: 0.1,
+                target: 9999,
+            },
+        );
+        let _ = sweep_traffic(&router, &quick_cfg(), &base, &[0.01]);
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Poisson message sources on a continuous clock.
+//! Message sources on a continuous clock: Poisson or MMPP-modulated.
 //!
-//! Every PE owns an exponential inter-arrival stream; all streams are
-//! merged through a binary heap keyed by next-arrival time, so the per-cycle
-//! cost is `O(arrivals·log N)` rather than `O(N)` — at the paper's loads
+//! Every PE owns an inter-arrival stream; all streams are merged through a
+//! binary heap keyed by next-arrival time, so the per-cycle cost is
+//! `O(arrivals·log N)` rather than `O(N)` — at the paper's loads
 //! (≤ 0.003 messages/cycle/PE) that is a few heap operations per cycle even
 //! for 1024 processors.
+//!
+//! Destinations are sampled from the workload's
+//! [`DestinationPattern`]; inter-arrival times from its
+//! [`ArrivalProcess`]: plain exponentials for Poisson, or a per-PE
+//! two-state phase process for MMPP (each PE alternates ON/OFF phases with
+//! exponential dwells, drawing exponential arrival gaps at the phase's
+//! rate — the standard competing-clocks simulation of an MMPP).
 
-use crate::config::{TrafficConfig, TrafficPattern};
+use crate::config::{ArrivalProcess, DestinationPattern, TrafficConfig};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cmp::Ordering;
@@ -50,33 +57,106 @@ impl PartialOrd for Pending {
     }
 }
 
-/// Merged Poisson sources for all PEs.
+/// Per-PE MMPP phase state: the current phase and when it ends.
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    on: bool,
+    /// Real time at which the current phase's dwell expires.
+    until: f64,
+}
+
+/// Merged message sources for all PEs.
 #[derive(Debug)]
 pub struct TrafficGenerator {
     heap: BinaryHeap<Pending>,
     num_pes: usize,
     rate: f64,
-    pattern: TrafficPattern,
+    pattern: DestinationPattern,
+    arrival: ArrivalProcess,
+    /// MMPP phase state per PE; empty for Poisson sources.
+    phases: Vec<Phase>,
 }
 
 impl TrafficGenerator {
     /// Creates sources for `num_pes` PEs with the given traffic config.
     /// A zero rate produces no arrivals at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_pes < 2` or the destination pattern cannot address
+    /// this machine (see `DestinationPattern::validate`).
     #[must_use]
     pub fn new(num_pes: usize, traffic: &TrafficConfig, rng: &mut SmallRng) -> Self {
         assert!(num_pes >= 2, "traffic needs at least two PEs");
-        let mut heap = BinaryHeap::with_capacity(num_pes);
-        if traffic.message_rate > 0.0 {
-            for pe in 0..num_pes {
-                let t = exponential(rng, traffic.message_rate);
-                heap.push(Pending { time: t, pe });
-            }
-        }
-        Self {
-            heap,
+        traffic
+            .pattern
+            .validate(num_pes)
+            .expect("destination pattern must fit the machine");
+        let mut gen = Self {
+            heap: BinaryHeap::with_capacity(num_pes),
             num_pes,
             rate: traffic.message_rate,
             pattern: traffic.pattern,
+            arrival: traffic.arrival,
+            phases: Vec::new(),
+        };
+        if traffic.message_rate > 0.0 {
+            if let ArrivalProcess::Mmpp(profile) = traffic.arrival {
+                // Start each PE in its stationary phase distribution.
+                gen.phases = (0..num_pes)
+                    .map(|_| {
+                        let on = rng.gen::<f64>() < profile.duty();
+                        let dwell = if on {
+                            profile.mean_on_cycles()
+                        } else {
+                            profile.mean_off_cycles()
+                        };
+                        Phase {
+                            on,
+                            until: exponential(rng, 1.0 / dwell),
+                        }
+                    })
+                    .collect();
+            }
+            for pe in 0..num_pes {
+                let t = gen.next_arrival_time(pe, 0.0, rng);
+                gen.heap.push(Pending { time: t, pe });
+            }
+        }
+        gen
+    }
+
+    /// Samples the next arrival time of `pe` strictly after `from`.
+    fn next_arrival_time(&mut self, pe: usize, from: f64, rng: &mut SmallRng) -> f64 {
+        match self.arrival {
+            ArrivalProcess::Poisson => from + exponential(rng, self.rate),
+            ArrivalProcess::Mmpp(profile) => {
+                let (rate_on, rate_off) = profile.phase_rates(self.rate);
+                let mut t = from;
+                let phase = &mut self.phases[pe];
+                loop {
+                    let rate = if phase.on { rate_on } else { rate_off };
+                    // Candidate arrival inside the current phase, if the
+                    // phase's rate admits one.
+                    if rate > 0.0 {
+                        let cand = t + exponential(rng, rate);
+                        if cand < phase.until {
+                            return cand;
+                        }
+                    }
+                    // Dwell expired first: switch phase and keep sampling
+                    // (memorylessness makes restarting at the boundary
+                    // exact).
+                    t = phase.until;
+                    phase.on = !phase.on;
+                    let dwell = if phase.on {
+                        profile.mean_on_cycles()
+                    } else {
+                        profile.mean_off_cycles()
+                    };
+                    phase.until = t + exponential(rng, 1.0 / dwell);
+                }
+            }
         }
     }
 
@@ -94,60 +174,14 @@ impl TrafficGenerator {
                 break;
             }
             let Pending { time, pe } = self.heap.pop().expect("peeked entry exists");
-            let dest = self.pick_dest(pe, rng);
+            let dest = self.pattern.sample(pe, self.num_pes, rng);
             out.push(Arrival {
                 src: pe,
                 dest,
                 cycle,
             });
-            self.heap.push(Pending {
-                time: time + exponential(rng, self.rate),
-                pe,
-            });
-        }
-    }
-
-    /// Destination under the configured pattern.
-    fn pick_dest(&self, src: usize, rng: &mut SmallRng) -> usize {
-        match self.pattern {
-            TrafficPattern::UniformRandom => {
-                // Uniform over the other N−1 PEs.
-                let r = rng.gen_range(0..self.num_pes - 1);
-                if r >= src {
-                    r + 1
-                } else {
-                    r
-                }
-            }
-            TrafficPattern::BitComplement => {
-                if self.num_pes.is_power_of_two() {
-                    (self.num_pes - 1) ^ src
-                } else {
-                    // Natural generalization for non-power-of-two sizes:
-                    // address reversal, nudged off the fixed point an odd
-                    // size would otherwise create.
-                    let dest = self.num_pes - 1 - src;
-                    if dest == src {
-                        (src + 1) % self.num_pes
-                    } else {
-                        dest
-                    }
-                }
-            }
-            TrafficPattern::HalfShift => (src + self.num_pes / 2) % self.num_pes,
-            TrafficPattern::HotSpot => {
-                // 1/8 of traffic targets PE 0 (except from PE 0 itself).
-                if src != 0 && rng.gen_range(0..8u32) == 0 {
-                    0
-                } else {
-                    let r = rng.gen_range(0..self.num_pes - 1);
-                    if r >= src {
-                        r + 1
-                    } else {
-                        r
-                    }
-                }
-            }
+            let next = self.next_arrival_time(pe, time, rng);
+            self.heap.push(Pending { time: next, pe });
         }
     }
 }
@@ -162,16 +196,21 @@ fn exponential(rng: &mut SmallRng, lambda: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MmppProfile;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)
     }
 
+    fn uniform_traffic(rate: f64, flits: u32) -> TrafficConfig {
+        TrafficConfig::new(rate, flits).expect("valid test traffic")
+    }
+
     #[test]
     fn empirical_rate_matches_lambda() {
         let mut r = rng(7);
-        let traffic = TrafficConfig::new(0.01, 16);
+        let traffic = uniform_traffic(0.01, 16);
         let mut g = TrafficGenerator::new(64, &traffic, &mut r);
         let cycles = 50_000u64;
         let mut out = Vec::new();
@@ -189,9 +228,61 @@ mod tests {
     }
 
     #[test]
+    fn mmpp_preserves_the_mean_rate() {
+        // The modulated source must deliver the same long-run average as
+        // the Poisson source it replaces — that is the whole point of the
+        // mean-preserving parameterization.
+        let mut r = rng(19);
+        let profile = MmppProfile::new(4.0, 0.2, 150.0).unwrap();
+        let traffic = uniform_traffic(0.01, 16).with_arrival(ArrivalProcess::Mmpp(profile));
+        let mut g = TrafficGenerator::new(64, &traffic, &mut r);
+        let cycles = 60_000u64;
+        let mut out = Vec::new();
+        for t in 0..cycles {
+            g.arrivals_into(t, &mut r, &mut out);
+        }
+        let expected = 0.01 * 64.0 * cycles as f64;
+        let got = out.len() as f64;
+        // Burstier counts need a wider tolerance: scale sigma by √I∞.
+        let sigma = (expected * profile.index_of_dispersion(0.01)).sqrt();
+        assert!(
+            (got - expected).abs() < 4.5 * sigma,
+            "got {got}, expected {expected} ± {sigma}"
+        );
+    }
+
+    #[test]
+    fn mmpp_counts_are_overdispersed_relative_to_poisson() {
+        // Split the run into windows; the variance-to-mean ratio of window
+        // counts must exceed 1 markedly for a bursty profile.
+        let mut r = rng(23);
+        let profile = MmppProfile::new(8.0, 0.1, 400.0).unwrap();
+        let traffic = uniform_traffic(0.02, 8).with_arrival(ArrivalProcess::Mmpp(profile));
+        let mut g = TrafficGenerator::new(16, &traffic, &mut r);
+        let window = 500u64;
+        let windows = 400u64;
+        let mut counts = vec![0f64; windows as usize];
+        let mut out = Vec::new();
+        for t in 0..window * windows {
+            let before = out.len();
+            g.arrivals_into(t, &mut r, &mut out);
+            counts[(t / window) as usize] += (out.len() - before) as f64;
+            out.clear();
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var =
+            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (counts.len() as f64 - 1.0);
+        let iod = var / mean;
+        assert!(
+            iod > 2.0,
+            "bursty source must be overdispersed: var/mean = {iod}"
+        );
+    }
+
+    #[test]
     fn destinations_are_uniform_and_never_self() {
         let mut r = rng(11);
-        let traffic = TrafficConfig::new(0.05, 16);
+        let traffic = uniform_traffic(0.05, 16);
         let mut g = TrafficGenerator::new(8, &traffic, &mut r);
         let mut counts = [0usize; 8];
         let mut out = Vec::new();
@@ -213,7 +304,7 @@ mod tests {
     #[test]
     fn arrivals_are_time_ordered_and_within_cycle() {
         let mut r = rng(3);
-        let traffic = TrafficConfig::new(0.2, 4);
+        let traffic = uniform_traffic(0.2, 4);
         let mut g = TrafficGenerator::new(4, &traffic, &mut r);
         let mut out = Vec::new();
         for t in 0..1000 {
@@ -232,19 +323,24 @@ mod tests {
     #[test]
     fn zero_rate_generates_nothing() {
         let mut r = rng(5);
-        let traffic = TrafficConfig::new(0.0, 16);
-        let mut g = TrafficGenerator::new(16, &traffic, &mut r);
-        let mut out = Vec::new();
-        for t in 0..10_000 {
-            g.arrivals_into(t, &mut r, &mut out);
+        for arrival in [
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Mmpp(MmppProfile::default_bursty()),
+        ] {
+            let traffic = uniform_traffic(0.0, 16).with_arrival(arrival);
+            let mut g = TrafficGenerator::new(16, &traffic, &mut r);
+            let mut out = Vec::new();
+            for t in 0..10_000 {
+                g.arrivals_into(t, &mut r, &mut out);
+            }
+            assert!(out.is_empty());
         }
-        assert!(out.is_empty());
     }
 
     #[test]
     fn bit_complement_and_half_shift_patterns() {
         let mut r = rng(9);
-        let t1 = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::BitComplement);
+        let t1 = uniform_traffic(0.1, 4).with_pattern(DestinationPattern::BitComplement);
         let mut g = TrafficGenerator::new(16, &t1, &mut r);
         let mut out = Vec::new();
         for t in 0..500 {
@@ -253,7 +349,7 @@ mod tests {
         for a in &out {
             assert_eq!(a.dest, 15 ^ a.src);
         }
-        let t2 = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::HalfShift);
+        let t2 = uniform_traffic(0.1, 4).with_pattern(DestinationPattern::HalfShift);
         let mut g = TrafficGenerator::new(16, &t2, &mut r);
         out.clear();
         for t in 0..500 {
@@ -265,9 +361,9 @@ mod tests {
     }
 
     #[test]
-    fn hotspot_concentrates_on_pe_zero() {
+    fn hotspot_concentrates_on_its_target() {
         let mut r = rng(21);
-        let t = TrafficConfig::new(0.05, 8).with_pattern(TrafficPattern::HotSpot);
+        let t = uniform_traffic(0.05, 8).with_pattern(DestinationPattern::hot_spot());
         let mut g = TrafficGenerator::new(32, &t, &mut r);
         let mut out = Vec::new();
         for cycle in 0..100_000 {
@@ -275,8 +371,10 @@ mod tests {
         }
         let to_zero = out.iter().filter(|a| a.dest == 0).count() as f64;
         let frac = to_zero / out.len() as f64;
-        // Expected: 1/8 hot traffic + (7/8)·(1/31) uniform share ≈ 0.153.
-        let expect = 1.0 / 8.0 + (7.0 / 8.0) / 31.0;
+        // Aggregate over all 32 equal-rate sources: the 31 cold PEs send
+        // 1/8 + (7/8)/31 each, the target itself sends nothing to itself,
+        // so the expectation is (31/32)·(1/8 + (7/8)/31) ≈ 0.148.
+        let expect = 31.0 / 32.0 * (1.0 / 8.0 + (7.0 / 8.0) / 31.0);
         assert!(
             (frac - expect).abs() < 0.02,
             "hotspot fraction {frac} vs {expect}"
@@ -284,6 +382,24 @@ mod tests {
         for a in &out {
             assert_ne!(a.src, a.dest);
         }
+        // Parameterized target and fraction.
+        let t2 = uniform_traffic(0.05, 8).with_pattern(DestinationPattern::HotSpot {
+            fraction: 0.5,
+            target: 9,
+        });
+        let mut g2 = TrafficGenerator::new(32, &t2, &mut r);
+        out.clear();
+        for cycle in 0..50_000 {
+            g2.arrivals_into(cycle, &mut r, &mut out);
+        }
+        let to_nine = out.iter().filter(|a| a.dest == 9).count() as f64;
+        let frac9 = to_nine / out.len() as f64;
+        // Same aggregation: (31/32)·(1/2 + (1/2)/31) = exactly 1/2.
+        let expect9 = 31.0 / 32.0 * (0.5 + 0.5 / 31.0);
+        assert!(
+            (frac9 - expect9).abs() < 0.02,
+            "hotspot fraction {frac9} vs {expect9}"
+        );
     }
 
     #[test]
@@ -306,21 +422,21 @@ mod tests {
         // Hot ejector sees 63/8 of a PE's flit load: 0.14·63/8 ≈ 1.10
         // flits/cycle > 1 (saturated), while uniform 0.14 sits below the
         // N=64 knee (~0.18).
-        let traffic = TrafficConfig::from_flit_load(0.14, 16);
+        let traffic = TrafficConfig::from_flit_load(0.14, 16).unwrap();
         let uniform = run_simulation(&router, &cfg, &traffic);
         let hot = run_simulation(
             &router,
             &cfg,
-            &traffic.with_pattern(TrafficPattern::HotSpot),
+            &traffic.with_pattern(DestinationPattern::hot_spot()),
         );
-        assert!(!uniform.saturated, "uniform 0.05 must be stable on N=64");
-        assert!(hot.saturated, "hot-spot 0.05 must saturate the hot ejector");
+        assert!(!uniform.saturated, "uniform 0.14 must be stable on N=64");
+        assert!(hot.saturated, "hot-spot 0.14 must saturate the hot ejector");
     }
 
     #[test]
     fn bit_complement_handles_non_power_of_two_sizes() {
         let mut r = rng(13);
-        let t = TrafficConfig::new(0.1, 4).with_pattern(TrafficPattern::BitComplement);
+        let t = uniform_traffic(0.1, 4).with_pattern(DestinationPattern::BitComplement);
         for n in [3usize, 5, 9, 27] {
             let mut g = TrafficGenerator::new(n, &t, &mut r);
             let mut out = Vec::new();
@@ -337,9 +453,12 @@ mod tests {
 
     #[test]
     fn determinism_given_seed() {
-        let run = |seed: u64| {
+        let run = |seed: u64, bursty: bool| {
             let mut r = rng(seed);
-            let traffic = TrafficConfig::new(0.02, 8);
+            let mut traffic = uniform_traffic(0.02, 8);
+            if bursty {
+                traffic = traffic.with_arrival(ArrivalProcess::Mmpp(MmppProfile::default_bursty()));
+            }
             let mut g = TrafficGenerator::new(32, &traffic, &mut r);
             let mut out = Vec::new();
             for t in 0..5_000 {
@@ -347,7 +466,20 @@ mod tests {
             }
             out
         };
-        assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43));
+        assert_eq!(run(42, false), run(42, false));
+        assert_ne!(run(42, false), run(43, false));
+        assert_eq!(run(42, true), run(42, true));
+        assert_ne!(run(42, true), run(42, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must fit")]
+    fn invalid_pattern_for_machine_panics() {
+        let mut r = rng(1);
+        let t = uniform_traffic(0.01, 8).with_pattern(DestinationPattern::HotSpot {
+            fraction: 0.1,
+            target: 99,
+        });
+        let _ = TrafficGenerator::new(16, &t, &mut r);
     }
 }

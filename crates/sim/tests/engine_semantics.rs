@@ -28,7 +28,9 @@ fn half_shift_zero_load_latency_is_exact() {
         let params = BftParams::paper(n_procs).unwrap();
         let tree = ButterflyFatTree::new(params);
         let router = BftRouter::new(&tree);
-        let traffic = TrafficConfig::new(0.00005, 16).with_pattern(TrafficPattern::HalfShift);
+        let traffic = TrafficConfig::new(0.00005, 16)
+            .unwrap()
+            .with_pattern(TrafficPattern::HalfShift);
         let r = run_simulation(&router, &tiny_cfg(3), &traffic);
         assert!(!r.saturated);
         assert!(r.messages_completed > 5, "need data");
@@ -51,7 +53,9 @@ fn bit_complement_is_also_exact_and_root_bound() {
     let params = BftParams::paper(64).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::new(0.00005, 32).with_pattern(TrafficPattern::BitComplement);
+    let traffic = TrafficConfig::new(0.00005, 32)
+        .unwrap()
+        .with_pattern(TrafficPattern::BitComplement);
     let r = run_simulation(&router, &tiny_cfg(5), &traffic);
     assert!(!r.saturated);
     let expect = 32.0 + 6.0 - 1.0;
@@ -74,7 +78,7 @@ fn single_switch_tree_latency_is_s_plus_one() {
     let params = BftParams::new(4, 2, 1).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::new(0.00005, 8);
+    let traffic = TrafficConfig::new(0.00005, 8).unwrap();
     let r = run_simulation(&router, &tiny_cfg(7), &traffic);
     assert!(!r.saturated);
     assert!(
@@ -90,7 +94,9 @@ fn single_flit_worms_work() {
     let params = BftParams::paper(16).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::new(0.0001, 1).with_pattern(TrafficPattern::HalfShift);
+    let traffic = TrafficConfig::new(0.0001, 1)
+        .unwrap()
+        .with_pattern(TrafficPattern::HalfShift);
     let r = run_simulation(&router, &tiny_cfg(9), &traffic);
     assert!(!r.saturated);
     assert!(
@@ -110,7 +116,7 @@ fn worms_longer_than_any_path_hold_the_injection_channel_s_cycles() {
     let params = BftParams::paper(16).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::new(0.00004, 64); // worms much longer than D=8
+    let traffic = TrafficConfig::new(0.00004, 64).unwrap(); // worms much longer than D=8
     let r = run_simulation(&router, &tiny_cfg(11), &traffic);
     assert!(!r.saturated);
     let inj = r.class(ChannelClass::Injection).unwrap();
@@ -130,7 +136,7 @@ fn utilization_equals_lambda_times_service() {
     let params = BftParams::paper(64).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::from_flit_load(0.05, 16);
+    let traffic = TrafficConfig::from_flit_load(0.05, 16).unwrap();
     let r = run_simulation(&router, &tiny_cfg(13), &traffic);
     assert!(!r.saturated);
     for cs in &r.class_stats {

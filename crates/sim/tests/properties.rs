@@ -17,7 +17,7 @@ fn small_bft() -> impl Strategy<Value = BftParams> {
 
 fn pattern() -> impl Strategy<Value = TrafficPattern> {
     prop_oneof![
-        Just(TrafficPattern::UniformRandom),
+        Just(TrafficPattern::Uniform),
         Just(TrafficPattern::BitComplement),
         Just(TrafficPattern::HalfShift),
     ]
@@ -46,7 +46,7 @@ proptest! {
             seed,
             batches: 4,
         };
-        let traffic = TrafficConfig::from_flit_load(load, flits).with_pattern(pat);
+        let traffic = TrafficConfig::from_flit_load(load, flits).unwrap().with_pattern(pat);
         let mut engine = Engine::new(&router, &cfg, &traffic);
         for _ in 0..8 {
             engine.step_many(400);
@@ -73,7 +73,7 @@ proptest! {
             seed,
             batches: 4,
         };
-        let traffic = TrafficConfig::from_flit_load(0.03, flits);
+        let traffic = TrafficConfig::from_flit_load(0.03, flits).unwrap();
         let r = run_simulation(&router, &cfg, &traffic);
         prop_assert!(!r.saturated, "0.03 flits/cyc must be stable (seed {seed})");
         prop_assert_eq!(r.messages_incomplete, 0);
@@ -97,8 +97,8 @@ proptest! {
             seed,
             batches: 4,
         };
-        let lo = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(0.01, 16));
-        let hi = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(0.09, 16));
+        let lo = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(0.01, 16).unwrap());
+        let hi = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(0.09, 16).unwrap());
         prop_assert!(!lo.saturated && !hi.saturated);
         // Allow a tiny tolerance for Monte-Carlo noise at these window sizes.
         prop_assert!(hi.avg_latency > lo.avg_latency - 0.2,
@@ -119,7 +119,7 @@ proptest! {
             seed,
             batches: 4,
         };
-        let traffic = TrafficConfig::from_flit_load(load, 8);
+        let traffic = TrafficConfig::from_flit_load(load, 8).unwrap();
 
         let cube = Hypercube::new(dim);
         let router = HypercubeRouter::new(&cube);

@@ -57,7 +57,7 @@ pub fn validation_sim_config(seed: u64) -> SimConfig {
 /// load (flits/cycle/PE) with `worm_flits`-flit worms.
 #[must_use]
 pub fn test_traffic(flit_load: f64, worm_flits: u32) -> TrafficConfig {
-    TrafficConfig::from_flit_load(flit_load, worm_flits)
+    TrafficConfig::from_flit_load(flit_load, worm_flits).unwrap()
 }
 
 /// Asserts `|a - b| <= abs_tol + rel_tol * max(|a|, |b|)` with a failure

@@ -1,0 +1,235 @@
+//! Arrival processes: Poisson sources and a two-state MMPP bursty source.
+//!
+//! The paper assumes Poisson message generation at every PE. Related work
+//! (Giroudot & Mifdaoui's buffer-aware analysis of wormhole NoCs under
+//! bursty traffic) shows that real workloads are often *bursty*: arrivals
+//! cluster in ON periods separated by quiet OFF periods. The classic
+//! minimal model for this is the two-state **Markov-Modulated Poisson
+//! Process** (MMPP-2): a background Markov chain alternates between an ON
+//! phase (rate `λ_on`) and an OFF phase (rate `λ_off < λ_on`), with
+//! exponentially distributed dwell times.
+//!
+//! [`MmppProfile`] parameterizes the chain *relative to its mean rate*, so
+//! one profile describes the burst shape at any offered load:
+//!
+//! * `peak_to_mean` — `λ_on / λ̄` (> 1);
+//! * `duty` — stationary fraction of time in the ON phase;
+//! * `mean_on_cycles` — mean ON dwell (cycles); the OFF dwell follows from
+//!   the duty cycle.
+//!
+//! The profile exposes the **asymptotic index of dispersion of counts**
+//! `I∞ = lim Var N(t) / E N(t)` (Fischer & Meier-Hellstern's MMPP cookbook
+//! formula), which a Poisson process has at exactly 1; it feeds the
+//! burst-corrected waiting-time approximation in `wormsim-queueing::gg1`.
+
+use crate::error::WorkloadError;
+use crate::Result;
+
+/// How messages are generated over time at each PE.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalProcess {
+    /// Memoryless Poisson generation (the paper's assumption).
+    #[default]
+    Poisson,
+    /// Two-state Markov-modulated Poisson process (bursty ON/OFF source).
+    Mmpp(MmppProfile),
+}
+
+impl ArrivalProcess {
+    /// Asymptotic index of dispersion of counts at the given mean rate:
+    /// 1 for Poisson, [`MmppProfile::index_of_dispersion`] for MMPP.
+    #[must_use]
+    pub fn index_of_dispersion(&self, mean_rate: f64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson => 1.0,
+            ArrivalProcess::Mmpp(p) => p.index_of_dispersion(mean_rate),
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson => "poisson".to_string(),
+            ArrivalProcess::Mmpp(p) => format!(
+                "mmpp(peak/mean={}, duty={}, on={}cyc)",
+                p.peak_to_mean(),
+                p.duty(),
+                p.mean_on_cycles()
+            ),
+        }
+    }
+}
+
+/// Shape of a two-state MMPP source, relative to its mean rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppProfile {
+    peak_to_mean: f64,
+    duty: f64,
+    mean_on_cycles: f64,
+}
+
+impl MmppProfile {
+    /// Builds a profile.
+    ///
+    /// * `peak_to_mean` — ON-phase rate over the mean rate; must be > 1
+    ///   (1 would be Poisson) and satisfy `peak_to_mean · duty ≤ 1` so the
+    ///   OFF-phase rate stays non-negative.
+    /// * `duty` — fraction of time in the ON phase, in `(0, 1)`.
+    /// * `mean_on_cycles` — mean ON dwell time in cycles, > 0.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidParameter`] when any constraint fails.
+    pub fn new(peak_to_mean: f64, duty: f64, mean_on_cycles: f64) -> Result<Self> {
+        if !(peak_to_mean.is_finite() && peak_to_mean > 1.0) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "peak-to-mean ratio {peak_to_mean} must be finite and > 1"
+            )));
+        }
+        if !(duty.is_finite() && 0.0 < duty && duty < 1.0) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "duty cycle {duty} must be in (0, 1)"
+            )));
+        }
+        if peak_to_mean * duty > 1.0 + 1e-12 {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "peak_to_mean·duty = {} > 1 would need a negative OFF rate",
+                peak_to_mean * duty
+            )));
+        }
+        if !(mean_on_cycles.is_finite() && mean_on_cycles > 0.0) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "mean ON dwell {mean_on_cycles} must be finite and positive"
+            )));
+        }
+        Ok(Self {
+            peak_to_mean,
+            duty,
+            mean_on_cycles,
+        })
+    }
+
+    /// A moderately bursty default: 4× mean rate during ON phases covering
+    /// 20% of time, with 200-cycle bursts.
+    #[must_use]
+    pub fn default_bursty() -> Self {
+        Self::new(4.0, 0.2, 200.0).expect("default profile is valid")
+    }
+
+    /// ON-rate over mean rate.
+    #[must_use]
+    pub fn peak_to_mean(&self) -> f64 {
+        self.peak_to_mean
+    }
+
+    /// Stationary fraction of time in the ON phase.
+    #[must_use]
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Mean ON dwell in cycles.
+    #[must_use]
+    pub fn mean_on_cycles(&self) -> f64 {
+        self.mean_on_cycles
+    }
+
+    /// Mean OFF dwell in cycles (follows from the duty cycle).
+    #[must_use]
+    pub fn mean_off_cycles(&self) -> f64 {
+        self.mean_on_cycles * (1.0 - self.duty) / self.duty
+    }
+
+    /// Phase rates `(λ_on, λ_off)` for a source with the given mean rate.
+    /// Mean-preserving: `duty·λ_on + (1−duty)·λ_off = mean_rate`.
+    #[must_use]
+    pub fn phase_rates(&self, mean_rate: f64) -> (f64, f64) {
+        let on = self.peak_to_mean * mean_rate;
+        let off = mean_rate * (1.0 - self.peak_to_mean * self.duty) / (1.0 - self.duty);
+        (on, off.max(0.0))
+    }
+
+    /// Asymptotic index of dispersion of counts at mean rate `λ̄`,
+    /// `I∞ = 1 + 2·π_on·π_off·(λ_on − λ_off)² / (λ̄·(σ_on + σ_off))`,
+    /// where `σ` are the phase-exit rates (Fischer & Meier-Hellstern).
+    /// Grows with the mean rate: at fixed dwell times a faster source
+    /// packs more arrivals into each burst. Poisson counts sit at 1.
+    #[must_use]
+    pub fn index_of_dispersion(&self, mean_rate: f64) -> f64 {
+        if mean_rate <= 0.0 {
+            return 1.0;
+        }
+        let (on, off) = self.phase_rates(mean_rate);
+        let sigma_on = 1.0 / self.mean_on_cycles;
+        let sigma_off = 1.0 / self.mean_off_cycles();
+        let pi_on = self.duty;
+        let pi_off = 1.0 - self.duty;
+        1.0 + 2.0 * pi_on * pi_off * (on - off).powi(2) / (mean_rate * (sigma_on + sigma_off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        assert!(MmppProfile::new(0.9, 0.2, 100.0).is_err()); // not bursty
+        assert!(MmppProfile::new(4.0, 0.0, 100.0).is_err()); // no ON time
+        assert!(MmppProfile::new(4.0, 1.0, 100.0).is_err()); // always ON
+        assert!(MmppProfile::new(4.0, 0.5, 100.0).is_err()); // OFF rate < 0
+        assert!(MmppProfile::new(4.0, 0.2, 0.0).is_err()); // zero dwell
+        assert!(MmppProfile::new(f64::NAN, 0.2, 100.0).is_err());
+        assert!(MmppProfile::new(4.0, 0.2, 100.0).is_ok());
+    }
+
+    #[test]
+    fn phase_rates_preserve_the_mean() {
+        for (ptm, duty) in [(2.0, 0.3), (4.0, 0.2), (8.0, 0.1)] {
+            let p = MmppProfile::new(ptm, duty, 150.0).unwrap();
+            for mean in [0.001, 0.02] {
+                let (on, off) = p.phase_rates(mean);
+                assert!(on > off, "ON must exceed OFF");
+                assert!(off >= 0.0);
+                let recon = duty * on + (1.0 - duty) * off;
+                assert!((recon - mean).abs() < 1e-15, "{recon} vs {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispersion_exceeds_poisson_and_grows_with_burst_length() {
+        let rate = 0.002;
+        let short = MmppProfile::new(4.0, 0.2, 50.0).unwrap();
+        let long = MmppProfile::new(4.0, 0.2, 500.0).unwrap();
+        assert!(short.index_of_dispersion(rate) > 1.0);
+        assert!(long.index_of_dispersion(rate) > short.index_of_dispersion(rate));
+        assert_eq!(ArrivalProcess::Poisson.index_of_dispersion(rate), 1.0);
+        assert!(ArrivalProcess::Mmpp(short).index_of_dispersion(rate) > 1.0);
+    }
+
+    #[test]
+    fn dispersion_grows_with_rate_and_degenerates_gracefully() {
+        // Fixed dwell times: a faster source packs more arrivals per burst,
+        // so counts get burstier. Zero rate degenerates to Poisson's 1.
+        let p = MmppProfile::new(9.9, 0.1, 1000.0).unwrap();
+        let lo = p.index_of_dispersion(0.0005);
+        let hi = p.index_of_dispersion(0.005);
+        assert!(lo.is_finite() && lo > 1.0);
+        assert!(hi > lo);
+        assert_eq!(p.index_of_dispersion(0.0), 1.0);
+    }
+
+    #[test]
+    fn labels_mention_the_shape() {
+        assert_eq!(ArrivalProcess::Poisson.label(), "poisson");
+        let l = ArrivalProcess::Mmpp(MmppProfile::default_bursty()).label();
+        assert!(l.contains("mmpp") && l.contains('4'));
+    }
+
+    #[test]
+    fn default_is_poisson() {
+        assert_eq!(ArrivalProcess::default(), ArrivalProcess::Poisson);
+    }
+}

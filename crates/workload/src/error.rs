@@ -1,0 +1,44 @@
+//! Error type for workload construction and flow routing.
+
+use std::fmt;
+
+/// Errors raised while validating a workload or routing its flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A numeric parameter was out of range (non-finite rate, zero worm
+    /// length, probability outside `[0, 1]`, …).
+    InvalidParameter(String),
+    /// The destination pattern is incompatible with the network (hot-spot
+    /// target out of range, transpose on a non-square machine, …).
+    Pattern(String),
+    /// Flow propagation failed: the router looped, ejected at the wrong
+    /// switch, or the network is malformed.
+    Routing(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter(msg) => write!(f, "invalid workload parameter: {msg}"),
+            WorkloadError::Pattern(msg) => write!(f, "invalid destination pattern: {msg}"),
+            WorkloadError::Routing(msg) => write!(f, "flow routing failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_distinct() {
+        let a = WorkloadError::InvalidParameter("rate".into()).to_string();
+        let b = WorkloadError::Pattern("target".into()).to_string();
+        let c = WorkloadError::Routing("loop".into()).to_string();
+        assert!(a.contains("parameter") && a.contains("rate"));
+        assert!(b.contains("pattern") && b.contains("target"));
+        assert!(c.contains("routing") && c.contains("loop"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Traffic workloads for the wormsim reproduction.
+//!
+//! Greenberg & Guan's model derives every per-channel rate from one
+//! assumption: Poisson sources with uniformly random destinations. This
+//! crate makes the traffic pattern a first-class, *shared* input to both
+//! the analytical model and the simulator:
+//!
+//! * [`pattern::DestinationPattern`] — spatial distributions (uniform,
+//!   bit-complement, half-shift, parameterized hot-spot, transpose,
+//!   tornado, nearest-neighbor) with exact probabilities for the model and
+//!   sampling for the simulator;
+//! * [`arrival::ArrivalProcess`] — Poisson or a two-state MMPP bursty
+//!   source, parameterized by peak-to-mean ratio, duty cycle and burst
+//!   length;
+//! * [`flow::FlowVector`] — the routing-induced per-channel flow vector
+//!   `λ_c`, computed by pushing the source→destination flow matrix through
+//!   each router's deterministic/adaptive path logic over any
+//!   `wormsim-topology` channel graph;
+//! * [`workload::Workload`] — the pairing of the two, used end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use wormsim_workload::flow::FlowVector;
+//! use wormsim_workload::pattern::DestinationPattern;
+//! use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+//!
+//! let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+//! let flows = FlowVector::build(&tree, &DestinationPattern::hot_spot()).unwrap();
+//! // The hot PE's ejection channel carries far more than a cold one's.
+//! let hot = flows.unit_flow(tree.network().processors()[0].eject);
+//! let cold = flows.unit_flow(tree.network().processors()[42].eject);
+//! assert!(hot > 5.0 * cold);
+//! // Flow conservation: Σ λ_c = N · D̄ at unit per-PE rate.
+//! let n_dbar = flows.num_pes() as f64 * flows.avg_distance();
+//! assert!((flows.sum_unit_flows() - n_dbar).abs() < 1e-9 * n_dbar);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod arrival;
+pub mod error;
+pub mod flow;
+pub mod pattern;
+pub mod workload;
+
+pub use arrival::{ArrivalProcess, MmppProfile};
+pub use error::WorkloadError;
+pub use flow::{FlowHop, FlowRouting, FlowVector};
+pub use pattern::DestinationPattern;
+pub use workload::Workload;
+
+/// Result alias for workload computations.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

@@ -1,0 +1,397 @@
+//! Spatial destination distributions.
+//!
+//! A destination pattern maps a source PE to a probability distribution
+//! over destination PEs (never the source itself). The same pattern object
+//! drives both sides of the reproduction:
+//!
+//! * the **simulator** samples destinations from it
+//!   ([`DestinationPattern::sample`]);
+//! * the **analytical model** integrates it exactly
+//!   ([`DestinationPattern::dest_prob`] feeds the per-channel flow vector
+//!   of [`crate::flow`]).
+//!
+//! The paper studies [`DestinationPattern::Uniform`] only; the others are
+//! the standard stress patterns of the interconnection-network literature
+//! (Stergiou's multistage-network traffic variants, mesh adversaries).
+
+use crate::error::WorkloadError;
+use crate::Result;
+use rand::Rng;
+
+/// Spatial traffic pattern: where messages go.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DestinationPattern {
+    /// Uniformly random destination ≠ source (the paper's assumption).
+    #[default]
+    Uniform,
+    /// Bit-complement permutation: `dest = !src` for power-of-two machine
+    /// sizes (address reversal, nudged off fixed points, otherwise). Every
+    /// message crosses the root of a fat-tree — worst-case top pressure.
+    BitComplement,
+    /// Fixed cyclic shift by half the machine: `dest = src + N/2 mod N`.
+    HalfShift,
+    /// Hot-spot traffic: with probability `fraction` the destination is
+    /// `target`, otherwise uniform over the other `N − 1` PEs (the uniform
+    /// remainder may also land on the target). The target itself sends
+    /// uniformly. Concentrates load on one ejection channel.
+    HotSpot {
+        /// Probability of addressing the hot PE (classic value: 1/8).
+        fraction: f64,
+        /// Index of the hot PE (classic value: 0).
+        target: usize,
+    },
+    /// Matrix transpose on a `√N × √N` machine: `(r, c) → (c, r)` in
+    /// row-major indexing; diagonal sources shift by one to avoid
+    /// self-traffic. Requires a square PE count.
+    Transpose,
+    /// Tornado: cyclic shift by `⌈N/2⌉ − 1` (at least 1) — the classic
+    /// adversary for ring-like dimensions of meshes and tori.
+    Tornado,
+    /// Nearest-neighbor: `dest = src + 1 mod N`, the benign locality
+    /// extreme opposite the tornado.
+    NearestNeighbor,
+}
+
+/// The classic hot-spot fraction (1/8 of traffic addresses the hot PE).
+pub const DEFAULT_HOTSPOT_FRACTION: f64 = 0.125;
+
+/// The classic hot-spot target (PE 0).
+pub const DEFAULT_HOTSPOT_TARGET: usize = 0;
+
+impl DestinationPattern {
+    /// The classic hot-spot pattern: 1/8 of traffic to PE 0.
+    #[must_use]
+    pub fn hot_spot() -> Self {
+        DestinationPattern::HotSpot {
+            fraction: DEFAULT_HOTSPOT_FRACTION,
+            target: DEFAULT_HOTSPOT_TARGET,
+        }
+    }
+
+    /// Checks the pattern against a machine size.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Pattern`] when the pattern cannot address this
+    /// machine (fewer than two PEs, hot-spot target out of range or
+    /// fraction outside `[0, 1]`, transpose on a non-square count).
+    pub fn validate(&self, num_pes: usize) -> Result<()> {
+        if num_pes < 2 {
+            return Err(WorkloadError::Pattern(format!(
+                "patterns need at least two PEs, got {num_pes}"
+            )));
+        }
+        match *self {
+            DestinationPattern::HotSpot { fraction, target } => {
+                if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+                    return Err(WorkloadError::Pattern(format!(
+                        "hot-spot fraction {fraction} must be in [0, 1]"
+                    )));
+                }
+                if target >= num_pes {
+                    return Err(WorkloadError::Pattern(format!(
+                        "hot-spot target {target} out of range for {num_pes} PEs"
+                    )));
+                }
+                Ok(())
+            }
+            DestinationPattern::Transpose => {
+                let side = num_pes.isqrt();
+                if side * side != num_pes {
+                    return Err(WorkloadError::Pattern(format!(
+                        "transpose needs a square PE count, got {num_pes}"
+                    )));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// For permutation-style patterns, the single destination of `src`;
+    /// `None` for patterns with randomness (uniform, hot-spot).
+    #[must_use]
+    pub fn permutation_dest(&self, src: usize, num_pes: usize) -> Option<usize> {
+        match *self {
+            DestinationPattern::Uniform | DestinationPattern::HotSpot { .. } => None,
+            DestinationPattern::BitComplement => Some(bit_complement(src, num_pes)),
+            DestinationPattern::HalfShift => Some((src + num_pes / 2) % num_pes),
+            DestinationPattern::Transpose => Some(transpose(src, num_pes)),
+            DestinationPattern::Tornado => {
+                let offset = (num_pes.div_ceil(2) - 1).max(1);
+                Some((src + offset) % num_pes)
+            }
+            DestinationPattern::NearestNeighbor => Some((src + 1) % num_pes),
+        }
+    }
+
+    /// Exact probability that a message from `src` goes to `dst`.
+    /// Always 0 for `dst == src`; sums to 1 over all other PEs.
+    #[must_use]
+    pub fn dest_prob(&self, src: usize, dst: usize, num_pes: usize) -> f64 {
+        debug_assert!(src < num_pes && dst < num_pes);
+        if dst == src {
+            return 0.0;
+        }
+        match *self {
+            DestinationPattern::Uniform => 1.0 / (num_pes as f64 - 1.0),
+            DestinationPattern::HotSpot { fraction, target } => {
+                if src == target {
+                    // The hot PE itself sends uniformly.
+                    return 1.0 / (num_pes as f64 - 1.0);
+                }
+                let uniform_share = (1.0 - fraction) / (num_pes as f64 - 1.0);
+                if dst == target {
+                    fraction + uniform_share
+                } else {
+                    uniform_share
+                }
+            }
+            _ => {
+                let dest = self
+                    .permutation_dest(src, num_pes)
+                    .expect("non-random patterns are permutations");
+                if dst == dest {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Samples a destination for a message from `src`.
+    ///
+    /// Distributionally identical to [`Self::dest_prob`]; used by the
+    /// simulator's traffic generator.
+    pub fn sample<R: Rng>(&self, src: usize, num_pes: usize, rng: &mut R) -> usize {
+        match *self {
+            DestinationPattern::Uniform => uniform_other(src, num_pes, rng),
+            DestinationPattern::HotSpot { fraction, target } => {
+                if src != target && rng.gen::<f64>() < fraction {
+                    target
+                } else {
+                    uniform_other(src, num_pes, rng)
+                }
+            }
+            _ => self
+                .permutation_dest(src, num_pes)
+                .expect("non-random patterns are permutations"),
+        }
+    }
+
+    /// Short label for reports and CSV columns.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            DestinationPattern::Uniform => "uniform".to_string(),
+            DestinationPattern::BitComplement => "bit-complement".to_string(),
+            DestinationPattern::HalfShift => "half-shift".to_string(),
+            DestinationPattern::HotSpot { fraction, target } => {
+                format!("hotspot(beta={fraction}, target={target})")
+            }
+            DestinationPattern::Transpose => "transpose".to_string(),
+            DestinationPattern::Tornado => "tornado".to_string(),
+            DestinationPattern::NearestNeighbor => "nearest-neighbor".to_string(),
+        }
+    }
+
+    /// All patterns valid on any machine size ≥ 2 (transpose excluded —
+    /// it needs a square PE count), with the hot-spot at its classic
+    /// parameters. Used by sweep tests and benchmarks.
+    #[must_use]
+    pub fn all_basic() -> Vec<DestinationPattern> {
+        vec![
+            DestinationPattern::Uniform,
+            DestinationPattern::BitComplement,
+            DestinationPattern::HalfShift,
+            DestinationPattern::hot_spot(),
+            DestinationPattern::Tornado,
+            DestinationPattern::NearestNeighbor,
+        ]
+    }
+}
+
+/// Uniform over the `n − 1` PEs other than `src` (one draw, no rejection).
+fn uniform_other<R: Rng>(src: usize, num_pes: usize, rng: &mut R) -> usize {
+    let r = rng.gen_range(0..num_pes - 1);
+    if r >= src {
+        r + 1
+    } else {
+        r
+    }
+}
+
+/// Bit-complement with the non-power-of-two generalization used by the
+/// simulator since its first release: address reversal nudged off the
+/// fixed point an odd size would otherwise create.
+fn bit_complement(src: usize, num_pes: usize) -> usize {
+    if num_pes.is_power_of_two() {
+        (num_pes - 1) ^ src
+    } else {
+        let dest = num_pes - 1 - src;
+        if dest == src {
+            (src + 1) % num_pes
+        } else {
+            dest
+        }
+    }
+}
+
+/// Row-major transpose on a square machine, diagonal nudged forward.
+fn transpose(src: usize, num_pes: usize) -> usize {
+    let side = num_pes.isqrt();
+    debug_assert_eq!(side * side, num_pes, "validate() enforces squareness");
+    let (r, c) = (src / side, src % side);
+    let dest = c * side + r;
+    if dest == src {
+        (src + 1) % num_pes
+    } else {
+        dest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn patterns_for(n: usize) -> Vec<DestinationPattern> {
+        let mut ps = DestinationPattern::all_basic();
+        ps.push(DestinationPattern::HotSpot {
+            fraction: 0.3,
+            target: n - 1,
+        });
+        if n.isqrt() * n.isqrt() == n {
+            ps.push(DestinationPattern::Transpose);
+        }
+        ps
+    }
+
+    #[test]
+    fn probabilities_normalize_and_exclude_self() {
+        for n in [2usize, 4, 9, 16, 17, 64] {
+            for p in patterns_for(n) {
+                p.validate(n).unwrap();
+                for src in 0..n {
+                    let mut total = 0.0;
+                    for dst in 0..n {
+                        let pr = p.dest_prob(src, dst, n);
+                        assert!((0.0..=1.0).contains(&pr), "{p:?} p({src}->{dst})={pr}");
+                        if dst == src {
+                            assert_eq!(pr, 0.0, "{p:?} self traffic");
+                        }
+                        total += pr;
+                    }
+                    assert!(
+                        (total - 1.0).abs() < 1e-12,
+                        "{p:?} n={n} src={src}: total {total}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_agrees_with_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 8;
+        for p in patterns_for(n) {
+            let mut counts = vec![0usize; n];
+            let trials = 40_000;
+            for _ in 0..trials {
+                let d = p.sample(3, n, &mut rng);
+                assert!(d < n);
+                assert_ne!(d, 3);
+                counts[d] += 1;
+            }
+            for (dst, &c) in counts.iter().enumerate() {
+                let expect = p.dest_prob(3, dst, n);
+                let got = c as f64 / trials as f64;
+                assert!(
+                    (got - expect).abs() < 0.02,
+                    "{p:?} dst={dst}: sampled {got} vs exact {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_spot_semantics() {
+        let p = DestinationPattern::hot_spot();
+        let n = 32;
+        // From a cold PE: fraction + uniform share on the target.
+        let expect = 0.125 + 0.875 / 31.0;
+        assert!((p.dest_prob(5, 0, n) - expect).abs() < 1e-15);
+        // The hot PE sends uniformly.
+        assert!((p.dest_prob(0, 5, n) - 1.0 / 31.0).abs() < 1e-15);
+        // Parameterized target.
+        let p2 = DestinationPattern::HotSpot {
+            fraction: 0.5,
+            target: 7,
+        };
+        assert!((p2.dest_prob(1, 7, n) - (0.5 + 0.5 / 31.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_catches_bad_patterns() {
+        assert!(DestinationPattern::Uniform.validate(1).is_err());
+        assert!(DestinationPattern::Transpose.validate(12).is_err());
+        assert!(DestinationPattern::Transpose.validate(16).is_ok());
+        let bad_target = DestinationPattern::HotSpot {
+            fraction: 0.1,
+            target: 64,
+        };
+        assert!(bad_target.validate(64).is_err());
+        let bad_fraction = DestinationPattern::HotSpot {
+            fraction: 1.5,
+            target: 0,
+        };
+        assert!(bad_fraction.validate(64).is_err());
+        let nan_fraction = DestinationPattern::HotSpot {
+            fraction: f64::NAN,
+            target: 0,
+        };
+        assert!(nan_fraction.validate(64).is_err());
+    }
+
+    #[test]
+    fn permutations_match_classic_definitions() {
+        assert_eq!(
+            DestinationPattern::BitComplement.permutation_dest(5, 16),
+            Some(10)
+        );
+        assert_eq!(
+            DestinationPattern::HalfShift.permutation_dest(3, 16),
+            Some(11)
+        );
+        // Transpose on 4x4: PE 1 = (0,1) -> (1,0) = PE 4.
+        assert_eq!(
+            DestinationPattern::Transpose.permutation_dest(1, 16),
+            Some(4)
+        );
+        // Diagonal nudges forward.
+        assert_eq!(
+            DestinationPattern::Transpose.permutation_dest(5, 16),
+            Some(6)
+        );
+        // Tornado on 8: offset 3.
+        assert_eq!(DestinationPattern::Tornado.permutation_dest(2, 8), Some(5));
+        // Tornado on 2 degenerates to offset 1.
+        assert_eq!(DestinationPattern::Tornado.permutation_dest(0, 2), Some(1));
+        assert_eq!(
+            DestinationPattern::NearestNeighbor.permutation_dest(7, 8),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = patterns_for(16).iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,116 @@
+//! The [`Workload`] abstraction: *when* messages are generated crossed
+//! with *where* they go.
+
+use crate::arrival::{ArrivalProcess, MmppProfile};
+use crate::pattern::DestinationPattern;
+use crate::Result;
+
+/// A traffic workload: an arrival process combined with a destination
+/// distribution. One `Workload` value parameterizes both the analytical
+/// model (through the flow vector) and the simulator (through sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Workload {
+    /// Temporal shape of message generation.
+    pub arrival: ArrivalProcess,
+    /// Spatial destination distribution.
+    pub pattern: DestinationPattern,
+}
+
+impl Workload {
+    /// The paper's workload: Poisson sources, uniform destinations.
+    #[must_use]
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Poisson sources with the classic hot-spot pattern (1/8 to PE 0).
+    #[must_use]
+    pub fn hot_spot() -> Self {
+        Self {
+            arrival: ArrivalProcess::Poisson,
+            pattern: DestinationPattern::hot_spot(),
+        }
+    }
+
+    /// Poisson sources with a parameterized hot-spot.
+    #[must_use]
+    pub fn hot_spot_with(fraction: f64, target: usize) -> Self {
+        Self {
+            arrival: ArrivalProcess::Poisson,
+            pattern: DestinationPattern::HotSpot { fraction, target },
+        }
+    }
+
+    /// MMPP bursty sources with uniform destinations.
+    #[must_use]
+    pub fn bursty(profile: MmppProfile) -> Self {
+        Self {
+            arrival: ArrivalProcess::Mmpp(profile),
+            pattern: DestinationPattern::Uniform,
+        }
+    }
+
+    /// Replaces the destination pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: DestinationPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Replaces the arrival process.
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Checks the workload against a machine size.
+    ///
+    /// # Errors
+    ///
+    /// Pattern/machine incompatibilities; see
+    /// [`DestinationPattern::validate`].
+    pub fn validate(&self, num_pes: usize) -> Result<()> {
+        self.pattern.validate(num_pes)
+    }
+
+    /// Combined label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} × {}", self.arrival.label(), self.pattern.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_compose() {
+        let w = Workload::uniform();
+        assert_eq!(w.arrival, ArrivalProcess::Poisson);
+        assert_eq!(w.pattern, DestinationPattern::Uniform);
+
+        let h = Workload::hot_spot_with(0.25, 3);
+        assert_eq!(
+            h.pattern,
+            DestinationPattern::HotSpot {
+                fraction: 0.25,
+                target: 3
+            }
+        );
+
+        let b = Workload::bursty(MmppProfile::default_bursty())
+            .with_pattern(DestinationPattern::Tornado);
+        assert!(matches!(b.arrival, ArrivalProcess::Mmpp(_)));
+        assert_eq!(b.pattern, DestinationPattern::Tornado);
+        assert!(b.label().contains("mmpp") && b.label().contains("tornado"));
+    }
+
+    #[test]
+    fn validation_delegates_to_the_pattern() {
+        assert!(Workload::hot_spot_with(0.1, 10).validate(8).is_err());
+        assert!(Workload::hot_spot_with(0.1, 7).validate(8).is_ok());
+        assert!(Workload::uniform().validate(1).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property suite: flow conservation and distribution validity over
+//! randomized topologies, patterns and parameters.
+
+use proptest::prelude::*;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::mesh::Mesh;
+use wormsim_workload::{DestinationPattern, FlowVector, MmppProfile};
+
+fn small_bft() -> impl Strategy<Value = BftParams> {
+    (2usize..=4, 1usize..=2, 1u32..=3)
+        .prop_filter_map("valid params", |(c, p, n)| BftParams::new(c, p, n).ok())
+}
+
+/// Deterministic pattern choice from drawn raw parameters (the vendored
+/// proptest shim has no heterogeneous `prop_oneof`).
+fn pattern_from(idx: usize, fraction: f64, num_pes: usize) -> DestinationPattern {
+    match idx % 6 {
+        0 => DestinationPattern::Uniform,
+        1 => DestinationPattern::BitComplement,
+        2 => DestinationPattern::HalfShift,
+        3 => DestinationPattern::Tornado,
+        4 => DestinationPattern::NearestNeighbor,
+        _ => DestinationPattern::HotSpot {
+            fraction,
+            target: num_pes / 2,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bft_flows_conserve_mass(
+        params in small_bft(),
+        pat_idx in 0usize..6,
+        fraction in 0.0f64..1.0,
+    ) {
+        let tree = ButterflyFatTree::new(params);
+        let n = params.num_processors();
+        prop_assume!(n >= 2);
+        let pat = pattern_from(pat_idx, fraction, n);
+        let flows = FlowVector::build(&tree, &pat).unwrap();
+        let expect = n as f64 * flows.avg_distance();
+        prop_assert!(
+            (flows.sum_unit_flows() - expect).abs() <= 1e-9 * (1.0 + expect),
+            "{pat:?} on {params:?}: Σλ {} vs N·D̄ {expect}",
+            flows.sum_unit_flows()
+        );
+        // Per-source conservation: each PE injects exactly one unit.
+        for pe in 0..n {
+            let inj = tree.network().processors()[pe].inject;
+            prop_assert!((flows.unit_flow(inj) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mesh_flows_conserve_mass(
+        radix in 2usize..=4,
+        dims in 1u32..=2,
+        fraction in 0.0f64..1.0,
+    ) {
+        let mesh = Mesh::new(radix, dims);
+        let n = mesh.num_processors();
+        prop_assume!(n >= 2);
+        let pat = DestinationPattern::HotSpot { fraction, target: n - 1 };
+        let flows = FlowVector::build(&mesh, &pat).unwrap();
+        let expect = n as f64 * flows.avg_distance();
+        prop_assert!(
+            (flows.sum_unit_flows() - expect).abs() <= 1e-9 * (1.0 + expect)
+        );
+        // The hot PE's ejection channel integrates the distribution.
+        let hot_eject = mesh.network().processors()[n - 1].eject;
+        let exact: f64 = (0..n)
+            .filter(|&s| s != n - 1)
+            .map(|s| pat.dest_prob(s, n - 1, n))
+            .sum();
+        prop_assert!((flows.unit_flow(hot_eject) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributions_normalize(
+        num_pes in 2usize..=40,
+        pat_idx in 0usize..6,
+        fraction in 0.0f64..1.0,
+    ) {
+        let pat = pattern_from(pat_idx, fraction, num_pes);
+        for src in 0..num_pes {
+            let total: f64 = (0..num_pes).map(|d| pat.dest_prob(src, d, num_pes)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-12, "{pat:?} src={src}: {total}");
+            prop_assert_eq!(pat.dest_prob(src, src, num_pes), 0.0);
+        }
+    }
+
+    #[test]
+    fn mmpp_profiles_preserve_means(
+        ptm_pct in 110u32..=900,
+        duty_pct in 5u32..=90,
+        on in 10.0f64..2_000.0,
+        rate in 1e-5f64..0.1,
+    ) {
+        let ptm = f64::from(ptm_pct) / 100.0;
+        let duty = f64::from(duty_pct) / 100.0;
+        prop_assume!(ptm * duty <= 1.0);
+        let Ok(profile) = MmppProfile::new(ptm, duty, on) else {
+            return Ok(());
+        };
+        let (on_rate, off_rate) = profile.phase_rates(rate);
+        prop_assert!(on_rate >= off_rate && off_rate >= 0.0);
+        let mean = duty * on_rate + (1.0 - duty) * off_rate;
+        prop_assert!((mean - rate).abs() <= 1e-12 * (1.0 + rate));
+        prop_assert!(profile.index_of_dispersion(rate) >= 1.0);
+    }
+}

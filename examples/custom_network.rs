@@ -42,11 +42,7 @@ fn spec(lambda0: f64, worm_flits: f64) -> NetworkSpec {
                 lambda: 2.0 * lambda0,
                 servers: 2,
                 body: ClassBody::Interior {
-                    forwards: vec![Forward {
-                        to: eject,
-                        multiplicity: 4,
-                        prob_each: 0.25,
-                    }],
+                    forwards: vec![Forward::flat(eject, 4, 0.25)],
                 },
             },
             ClassSpec {
@@ -54,11 +50,7 @@ fn spec(lambda0: f64, worm_flits: f64) -> NetworkSpec {
                 lambda: lambda0,
                 servers: 1,
                 body: ClassBody::Interior {
-                    forwards: vec![Forward {
-                        to: middle,
-                        multiplicity: 1,
-                        prob_each: 1.0,
-                    }],
+                    forwards: vec![Forward::flat(middle, 1, 1.0)],
                 },
             },
         ],

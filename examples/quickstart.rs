@@ -37,7 +37,11 @@ fn main() {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = SimConfig::quick();
-    let result = run_simulation(&router, &cfg, &TrafficConfig::from_flit_load(load, 16));
+    let result = run_simulation(
+        &router,
+        &cfg,
+        &TrafficConfig::from_flit_load(load, 16).unwrap(),
+    );
     println!(
         "sim     @ {load} flits/cyc/PE: latency {:.2} ± {:.2} cycles ({} messages)",
         result.avg_latency, result.latency_ci95, result.messages_completed

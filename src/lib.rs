@@ -6,15 +6,21 @@
 //! > Wormhole Routed Networks with Application to Butterfly Fat-Trees*,
 //! > Proc. ICPP 1997, pp. 44–48.
 //!
-//! It bundles four subsystems behind one facade:
+//! It bundles five subsystems behind one facade:
 //!
 //! * [`queueing`] — M/G/1, M/M/m and M/G/m queueing theory plus the paper's
-//!   wormhole corrections (service-variance surrogate, blocking probability).
+//!   wormhole corrections (service-variance surrogate, blocking probability)
+//!   and a G/G/1 correction for bursty arrivals.
 //! * [`topology`] — butterfly fat-trees (generalized `(c, p)` form), binary
 //!   hypercubes and k-ary n-meshes as channel graphs.
+//! * [`workload`] — traffic as a first-class input shared by model and
+//!   simulator: destination patterns (uniform, bit-complement, half-shift,
+//!   hot-spot(β, target), transpose, tornado, nearest-neighbor), Poisson and
+//!   MMPP bursty arrival processes, and routing-induced per-channel flow
+//!   vectors.
 //! * [`model`] — the paper's analytical model: the general framework of §2,
-//!   the closed-form butterfly fat-tree instantiation of §3, baseline models
-//!   and ablations.
+//!   the closed-form butterfly fat-tree instantiation of §3, baseline models,
+//!   ablations, and the workload-driven per-station generalization.
 //! * [`sim`] — a cycle-accurate flit-level wormhole-routing simulator used
 //!   to validate the model exactly as the paper does.
 //! * [`experiments`] — the harness regenerating every figure and table.
@@ -36,6 +42,36 @@
 //! let sat = model.saturation_flit_load().unwrap();
 //! assert!(sat > 0.02);
 //! ```
+//!
+//! ## Workloads: a hot-spot model-vs-simulation comparison
+//!
+//! The same [`DestinationPattern`](prelude::DestinationPattern) drives
+//! both sides: the analytical model integrates it exactly through a
+//! routing-induced flow vector, and the simulator samples destinations
+//! from it.
+//!
+//! ```
+//! use wormsim::prelude::*;
+//!
+//! let params = BftParams::paper(16).unwrap();
+//! let tree = ButterflyFatTree::new(params);
+//! let pattern = DestinationPattern::hot_spot(); // 1/8 of traffic to PE 0
+//!
+//! // Model: push the pattern's flow matrix through the tree's routing and
+//! // solve one §2 class per arbitration station.
+//! let flows = FlowVector::build(&tree, &pattern).unwrap();
+//! let model = model_from_flows(tree.network(), &flows, 16.0, 0.002).unwrap();
+//! let predicted = model.latency(&ModelOptions::paper()).unwrap().total;
+//!
+//! // Simulation: the identical workload, flit by flit.
+//! let router = wormsim::sim::router::BftRouter::new(&tree);
+//! let cfg = SimConfig { warmup_cycles: 1_000, measure_cycles: 8_000, ..SimConfig::quick() };
+//! let traffic = TrafficConfig::new(0.002, 16).unwrap().with_pattern(pattern);
+//! let simulated = run_simulation(&router, &cfg, &traffic).avg_latency;
+//!
+//! // At this low load the two agree within a few percent.
+//! assert!((predicted - simulated).abs() / simulated < 0.05);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -44,19 +80,26 @@ pub use wormsim_experiments as experiments;
 pub use wormsim_queueing as queueing;
 pub use wormsim_sim as sim;
 pub use wormsim_topology as topology;
+pub use wormsim_workload as workload;
 
 /// Commonly used types, re-exported for `use wormsim::prelude::*`.
 pub mod prelude {
     pub use wormsim_core::bft::{BftModel, ChannelAudit, LatencyBreakdown};
     pub use wormsim_core::enumerate::{enumerate_deterministic, EnumeratedModel};
+    pub use wormsim_core::flows::{model_from_flows, workload_latency};
+    pub use wormsim_core::framework::{bft_spec_with_rates, BftLevelRates};
     pub use wormsim_core::options::{ModelOptions, ScvMode};
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
     pub use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
     pub use wormsim_sim::runner::{
-        find_saturation, replicate, run_simulation, sweep_flit_loads, SimResult,
+        find_saturation, replicate, run_simulation, sweep_flit_loads, sweep_traffic, SimResult,
     };
     pub use wormsim_topology::bft::{BftParams, ButterflyFatTree};
     pub use wormsim_topology::{ChannelClass, ChannelNetwork};
+    pub use wormsim_workload::{
+        ArrivalProcess, DestinationPattern, FlowRouting, FlowVector, MmppProfile, Workload,
+        WorkloadError,
+    };
 }

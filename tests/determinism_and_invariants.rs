@@ -121,7 +121,7 @@ fn identical_seeds_reproduce_bit_identical_results() {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = SimConfig::quick().with_seed(100);
-    let traffic = TrafficConfig::from_flit_load(0.03, 16);
+    let traffic = TrafficConfig::from_flit_load(0.03, 16).unwrap();
     let a = run_simulation(&router, &cfg, &traffic);
     let b = run_simulation(&router, &cfg, &traffic);
     assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
@@ -153,7 +153,7 @@ fn parallel_sweep_equals_sequential_runs() {
         let single = run_simulation(
             &router,
             &cfg.with_seed(seed),
-            &TrafficConfig::from_flit_load(load, 16),
+            &TrafficConfig::from_flit_load(load, 16).unwrap(),
         );
         assert_eq!(single.avg_latency.to_bits(), swept[i].avg_latency.to_bits());
     }
@@ -167,7 +167,7 @@ fn engine_invariants_hold_under_load() {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = SimConfig::quick().with_seed(57);
-    let traffic = TrafficConfig::from_flit_load(0.12, 24); // near/over knee
+    let traffic = TrafficConfig::from_flit_load(0.12, 24).unwrap(); // near/over knee
     let mut engine = Engine::new(&router, &cfg, &traffic);
     for round in 0..40 {
         engine.step_many(250);
@@ -194,7 +194,7 @@ fn conservation_every_generated_message_is_eventually_delivered() {
         seed: 77,
         batches: 4,
     };
-    let traffic = TrafficConfig::from_flit_load(0.05, 16);
+    let traffic = TrafficConfig::from_flit_load(0.05, 16).unwrap();
     let r = run_simulation(&router, &cfg, &traffic);
     assert!(!r.saturated);
     assert_eq!(r.messages_incomplete, 0);
@@ -206,7 +206,7 @@ fn different_seeds_vary_but_agree_statistically() {
     let params = BftParams::paper(64).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
-    let traffic = TrafficConfig::from_flit_load(0.02, 16);
+    let traffic = TrafficConfig::from_flit_load(0.02, 16).unwrap();
     let mut means = Vec::new();
     for seed in [1u64, 2, 3] {
         let cfg = SimConfig::quick().with_seed(seed);

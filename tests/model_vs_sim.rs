@@ -22,7 +22,11 @@ fn zero_load_latency_is_exact() {
         let router = BftRouter::new(&tree);
         let model = BftModel::new(params, f64::from(s));
         let expect = model.latency_at_message_rate(0.0).unwrap().total;
-        let result = run_simulation(&router, &quick_cfg(3), &TrafficConfig::new(0.0002, s));
+        let result = run_simulation(
+            &router,
+            &quick_cfg(3),
+            &TrafficConfig::new(0.0002, s).unwrap(),
+        );
         assert!(!result.saturated);
         assert!(
             (result.avg_latency - expect).abs() < 1.0,
@@ -51,7 +55,7 @@ fn model_tracks_simulation_at_moderate_load() {
         let r = run_simulation(
             &router,
             &quick_cfg(11),
-            &TrafficConfig::from_flit_load(load, s),
+            &TrafficConfig::from_flit_load(load, s).unwrap(),
         );
         assert!(
             !r.saturated,
@@ -81,7 +85,7 @@ fn model_is_conservative_near_the_knee() {
     let r = run_simulation(
         &router,
         &quick_cfg(17),
-        &TrafficConfig::from_flit_load(load, 32),
+        &TrafficConfig::from_flit_load(load, 32).unwrap(),
     );
     assert!(!r.saturated);
     assert!(
@@ -103,7 +107,7 @@ fn latency_curves_are_ordered_by_worm_length() {
         let r = run_simulation(
             &router,
             &quick_cfg(23),
-            &TrafficConfig::from_flit_load(0.02, s),
+            &TrafficConfig::from_flit_load(0.02, s).unwrap(),
         );
         assert!(!r.saturated);
         assert!(
@@ -116,13 +120,86 @@ fn latency_curves_are_ordered_by_worm_length() {
 }
 
 #[test]
+fn hotspot_workload_model_tracks_simulation_at_low_load() {
+    // The workload generalization's acceptance bar: under the classic
+    // hot-spot pattern (1/8 to PE 0), the per-station flow model must
+    // track the simulator within the same 5% tolerance the uniform
+    // comparisons use, at loads well below the hot ejector's knee.
+    let cases = [(64usize, 16u32, 0.02f64), (64, 16, 0.04), (256, 16, 0.01)];
+    for (n, s, load) in cases {
+        let params = BftParams::paper(n).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let pattern = DestinationPattern::hot_spot();
+        let flows = FlowVector::build(&tree, &pattern).unwrap();
+        let lambda0 = load / f64::from(s);
+        let m = model_from_flows(tree.network(), &flows, f64::from(s), lambda0)
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap()
+            .total;
+        let traffic = TrafficConfig::from_flit_load(load, s)
+            .unwrap()
+            .with_pattern(pattern);
+        let r = run_simulation(&router, &quick_cfg(41), &traffic);
+        assert!(!r.saturated, "N={n} load={load} saturated unexpectedly");
+        let err = (m - r.avg_latency).abs() / r.avg_latency;
+        assert!(
+            err < 0.05,
+            "N={n} s={s} load={load}: hot-spot model {m:.2} vs sim {:.2} ({:.1}% off)",
+            r.avg_latency,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn bursty_workload_inflates_latency_beyond_poisson_model() {
+    // The MMPP source keeps the mean rate, so the Poisson model's
+    // prediction becomes a *lower* bound; the Kingman-corrected source
+    // queue must land closer to the simulated value than the uncorrected
+    // model at strong burstiness.
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let model = BftModel::new(params, 16.0);
+    let load = 0.06;
+    let lambda0 = load / 16.0;
+    let profile = MmppProfile::new(8.0, 0.1, 400.0).unwrap();
+    let poisson = model.latency_at_message_rate(lambda0).unwrap();
+    let audit = model.audit_at_message_rate(lambda0).unwrap();
+    let iod = ArrivalProcess::Mmpp(profile).index_of_dispersion(lambda0);
+    let scv = model.options().scv.scv(audit.x_up[0], 16.0);
+    let w01_burst = wormsim::queueing::gg1::waiting_time(lambda0, audit.x_up[0], scv, iod).unwrap();
+    let corrected = poisson.total - audit.w_up[0] + w01_burst;
+
+    let traffic = TrafficConfig::from_flit_load(load, 16)
+        .unwrap()
+        .with_arrival(ArrivalProcess::Mmpp(profile));
+    let r = run_simulation(&router, &quick_cfg(43), &traffic);
+    assert!(!r.saturated);
+    assert!(
+        r.avg_latency > poisson.total * 1.1,
+        "bursty sim {} must clearly exceed the Poisson prediction {}",
+        r.avg_latency,
+        poisson.total
+    );
+    assert!(
+        (corrected - r.avg_latency).abs() < (poisson.total - r.avg_latency).abs(),
+        "corrected {corrected:.2} must be closer to sim {:.2} than poisson {:.2}",
+        r.avg_latency,
+        poisson.total
+    );
+}
+
+#[test]
 fn injection_wait_matches_model_w01() {
     // The source-queue wait W₀,₁ is directly comparable (Eq. 24, M/G/1).
     let params = BftParams::paper(64).unwrap();
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let model = BftModel::new(params, 16.0);
-    let traffic = TrafficConfig::from_flit_load(0.06, 16);
+    let traffic = TrafficConfig::from_flit_load(0.06, 16).unwrap();
     let audit = model.audit_at_message_rate(traffic.message_rate).unwrap();
     let r = run_simulation(&router, &quick_cfg(29), &traffic);
     assert!(!r.saturated);

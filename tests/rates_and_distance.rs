@@ -16,7 +16,7 @@ fn simulated_channel_rates_match_eq14() {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let model = BftModel::new(params, 16.0);
-    let traffic = TrafficConfig::from_flit_load(0.04, 16);
+    let traffic = TrafficConfig::from_flit_load(0.04, 16).unwrap();
     let cfg = SimConfig {
         warmup_cycles: 3_000,
         measure_cycles: 40_000,
@@ -68,7 +68,7 @@ fn ejection_service_time_is_exactly_s() {
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = SimConfig::quick().with_seed(9);
-    let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.004, 16));
+    let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.004, 16).unwrap());
     assert!(!r.saturated);
     let ej = r.class(ChannelClass::Ejection).unwrap();
     assert!(
@@ -93,7 +93,7 @@ fn three_distance_representations_agree() {
         // Simulated zero-load latency − (s − 1) estimates D̄.
         let router = BftRouter::new(&tree);
         let cfg = SimConfig::quick().with_seed(13);
-        let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.0002, 16));
+        let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.0002, 16).unwrap());
         let d_hat = r.avg_latency - 15.0;
         assert!(
             (d_hat - params.average_distance()).abs() < 0.35,

@@ -51,7 +51,7 @@ fn hypercube_framework_model_tracks_hypercube_simulation() {
     let router = HypercubeRouter::new(&cube);
     let cfg = SimConfig::quick().with_seed(37);
     for load in [0.02f64, 0.05] {
-        let traffic = TrafficConfig::from_flit_load(load, 16);
+        let traffic = TrafficConfig::from_flit_load(load, 16).unwrap();
         let m = cube_model::latency_at_message_rate(
             6,
             16.0,
@@ -82,7 +82,7 @@ fn mesh_simulation_has_sane_zero_load_latency() {
     let mesh = Mesh::new(4, 2);
     let router = MeshRouter::new(&mesh);
     let cfg = SimConfig::quick().with_seed(41);
-    let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.0002, 16));
+    let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.0002, 16).unwrap());
     assert!(!r.saturated);
     let expect = 16.0 + mesh.average_distance() - 1.0;
     assert!(
@@ -117,12 +117,12 @@ fn pooled_up_links_beat_single_server_trees_in_simulation() {
     let r1 = run_simulation(
         &BftRouter::new(&t1),
         &cfg,
-        &TrafficConfig::from_flit_load(load, 16),
+        &TrafficConfig::from_flit_load(load, 16).unwrap(),
     );
     let r2 = run_simulation(
         &BftRouter::new(&t2),
         &cfg,
-        &TrafficConfig::from_flit_load(load, 16),
+        &TrafficConfig::from_flit_load(load, 16).unwrap(),
     );
     assert!(
         r1.saturated,
