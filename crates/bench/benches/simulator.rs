@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wormsim_bench::{bench_sim_config, bench_traffic};
 use wormsim_sim::router::BftRouter;
-use wormsim_sim::runner::{run_simulation, sweep_flit_loads};
+use wormsim_sim::runner::{run_simulation, run_simulation_with_fast_forward, sweep_flit_loads};
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 fn bench_engine(c: &mut Criterion) {
@@ -44,5 +44,37 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Fast-forwarding on vs the reference cycle-stepped engine, across the
+/// idle→busy spectrum. The skip only elides cycles with **zero** worms in
+/// flight, so the win is largest where the network-wide arrival rate
+/// leaves real dead time (small N, low load — the validation grid's
+/// bottom edge, where ≥5× is expected) and fades to neutral at
+/// N=1024/load 0.01, where ~16 worms are always active and no cycle is
+/// globally idle (results stay bit-identical either way).
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_forward");
+    group.sample_size(10);
+    for (n, flit_load) in [(16usize, 0.001), (16, 0.0025), (64, 0.005), (1024, 0.01)] {
+        let params = BftParams::paper(n).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let cfg = bench_sim_config(3);
+        let traffic = bench_traffic(flit_load);
+        for (label, enabled) in [("ref", false), ("ff", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bft{n}_load{flit_load}"), label),
+                &enabled,
+                |b, &ff| {
+                    b.iter(|| {
+                        run_simulation_with_fast_forward(&router, &cfg, &traffic, ff)
+                            .messages_completed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_fast_forward);
 criterion_main!(benches);

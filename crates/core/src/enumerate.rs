@@ -48,6 +48,26 @@ impl EnumeratedModel {
     /// Saturation of any channel, or spec inconsistencies.
     pub fn latency(&self, options: &ModelOptions) -> Result<LatencyBreakdown> {
         let sol = self.spec.solve(options)?;
+        Ok(self.breakdown_from(&sol))
+    }
+
+    /// [`Self::latency`] with warm-started sweep state: consecutive calls
+    /// across a load sweep seed each solve with the previous converged
+    /// vector (see [`crate::framework::WarmStart`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::latency`].
+    pub fn latency_warm(
+        &self,
+        options: &ModelOptions,
+        warm: &mut crate::framework::WarmStart,
+    ) -> Result<LatencyBreakdown> {
+        let sol = self.spec.solve_warm(options, warm)?;
+        Ok(self.breakdown_from(&sol))
+    }
+
+    fn breakdown_from(&self, sol: &crate::framework::Solution) -> LatencyBreakdown {
         let mut w_sum = 0.0;
         let mut x_sum = 0.0;
         for inj in &self.injections {
@@ -56,12 +76,12 @@ impl EnumeratedModel {
         }
         let n = self.injections.len() as f64;
         let (w, x) = (w_sum / n, x_sum / n);
-        Ok(LatencyBreakdown {
+        LatencyBreakdown {
             w_injection: w,
             x_injection: x,
             avg_distance: self.spec.avg_distance,
             total: w + x + self.spec.avg_distance - 1.0,
-        })
+        }
     }
 
     /// Per-PE injection summary `(W_inj, x̄_inj)` — exposes the spatial

@@ -23,7 +23,7 @@
 use crate::bft::LatencyBreakdown;
 use crate::enumerate::EnumeratedModel;
 use crate::error::ModelError;
-use crate::framework::{ClassBody, ClassId, ClassSpec, Forward, NetworkSpec};
+use crate::framework::{ClassBody, ClassId, ClassSpec, Forward, NetworkSpec, WarmStart};
 use crate::Result;
 use wormsim_topology::graph::ChannelNetwork;
 use wormsim_topology::ids::ChannelId;
@@ -143,11 +143,81 @@ pub fn model_from_flows(
     Ok(EnumeratedModel { spec, injections })
 }
 
+/// A load sweep over one flow vector's per-station model, built once.
+///
+/// [`model_from_flows`] assembles the whole class spec for a single
+/// `lambda0`; sweeping a figure re-did that work — and a cold fixed-point
+/// solve — at every point. This helper exploits that the spec's *shape*
+/// (classes, forwards, probabilities) is load-independent: only the class
+/// rates scale linearly with `lambda0`. It builds the model once at unit
+/// rate, rescales the rates in place per point, and threads a
+/// [`WarmStart`] so cyclic solves seed from the previous load's converged
+/// vector.
+#[derive(Debug, Clone)]
+pub struct FlowModelSweep {
+    model: EnumeratedModel,
+    /// Per-class arrival rate at `lambda0 = 1`.
+    unit_lambdas: Vec<f64>,
+    warm: WarmStart,
+}
+
+impl FlowModelSweep {
+    /// Builds the per-station model of `flows` over `net` once, ready to
+    /// be evaluated at any load.
+    ///
+    /// # Errors
+    ///
+    /// As [`model_from_flows`].
+    pub fn new(net: &ChannelNetwork, flows: &FlowVector, worm_flits: f64) -> Result<Self> {
+        let model = model_from_flows(net, flows, worm_flits, 1.0)?;
+        let unit_lambdas = model.spec.classes.iter().map(|c| c.lambda).collect();
+        Ok(Self {
+            model,
+            unit_lambdas,
+            warm: WarmStart::new(),
+        })
+    }
+
+    /// Latency at per-PE message rate `lambda0` (Eq. 2 averaged over the
+    /// per-PE injection stations), warm-starting from the previous call.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Spec`] on an invalid rate; solver errors as in
+    /// [`EnumeratedModel::latency`].
+    pub fn latency_at(
+        &mut self,
+        lambda0: f64,
+        options: &crate::options::ModelOptions,
+    ) -> Result<LatencyBreakdown> {
+        if !(lambda0.is_finite() && lambda0 >= 0.0) {
+            return Err(ModelError::Spec(format!("invalid message rate {lambda0}")));
+        }
+        for (class, unit) in self.model.spec.classes.iter_mut().zip(&self.unit_lambdas) {
+            class.lambda = unit * lambda0;
+        }
+        self.model.latency_warm(options, &mut self.warm)
+    }
+
+    /// The model as last rescaled (mainly for inspection in tests).
+    #[must_use]
+    pub fn model(&self) -> &EnumeratedModel {
+        &self.model
+    }
+
+    /// Accumulated fixed-point iteration statistics across the sweep.
+    #[must_use]
+    pub fn warm_start(&self) -> &WarmStart {
+        &self.warm
+    }
+}
+
 /// Convenience: build the flows for `routing` under `pattern` and solve
 /// the model at `lambda0` with the paper's options, returning the latency
 /// breakdown. The long-form API ([`FlowVector::build`] +
 /// [`model_from_flows`]) amortizes the flow computation across a load
-/// sweep; this one-shot form suits single operating points.
+/// sweep ([`FlowModelSweep`] also amortizes the spec assembly and warm
+/// starts the solver); this one-shot form suits single operating points.
 ///
 /// # Errors
 ///
@@ -304,6 +374,35 @@ mod tests {
             .latency(&ModelOptions::paper())
             .unwrap();
         assert_eq!(one.total.to_bits(), long.total.to_bits());
+    }
+
+    #[test]
+    fn flow_model_sweep_matches_per_point_builds() {
+        // Building once + rescaling rates must be indistinguishable from
+        // rebuilding the model at every load (the spec is a DAG here, so
+        // warm starting cannot even perturb iteration paths).
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let flows = FlowVector::build(&tree, &DestinationPattern::hot_spot()).unwrap();
+        let mut sweep = FlowModelSweep::new(tree.network(), &flows, 16.0).unwrap();
+        for lambda0 in [0.0, 0.0005, 0.001, 0.002, 0.003] {
+            let swept = sweep.latency_at(lambda0, &ModelOptions::paper());
+            let rebuilt = model_from_flows(tree.network(), &flows, 16.0, lambda0)
+                .unwrap()
+                .latency(&ModelOptions::paper());
+            match (swept, rebuilt) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a.total.to_bits(),
+                    b.total.to_bits(),
+                    "λ0={lambda0}: {} vs {}",
+                    a.total,
+                    b.total
+                ),
+                (Err(_), Err(_)) => {}
+                other => panic!("λ0={lambda0}: {other:?}"),
+            }
+        }
+        assert!(sweep.latency_at(f64::NAN, &ModelOptions::paper()).is_err());
+        assert_eq!(sweep.warm_start().solves(), 5);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
-use wormsim_core::flows::model_from_flows;
+use wormsim_core::flows::{model_from_flows, FlowModelSweep};
 use wormsim_core::options::ModelOptions;
 use wormsim_sim::config::{DestinationPattern, TrafficConfig};
 use wormsim_sim::router::BftRouter;
@@ -78,6 +78,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         .expect("valid load")
         .with_pattern(pattern);
     let results = sweep_traffic(&router, &cfg, &base, &loads);
+    // One model build for the whole sweep; per point only the class rates
+    // rescale and the solver warm-starts from the previous load.
+    let mut hot_model =
+        FlowModelSweep::new(tree.network(), &flows, f64::from(s)).expect("spec builds");
 
     let mut tbl = Table::new(vec![
         "load (flits/cyc/PE)",
@@ -100,9 +104,8 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ]);
     for r in &results {
         let lambda0 = r.offered_message_rate;
-        let hot_l = model_from_flows(tree.network(), &flows, f64::from(s), lambda0)
-            .expect("spec builds")
-            .latency(&ModelOptions::paper())
+        let hot_l = hot_model
+            .latency_at(lambda0, &ModelOptions::paper())
             .map(|l| l.total);
         let uni_l = uniform_model
             .latency_at_message_rate(lambda0)

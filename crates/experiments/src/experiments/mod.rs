@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 pub mod ablations;
+pub mod bench_baseline;
 pub mod bursty;
 pub mod channel_audit;
 pub mod enumerated_mesh;
@@ -182,6 +183,11 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "bursty",
         bursty::run,
         "Workload W2: MMPP bursty sources vs the Poisson and burst-corrected models",
+    ),
+    (
+        "bench-baseline",
+        bench_baseline::run,
+        "Perf P1: micro-bench baseline (BENCH_sim.json / BENCH_model.json), ff + warm-start evidence",
     ),
 ];
 

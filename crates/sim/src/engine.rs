@@ -25,6 +25,32 @@
 //! completes at advancement `D + s − 1` — reproducing the paper's
 //! unblocked service time `x̄ = s/f` per channel and zero-load latency
 //! `s/f + D − 1`.
+//!
+//! # Fast-forwarding
+//!
+//! At the paper's validation loads most cycles are *provably idle*: no
+//! arrival surfaces, no worm has a pending request, none is draining, and
+//! no station was re-armed by a release. Such a cycle touches no state
+//! (the request shuffle is over an empty list and the grant loop never
+//! runs), and — crucially — makes **no RNG draw**: the Fisher–Yates
+//! shuffle of an empty list draws nothing, grants only draw when a station
+//! with waiting worms has more than one free member, and arrival times are
+//! pre-sampled into the source heap. [`Engine::run`] therefore maintains a
+//! next-event horizon — the earliest cycle at which the pending arrival at
+//! the top of the traffic heap surfaces (any active worm's next event is
+//! always "next cycle", so activity simply disables the skip) — and jumps
+//! `now` across the idle span instead of executing it, clamped at the
+//! warmup/measurement/drain boundaries so window bookkeeping sees the same
+//! cycle numbers. Results are bit-for-bit identical to cycle stepping;
+//! `tests/fast_forward_replay.rs` proves it field-by-field. Disable with
+//! [`Engine::set_fast_forward`] to recover the reference engine.
+//!
+//! # Path arena
+//!
+//! Worm paths live in a slab of `Vec<ChannelId>` keyed by `WormIdx`,
+//! parallel to the worm slab. Freeing a worm clears its path but keeps the
+//! allocation, and re-allocating a slot reuses it — after the initial
+//! ramp-up the steady-state hot path allocates nothing per message.
 
 use crate::config::{SimConfig, TrafficConfig};
 use crate::router::Router;
@@ -56,15 +82,15 @@ enum WormState {
     Free,
 }
 
-/// One worm (message in flight).
-#[derive(Debug, Clone)]
+/// One worm (message in flight). The acquired path lives in the engine's
+/// path arena under the same `WormIdx`, keeping this record `Copy` and the
+/// slab reusable without per-message allocation.
+#[derive(Debug, Clone, Copy)]
 struct Worm {
     src: u32,
     dest: u32,
     gen_time: u64,
     len_flits: u32,
-    /// Channels acquired so far, in order (index 0 is the injection channel).
-    path: Vec<ChannelId>,
     /// Advancements performed (see module docs for the flit arithmetic).
     advancements: u32,
     state: WormState,
@@ -101,8 +127,10 @@ pub struct Engine<'a, R: Router> {
     station_ready: Vec<bool>,
     ready_stations: Vec<StationId>,
 
-    // Worm slab.
+    // Worm slab. `paths[w]` is worm `w`'s acquired channels, in order
+    // (index 0 is the injection channel); cleared-but-retained on free.
     worms: Vec<Worm>,
+    paths: Vec<Vec<ChannelId>>,
     free_worms: Vec<WormIdx>,
     drain_list: Vec<WormIdx>,
     pending_requests: Vec<WormIdx>,
@@ -130,6 +158,10 @@ pub struct Engine<'a, R: Router> {
     backlog_at_window_start: u64,
     backlog_at_window_end: u64,
     max_active_worms: usize,
+
+    // Fast-forwarding (see module docs).
+    fast_forward: bool,
+    cycles_skipped: u64,
 }
 
 impl<'a, R: Router> Engine<'a, R> {
@@ -173,6 +205,7 @@ impl<'a, R: Router> Engine<'a, R> {
             station_ready: vec![false; net.num_stations()],
             ready_stations: Vec::with_capacity(64),
             worms: Vec::with_capacity(1024),
+            paths: Vec::with_capacity(1024),
             free_worms: Vec::new(),
             drain_list: Vec::with_capacity(256),
             pending_requests: Vec::with_capacity(256),
@@ -196,7 +229,24 @@ impl<'a, R: Router> Engine<'a, R> {
             backlog_at_window_start: 0,
             backlog_at_window_end: 0,
             max_active_worms: 0,
+            fast_forward: true,
+            cycles_skipped: 0,
         }
+    }
+
+    /// Enables or disables idle-span fast-forwarding (on by default).
+    ///
+    /// Results are bit-for-bit identical either way — the switch exists so
+    /// tests and benchmarks can compare against the reference cycle-stepped
+    /// engine.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Cycles elided by fast-forwarding so far (0 when disabled).
+    #[must_use]
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
     }
 
     fn in_window(&self, t: u64) -> bool {
@@ -213,17 +263,20 @@ impl<'a, R: Router> Engine<'a, R> {
             dest,
             gen_time,
             len_flits: self.traffic.worm_flits,
-            path: Vec::with_capacity(16),
             advancements: 0,
             state: WormState::PendingRequest,
             request_time: gen_time,
             measured,
         };
         if let Some(idx) = self.free_worms.pop() {
+            // Slot reuse: the path vector was cleared at finalize and keeps
+            // its capacity, so steady state allocates nothing per message.
+            debug_assert!(self.paths[idx as usize].is_empty());
             self.worms[idx as usize] = worm;
             idx
         } else {
             self.worms.push(worm);
+            self.paths.push(Vec::with_capacity(16));
             (self.worms.len() - 1) as WormIdx
         }
     }
@@ -260,11 +313,11 @@ impl<'a, R: Router> Engine<'a, R> {
             return;
         }
         let idx = (adv - len) as usize;
-        let path_len = self.worms[widx as usize].path.len();
-        if idx >= path_len {
+        let path = &self.paths[widx as usize];
+        if idx >= path.len() {
             return;
         }
-        let ch = self.worms[widx as usize].path[idx];
+        let ch = path[idx];
         debug_assert_eq!(
             self.channel_holder[ch.index()],
             widx,
@@ -287,7 +340,7 @@ impl<'a, R: Router> Engine<'a, R> {
             let w = &self.worms[widx as usize];
             debug_assert_eq!(
                 w.advancements as usize,
-                w.path.len() + w.len_flits as usize - 1,
+                self.paths[widx as usize].len() + w.len_flits as usize - 1,
                 "completion arithmetic"
             );
             (w.gen_time, w.measured)
@@ -303,10 +356,39 @@ impl<'a, R: Router> Engine<'a, R> {
             self.completed_measured += 1;
             self.outstanding_measured -= 1;
         }
-        let w = &mut self.worms[widx as usize];
-        w.state = WormState::Free;
-        w.path.clear();
+        self.worms[widx as usize].state = WormState::Free;
+        self.paths[widx as usize].clear();
         self.free_worms.push(widx);
+    }
+
+    /// Fast-forwards `now` across a provably idle span, never past `limit`.
+    ///
+    /// A span starting at `now` is idle when no worm can act (no pending
+    /// request, nothing draining, no station re-armed by a release) and no
+    /// arrival surfaces before the horizon. Every cycle in the span is a
+    /// no-op in the reference engine — and makes no RNG draw — so jumping
+    /// over it preserves the simulation bit-for-bit. Returns `true` when
+    /// `now` moved (the caller re-checks its window boundaries).
+    fn skip_idle(&mut self, limit: u64) -> bool {
+        if !self.fast_forward
+            || !self.pending_requests.is_empty()
+            || !self.drain_list.is_empty()
+            || !self.ready_stations.is_empty()
+        {
+            return false;
+        }
+        // No arrival pending at all (zero-rate sources): idle until limit.
+        let horizon = self
+            .traffic_gen
+            .next_arrival_cycle()
+            .map_or(limit, |c| c.clamp(self.now, limit));
+        if horizon > self.now {
+            self.cycles_skipped += horizon - self.now;
+            self.now = horizon;
+            true
+        } else {
+            false
+        }
     }
 
     /// One simulated cycle.
@@ -342,15 +424,16 @@ impl<'a, R: Router> Engine<'a, R> {
         for widx in pending.drain(..) {
             let (station, is_injection) = {
                 let w = &self.worms[widx as usize];
+                let path = &self.paths[widx as usize];
                 debug_assert_eq!(w.state, WormState::PendingRequest);
-                if w.path.is_empty() {
+                if path.is_empty() {
                     let ports = self.router.network().processors()[w.src as usize];
                     (self.router.network().channel(ports.inject).station, true)
                 } else {
                     let head_node = self
                         .router
                         .network()
-                        .channel(*w.path.last().expect("non-empty"))
+                        .channel(*path.last().expect("non-empty"))
                         .dst;
                     (self.router.next_station(head_node, w.dest as usize), false)
                 }
@@ -405,12 +488,13 @@ impl<'a, R: Router> Engine<'a, R> {
                 // the request at head arrival.
                 let (wait, measured_grant) = {
                     let w = &self.worms[widx as usize];
-                    let anchor = if w.path.is_empty() {
+                    let injecting = self.paths[widx as usize].is_empty();
+                    let anchor = if injecting {
                         w.gen_time
                     } else {
                         w.request_time
                     };
-                    (t - anchor, w.path.is_empty() && w.measured)
+                    (t - anchor, injecting && w.measured)
                 };
                 if t >= self.window_start && t < self.window_end {
                     self.audit
@@ -438,7 +522,8 @@ impl<'a, R: Router> Engine<'a, R> {
             self.release_tail(widx, t);
             let done = {
                 let w = &self.worms[widx as usize];
-                w.advancements as usize == w.path.len() + w.len_flits as usize - 1
+                w.advancements as usize
+                    == self.paths[widx as usize].len() + w.len_flits as usize - 1
             };
             if done {
                 self.drain_list.swap_remove(j);
@@ -452,10 +537,10 @@ impl<'a, R: Router> Engine<'a, R> {
         let mut granted = std::mem::take(&mut self.granted);
         for &(widx, ch) in &granted {
             let first_hop = {
-                let w = &mut self.worms[widx as usize];
-                w.path.push(ch);
-                w.advancements += 1;
-                w.path.len() == 1
+                let path = &mut self.paths[widx as usize];
+                path.push(ch);
+                self.worms[widx as usize].advancements += 1;
+                path.len() == 1
             };
             if first_hop {
                 // Injection channel granted: the PE may stage its next
@@ -477,7 +562,8 @@ impl<'a, R: Router> Engine<'a, R> {
             if dst_is_pe {
                 let done = {
                     let w = &self.worms[widx as usize];
-                    w.advancements as usize == w.path.len() + w.len_flits as usize - 1
+                    w.advancements as usize
+                        == self.paths[widx as usize].len() + w.len_flits as usize - 1
                 };
                 if done {
                     // Single-flit worms complete the cycle they eject.
@@ -519,6 +605,19 @@ impl<'a, R: Router> Engine<'a, R> {
             if self.now == self.window_start {
                 self.backlog_at_window_start = self.backlog();
             }
+            // Skips are clamped at the window boundaries so the bookkeeping
+            // above (and the loop condition) observe the same cycle numbers
+            // as the reference engine; `continue` re-checks them after a
+            // jump. Nothing observable changes across an idle span, so the
+            // recorded values are identical either way.
+            let limit = if self.now < self.window_start {
+                self.window_start
+            } else {
+                self.window_end
+            };
+            if self.skip_idle(limit) {
+                continue;
+            }
             self.step();
         }
         self.backlog_at_window_end = self.backlog();
@@ -527,6 +626,9 @@ impl<'a, R: Router> Engine<'a, R> {
         // tail is not artificially unloaded).
         let deadline = self.window_end + self.cfg.drain_cap_cycles;
         while self.outstanding_measured > 0 && self.now < deadline {
+            if self.skip_idle(deadline) {
+                continue;
+            }
             self.step();
         }
 
@@ -565,6 +667,7 @@ impl<'a, R: Router> Engine<'a, R> {
             saturated,
             backlog_growth,
             cycles_run: self.now,
+            cycles_skipped: self.cycles_skipped,
             max_active_worms: self.max_active_worms,
             class_stats: self.audit.finish(self.cfg.measure_cycles),
             seed: self.cfg.seed,
@@ -611,7 +714,7 @@ impl<'a, R: Router> Engine<'a, R> {
                 if w.state == WormState::Free {
                     return Err(format!("channel {ci} held by freed worm {holder}"));
                 }
-                if !w.path.iter().any(|c| c.index() == ci) {
+                if !self.paths[holder as usize].iter().any(|c| c.index() == ci) {
                     return Err(format!("channel {ci} not on holder {holder}'s path"));
                 }
             }
@@ -639,7 +742,7 @@ impl<'a, R: Router> Engine<'a, R> {
                 }
             }
             if w.state == WormState::Draining
-                && w.path
+                && self.paths[wi]
                     .last()
                     .map(|&ch| net.channel(ch).dst)
                     .map(|n| !matches!(net.node(n).kind, NodeKind::Processor { .. }))

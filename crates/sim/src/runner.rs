@@ -48,6 +48,10 @@ pub struct SimResult {
     pub backlog_growth: u64,
     /// Total cycles simulated (including warmup and drain).
     pub cycles_run: u64,
+    /// Of those, how many were fast-forwarded over rather than executed
+    /// (0 with fast-forwarding disabled). Diagnostic only: every other
+    /// field is bit-identical whether cycles were skipped or stepped.
+    pub cycles_skipped: u64,
     /// Peak number of in-flight worms.
     pub max_active_worms: usize,
     /// Per-channel-class audit over the measurement window.
@@ -64,14 +68,33 @@ impl SimResult {
     }
 }
 
-/// Runs one simulation to completion.
+/// Runs one simulation to completion (idle-span fast-forwarding enabled —
+/// the default engine).
 #[must_use]
 pub fn run_simulation<R: Router>(
     router: &R,
     cfg: &SimConfig,
     traffic: &TrafficConfig,
 ) -> SimResult {
-    Engine::new(router, cfg, traffic).run()
+    run_simulation_with_fast_forward(router, cfg, traffic, true)
+}
+
+/// Runs one simulation with fast-forwarding explicitly on or off.
+///
+/// `fast_forward = false` recovers the reference cycle-stepped engine;
+/// results are bit-for-bit identical either way (see
+/// `tests/fast_forward_replay.rs`), so the switch exists only for
+/// equivalence tests and speedup benchmarks.
+#[must_use]
+pub fn run_simulation_with_fast_forward<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    fast_forward: bool,
+) -> SimResult {
+    let mut engine = Engine::new(router, cfg, traffic);
+    engine.set_fast_forward(fast_forward);
+    engine.run()
 }
 
 /// Derives the uncorrelated per-point seed used by [`sweep_flit_loads`]
@@ -140,29 +163,66 @@ pub fn sweep_traffic<R: Router>(
     base.pattern
         .validate(router.network().num_processors())
         .expect("destination pattern must fit the machine");
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut results: Vec<Option<SimResult>> = vec![None; flit_loads.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    run_indexed_parallel(flit_loads.len(), |i| {
+        let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
+        let traffic = base.at_flit_load(flit_loads[i]).expect("valid sweep load");
+        run_simulation(router, &point_cfg, &traffic)
+    })
+}
 
+/// Worker count for a parallel batch of `jobs` independent simulations:
+/// the machine's parallelism (4 when `available_parallelism` cannot tell),
+/// never more threads than there is work.
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(jobs)
+        .max(1)
+}
+
+/// Runs `jobs` independent closures across scoped worker threads and
+/// returns their results in index order.
+///
+/// Each worker owns a disjoint set of output slots, so results are
+/// written without any lock — the whole-vector mutex this replaces
+/// serialized every completion on wide sweeps. Slots are dealt
+/// round-robin (worker `k` takes indices `k, k+T, k+2T, …`) rather than
+/// in contiguous blocks: on a monotone load sweep the expensive
+/// high-load points then spread evenly across workers — with
+/// fast-forwarding, low-load points finish many times faster than
+/// high-load ones, and a contiguous split would leave one worker
+/// straggling on all the slow points.
+fn run_indexed_parallel<T, F>(jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = worker_count(jobs);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    // One pass over the vector hands out disjoint `&mut` slot references,
+    // interleaved across workers.
+    let mut assigned: Vec<Vec<(usize, &mut Option<T>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        assigned[i % threads].push((i, slot));
+    }
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(flit_loads.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= flit_loads.len() {
-                    break;
+        for chunk in assigned {
+            let job = &job;
+            scope.spawn(move || {
+                for (i, slot) in chunk {
+                    *slot = Some(job(i));
                 }
-                let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
-                let traffic = base.at_flit_load(flit_loads[i]).expect("valid sweep load");
-                let result = run_simulation(router, &point_cfg, &traffic);
-                results_mutex.lock().expect("sweep threads must not panic")[i] = Some(result);
             });
         }
     });
-
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every point computed"))
+        .map(|r| r.expect("every job ran"))
         .collect()
 }
 
@@ -191,24 +251,10 @@ pub fn replicate<R: Router>(
     replications: usize,
 ) -> ReplicatedResult {
     assert!(replications >= 1);
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let mut runs: Vec<Option<SimResult>> = vec![None; replications];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut runs);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(replications) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= replications {
-                    break;
-                }
-                let seed = replication_seed(cfg.seed, i as u64);
-                let result = run_simulation(router, &cfg.with_seed(seed), traffic);
-                slots.lock().expect("replication threads must not panic")[i] = Some(result);
-            });
-        }
+    let runs = run_indexed_parallel(replications, |i| {
+        let seed = replication_seed(cfg.seed, i as u64);
+        run_simulation(router, &cfg.with_seed(seed), traffic)
     });
-    let runs: Vec<SimResult> = runs.into_iter().map(|r| r.expect("computed")).collect();
     let n = runs.len() as f64;
     let mean_latency = runs.iter().map(|r| r.avg_latency).sum::<f64>() / n;
     let var = if runs.len() > 1 {

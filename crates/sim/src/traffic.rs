@@ -160,6 +160,19 @@ impl TrafficGenerator {
         }
     }
 
+    /// The earliest cycle at which the next arrival will surface, or
+    /// `None` when no arrival is pending (zero-rate sources).
+    ///
+    /// An arrival at real time `t` surfaces in the first cycle `c` with
+    /// `t < c + 1`, i.e. `c = ⌊t⌋`. This is the traffic side of the
+    /// engine's next-event horizon: peeking never consumes randomness, so
+    /// fast-forwarding across cycles before this one is invisible to the
+    /// RNG stream.
+    #[must_use]
+    pub fn next_arrival_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|p| p.time.max(0.0).floor() as u64)
+    }
+
     /// Pops every arrival with generation time inside cycle `cycle`
     /// (i.e. real time `< cycle + 1`), appending them to `out`.
     ///

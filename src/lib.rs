@@ -86,15 +86,16 @@ pub use wormsim_workload as workload;
 pub mod prelude {
     pub use wormsim_core::bft::{BftModel, ChannelAudit, LatencyBreakdown};
     pub use wormsim_core::enumerate::{enumerate_deterministic, EnumeratedModel};
-    pub use wormsim_core::flows::{model_from_flows, workload_latency};
-    pub use wormsim_core::framework::{bft_spec_with_rates, BftLevelRates};
+    pub use wormsim_core::flows::{model_from_flows, workload_latency, FlowModelSweep};
+    pub use wormsim_core::framework::{bft_spec_with_rates, ring_spec, BftLevelRates, WarmStart};
     pub use wormsim_core::options::{ModelOptions, ScvMode};
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
     pub use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
     pub use wormsim_sim::runner::{
-        find_saturation, replicate, run_simulation, sweep_flit_loads, sweep_traffic, SimResult,
+        find_saturation, replicate, run_simulation, run_simulation_with_fast_forward,
+        sweep_flit_loads, sweep_traffic, SimResult,
     };
     pub use wormsim_topology::bft::{BftParams, ButterflyFatTree};
     pub use wormsim_topology::{ChannelClass, ChannelNetwork};

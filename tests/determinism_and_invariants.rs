@@ -32,6 +32,7 @@ fn fingerprint(r: &SimResult) -> String {
         saturated,
         backlog_growth,
         cycles_run,
+        cycles_skipped,
         max_active_worms,
         class_stats,
         seed,
@@ -40,7 +41,7 @@ fn fingerprint(r: &SimResult) -> String {
     use std::fmt::Write as _;
     let _ = write!(
         s,
-        "{};{};{};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{};{};{};{:x};{};{};{};{};{};{}",
+        "{};{};{};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{};{};{};{:x};{};{};{};{};{};{};{}",
         topology,
         num_processors,
         worm_flits,
@@ -59,6 +60,9 @@ fn fingerprint(r: &SimResult) -> String {
         saturated,
         backlog_growth,
         cycles_run,
+        // Deterministic for a fixed fast-forward setting (and always
+        // replayed under the same one here).
+        cycles_skipped,
         max_active_worms,
         seed,
         class_stats.len(),

@@ -1,0 +1,197 @@
+//! Bit-exact replay: the fast-forwarding engine must be observationally
+//! indistinguishable from the reference cycle-stepped engine.
+//!
+//! Idle cycles make no RNG draw (the request shuffle is over an empty
+//! list; grants only draw with a non-empty queue; arrival times are
+//! pre-sampled into the source heap), so skipping a provably idle span
+//! leaves the random stream — and with it every sampled destination,
+//! tie-break and up-link pick — untouched. These tests check that claim
+//! the hard way: every `SimResult` field, including latency percentiles,
+//! per-class audit counters and the `cycles_run` accounting, must match
+//! to the last bit across workloads and loads.
+
+use wormsim::prelude::*;
+use wormsim::sim::router::BftRouter;
+use wormsim_testutil::quick_sim_config;
+
+/// Field-by-field bit comparison of two simulation results.
+///
+/// Floats are compared via `to_bits` so that NaN sentinels (e.g. the CI
+/// half-width of a tiny population) compare equal when both runs produce
+/// them, and the `cycles_skipped` diagnostic — which differs by design —
+/// is excluded.
+fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
+    let f = |x: f64, y: f64, field: &str| {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: {field} {x} vs {y}");
+    };
+    assert_eq!(a.topology, b.topology, "{label}: topology");
+    assert_eq!(a.num_processors, b.num_processors, "{label}: N");
+    assert_eq!(a.worm_flits, b.worm_flits, "{label}: worm_flits");
+    f(a.offered_message_rate, b.offered_message_rate, "rate");
+    f(a.offered_flit_load, b.offered_flit_load, "offered load");
+    f(a.avg_latency, b.avg_latency, "avg_latency");
+    f(a.latency_ci95, b.latency_ci95, "latency_ci95");
+    f(a.latency_p50, b.latency_p50, "latency_p50");
+    f(a.latency_p95, b.latency_p95, "latency_p95");
+    f(a.latency_p99, b.latency_p99, "latency_p99");
+    f(a.latency_max, b.latency_max, "latency_max");
+    f(
+        a.injection_wait_mean,
+        b.injection_wait_mean,
+        "injection wait",
+    );
+    assert_eq!(
+        a.messages_measured, b.messages_measured,
+        "{label}: measured"
+    );
+    assert_eq!(
+        a.messages_completed, b.messages_completed,
+        "{label}: completed"
+    );
+    assert_eq!(
+        a.messages_incomplete, b.messages_incomplete,
+        "{label}: incomplete"
+    );
+    f(a.delivered_flit_load, b.delivered_flit_load, "delivered");
+    assert_eq!(a.saturated, b.saturated, "{label}: saturated");
+    assert_eq!(a.backlog_growth, b.backlog_growth, "{label}: backlog");
+    assert_eq!(a.cycles_run, b.cycles_run, "{label}: cycles_run");
+    assert_eq!(
+        a.max_active_worms, b.max_active_worms,
+        "{label}: max_active_worms"
+    );
+    assert_eq!(a.seed, b.seed, "{label}: seed");
+    assert_eq!(a.class_stats.len(), b.class_stats.len(), "{label}: classes");
+    for (ca, cb) in a.class_stats.iter().zip(&b.class_stats) {
+        assert_eq!(ca.class, cb.class, "{label}: class id");
+        assert_eq!(ca.channels, cb.channels, "{label}: {} channels", ca.class);
+        assert_eq!(ca.grants, cb.grants, "{label}: {} grants", ca.class);
+        f(ca.lambda, cb.lambda, "class lambda");
+        f(ca.mean_service, cb.mean_service, "class mean_service");
+        f(ca.mean_wait, cb.mean_wait, "class mean_wait");
+        f(ca.utilization, cb.utilization, "class utilization");
+    }
+}
+
+fn workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("uniform", Workload::uniform()),
+        (
+            "hotspot",
+            Workload {
+                pattern: DestinationPattern::hot_spot(),
+                arrival: ArrivalProcess::Poisson,
+            },
+        ),
+        (
+            "bursty",
+            Workload {
+                pattern: DestinationPattern::Uniform,
+                arrival: ArrivalProcess::Mmpp(MmppProfile::default_bursty()),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn fast_forward_is_bit_exact_across_workloads_and_loads() {
+    let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(41);
+    for (name, workload) in workloads() {
+        for load in [0.002, 0.05] {
+            let traffic = TrafficConfig::from_flit_load(load, 16)
+                .unwrap()
+                .with_workload(workload);
+            let fast = run_simulation_with_fast_forward(&router, &cfg, &traffic, true);
+            let reference = run_simulation_with_fast_forward(&router, &cfg, &traffic, false);
+            assert_bit_identical(&fast, &reference, &format!("{name}@{load}"));
+            assert_eq!(reference.cycles_skipped, 0, "{name}: reference skips");
+            assert!(
+                load > 0.01 || fast.cycles_skipped > 0,
+                "{name}@{load}: fast-forward should elide cycles at low load"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_exact_on_a_larger_machine_near_the_knee() {
+    // Moderate load on N=64: idle spans are short and frequent, so the
+    // skip logic is exercised between clustered events rather than across
+    // long dead stretches.
+    let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(43);
+    for load in [0.01, 0.12] {
+        let traffic = TrafficConfig::from_flit_load(load, 16).unwrap();
+        let fast = run_simulation_with_fast_forward(&router, &cfg, &traffic, true);
+        let reference = run_simulation_with_fast_forward(&router, &cfg, &traffic, false);
+        assert_bit_identical(&fast, &reference, &format!("n64@{load}"));
+    }
+}
+
+#[test]
+fn fast_forward_skips_almost_everything_at_vanishing_load() {
+    let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(47);
+    let traffic = TrafficConfig::new(0.00002, 16).unwrap();
+    let fast = run_simulation(&router, &cfg, &traffic);
+    let reference = run_simulation_with_fast_forward(&router, &cfg, &traffic, false);
+    assert_bit_identical(&fast, &reference, "vanishing");
+    assert!(
+        fast.cycles_skipped as f64 > 0.9 * fast.cycles_run as f64,
+        "at ~0 load nearly every cycle is idle: skipped {} of {}",
+        fast.cycles_skipped,
+        fast.cycles_run
+    );
+}
+
+#[test]
+fn fast_forward_handles_zero_rate_and_saturation_edges() {
+    let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(53);
+    // Zero rate: the whole run is one idle span.
+    let silent = TrafficConfig::new(0.0, 16).unwrap();
+    let fast = run_simulation(&router, &cfg, &silent);
+    let reference = run_simulation_with_fast_forward(&router, &cfg, &silent, false);
+    assert_bit_identical(&fast, &reference, "zero-rate");
+    assert_eq!(fast.cycles_run, cfg.warmup_cycles + cfg.measure_cycles);
+    // Far past saturation: no idle spans to skip, but the accounting (drain
+    // cap, incomplete messages) must still agree exactly.
+    let overload = TrafficConfig::from_flit_load(0.5, 16).unwrap();
+    let fast = run_simulation(&router, &cfg, &overload);
+    let reference = run_simulation_with_fast_forward(&router, &cfg, &overload, false);
+    assert_bit_identical(&fast, &reference, "overload");
+    assert!(fast.saturated);
+}
+
+#[test]
+fn sweeps_and_replications_reproduce_sequential_runs() {
+    // The lock-free disjoint-slot sweep must equal point-by-point
+    // sequential simulation with the derived per-point seeds.
+    let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router = BftRouter::new(&tree);
+    let cfg = quick_sim_config(59);
+    let loads = [0.003, 0.01, 0.02, 0.04, 0.06];
+    let base = TrafficConfig::from_flit_load(loads[0], 16).unwrap();
+    let swept = sweep_traffic(&router, &cfg, &base, &loads);
+    assert_eq!(swept.len(), loads.len());
+    for (i, (r, &load)) in swept.iter().zip(&loads).enumerate() {
+        let seed = wormsim::sim::runner::point_seed(cfg.seed, i as u64);
+        let solo = run_simulation(
+            &router,
+            &cfg.with_seed(seed),
+            &base.at_flit_load(load).unwrap(),
+        );
+        assert_bit_identical(r, &solo, &format!("sweep point {i}"));
+    }
+    let reps = replicate(&router, &cfg, &base, 3);
+    for (i, r) in reps.runs.iter().enumerate() {
+        let seed = wormsim::sim::runner::replication_seed(cfg.seed, i as u64);
+        let solo = run_simulation(&router, &cfg.with_seed(seed), &base);
+        assert_bit_identical(r, &solo, &format!("replication {i}"));
+    }
+}
