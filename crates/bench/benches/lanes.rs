@@ -1,0 +1,77 @@
+//! Virtual-channel lane benchmarks: engine throughput across lane counts
+//! and allocators (the lane machinery's overhead at `L = 1` must be nil),
+//! plus the multi-lane model solve and the queueing-lane kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wormsim_bench::{bench_sim_config, bench_traffic};
+use wormsim_core::bft::BftModel;
+use wormsim_core::options::ModelOptions;
+use wormsim_lanes::{LaneAllocatorKind, LaneConfig};
+use wormsim_sim::router::BftRouter;
+use wormsim_sim::runner::run_simulation_with_lanes;
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+
+fn bench_lane_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanes");
+    group.sample_size(10);
+
+    let params = BftParams::paper(64).unwrap();
+    let tree = ButterflyFatTree::new(params);
+    let router = BftRouter::new(&tree);
+    let cfg = bench_sim_config(9);
+    let cycles = cfg.warmup_cycles + cfg.measure_cycles;
+    let traffic = bench_traffic(0.1);
+
+    for lanes in [1u32, 2, 4] {
+        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).unwrap();
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(
+            BenchmarkId::new("bft64_moderate_load", lanes),
+            &lc,
+            |b, lc| {
+                b.iter(|| run_simulation_with_lanes(&router, &cfg, &traffic, lc).messages_completed)
+            },
+        );
+    }
+
+    for kind in [
+        LaneAllocatorKind::FirstFree,
+        LaneAllocatorKind::RoundRobin,
+        LaneAllocatorKind::LeastOccupied,
+    ] {
+        let lc = LaneConfig::new(4, kind).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("allocator_l4", format!("{kind:?}")),
+            &lc,
+            |b, lc| {
+                b.iter(|| run_simulation_with_lanes(&router, &cfg, &traffic, lc).messages_completed)
+            },
+        );
+    }
+
+    group.finish();
+}
+
+fn bench_lane_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanes_model");
+    let params = BftParams::paper(1024).unwrap();
+    for lanes in [1u32, 2, 4] {
+        let model = BftModel::with_options(params, 32.0, ModelOptions::paper().with_lanes(lanes));
+        group.bench_with_input(BenchmarkId::new("bft1024_solve", lanes), &model, |b, m| {
+            b.iter(|| m.latency_at_flit_load(0.02).unwrap().total)
+        });
+    }
+    group.bench_function("residence_kernel", |b| {
+        b.iter(|| wormsim_queueing::lanes::shared_link_residence(4, 20.0, 16.0, 0.02).unwrap())
+    });
+    group.bench_function("blocking_kernel", |b| {
+        b.iter(|| {
+            wormsim_queueing::lanes::multi_lane_blocking_probability(2, 4, 0.1, 0.4, 0.5, 0.35)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_engine, bench_lane_model);
+criterion_main!(benches);

@@ -16,6 +16,9 @@
 //!   of regenerating each paper artifact is tracked over time.
 //! * `workload` — destination-sampling and flow-vector/per-station-model
 //!   hot paths of the workload subsystem.
+//! * `lanes` — virtual-channel lanes: engine throughput across lane counts
+//!   and allocation policies, the multi-lane model solve, and the
+//!   queueing-lane kernels.
 
 #![warn(missing_docs)]
 

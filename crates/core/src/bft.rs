@@ -173,14 +173,41 @@ impl BftModel {
         (1.0 - lambda_in / lambda_out_per_channel * r_station).clamp(0.0, 1.0)
     }
 
+    /// Rejects entry points that only have single-lane semantics when the
+    /// model was configured with `lanes > 1` — silently returning `L = 1`
+    /// numbers from a multi-lane model would be inconsistent with
+    /// [`Self::latency_at_message_rate`], which does honour the lanes.
+    fn require_single_lane(&self, what: &str) -> Result<()> {
+        if self.options.lanes == 0 {
+            // Match the framework's validation: a zero-lane channel cannot
+            // carry traffic, and silently treating it as single-lane would
+            // let the same options error on one entry point and resolve on
+            // another.
+            return Err(ModelError::Spec(
+                "lane count must be at least 1 (ModelOptions::lanes)".into(),
+            ));
+        }
+        if self.options.lanes > 1 {
+            return Err(ModelError::Spec(format!(
+                "{what} has no multi-lane analogue yet (lanes = {}); the closed-form \
+                 Eqs. 14–24/26 are single-lane — see ROADMAP lanes follow-ons",
+                self.options.lanes
+            )));
+        }
+        Ok(())
+    }
+
     /// Resolves every per-level service and waiting time at source message
     /// rate `lambda0` (messages/cycle/PE).
     ///
     /// # Errors
     ///
     /// [`ModelError::Queueing`] tagged with the first saturating channel
-    /// class when `lambda0` is beyond the network's capacity.
+    /// class when `lambda0` is beyond the network's capacity;
+    /// [`ModelError::Spec`] when the options carry `lanes > 1` (the
+    /// per-level audit is the closed single-lane recurrence).
     pub fn audit_at_message_rate(&self, lambda0: f64) -> Result<ChannelAudit> {
+        self.require_single_lane("audit_at_message_rate")?;
         let mut audit = self.resolve_chains(lambda0)?;
         // Finally Eq. 24: injection-channel wait. This is the step that
         // diverges exactly at the saturation point x̄₀,₁ = 1/λ₀ (where the
@@ -281,10 +308,24 @@ impl BftModel {
 
     /// Average latency at source message rate `lambda0` (Eq. 25).
     ///
+    /// The hand-derived recurrences are the paper's single-lane model;
+    /// when the options carry `lanes > 1` the computation is delegated to
+    /// the general framework spec ([`crate::framework::bft_spec`]), which
+    /// implements the multi-lane extension — at `lanes = 1` the two agree
+    /// to floating-point rounding (regression-tested) and the closed form
+    /// is used directly.
+    ///
     /// # Errors
     ///
     /// Saturation or invalid-rate errors from the underlying resolution.
     pub fn latency_at_message_rate(&self, lambda0: f64) -> Result<LatencyBreakdown> {
+        if self.options.lanes > 1 {
+            if !(lambda0.is_finite() && lambda0 >= 0.0) {
+                return Err(ModelError::Spec(format!("invalid message rate {lambda0}")));
+            }
+            let spec = crate::framework::bft_spec(&self.params, self.worm_flits, lambda0);
+            return spec.latency(&self.options);
+        }
         let audit = self.audit_at_message_rate(lambda0)?;
         let w = audit.w_up[0];
         let x = audit.x_up[0];
@@ -312,8 +353,9 @@ impl BftModel {
     ///
     /// # Errors
     ///
-    /// Same as [`Self::audit_at_message_rate`].
+    /// Same as [`Self::audit_at_message_rate`] (single-lane only).
     pub fn source_service_time(&self, lambda0: f64) -> Result<f64> {
+        self.require_single_lane("source_service_time")?;
         Ok(self.resolve_chains(lambda0)?.x_up[0])
     }
 
@@ -322,8 +364,12 @@ impl BftModel {
     ///
     /// # Errors
     ///
-    /// [`ModelError::Saturation`] if no saturation point can be bracketed.
+    /// [`ModelError::Saturation`] if no saturation point can be bracketed;
+    /// [`ModelError::Spec`] when the options carry `lanes > 1` — Eq. 26 is
+    /// single-lane, and the multi-lane knee genuinely sits elsewhere (the
+    /// simulator shows it moving outward with `L`; see `repro lanes`).
     pub fn saturation(&self) -> Result<SaturationPoint> {
+        self.require_single_lane("saturation")?;
         throughput::saturation_point(self.worm_flits, |lambda0| self.source_service_time(lambda0))
     }
 

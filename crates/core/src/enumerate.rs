@@ -48,7 +48,7 @@ impl EnumeratedModel {
     /// Saturation of any channel, or spec inconsistencies.
     pub fn latency(&self, options: &ModelOptions) -> Result<LatencyBreakdown> {
         let sol = self.spec.solve(options)?;
-        Ok(self.breakdown_from(&sol))
+        self.breakdown_from(&sol, options)
     }
 
     /// [`Self::latency`] with warm-started sweep state: consecutive calls
@@ -64,24 +64,32 @@ impl EnumeratedModel {
         warm: &mut crate::framework::WarmStart,
     ) -> Result<LatencyBreakdown> {
         let sol = self.spec.solve_warm(options, warm)?;
-        Ok(self.breakdown_from(&sol))
+        self.breakdown_from(&sol, options)
     }
 
-    fn breakdown_from(&self, sol: &crate::framework::Solution) -> LatencyBreakdown {
+    fn breakdown_from(
+        &self,
+        sol: &crate::framework::Solution,
+        options: &ModelOptions,
+    ) -> Result<LatencyBreakdown> {
         let mut w_sum = 0.0;
         let mut x_sum = 0.0;
         for inj in &self.injections {
+            // Lane corrections per injection station (identities at L = 1):
+            // the wait is already the M/G/L lane-slot wait, and the
+            // injection hold is the multiplex-stretched residence.
+            let x = sol.service_times[inj.0];
             w_sum += sol.waiting_times[inj.0];
-            x_sum += sol.service_times[inj.0];
+            x_sum += self.spec.lane_residence_for(inj.0, x, options)?;
         }
         let n = self.injections.len() as f64;
         let (w, x) = (w_sum / n, x_sum / n);
-        LatencyBreakdown {
+        Ok(LatencyBreakdown {
             w_injection: w,
             x_injection: x,
             avg_distance: self.spec.avg_distance,
             total: w + x + self.spec.avg_distance - 1.0,
-        }
+        })
     }
 
     /// Per-PE injection summary `(W_inj, x̄_inj)` — exposes the spatial

@@ -291,11 +291,32 @@ impl NetworkSpec {
     }
 
     /// Station-level waiting time for class `j` at service time `x`,
-    /// honouring the multi-server and SCV options.
+    /// honouring the multi-server, SCV and lane options.
+    ///
+    /// With `L > 1` lanes the station's grant capacity is its `m·L` lane
+    /// slots, each held for one lane-residence: the wait for a free lane
+    /// is the M/G/(m·L) wait at the combined rate — the occupancy
+    /// distribution over the lane slots (Erlang C under the Lee–Longton
+    /// scaling) is what prices lane availability, collapsing to the
+    /// paper's M/G/m at `L = 1` (bit-for-bit: the `L = 1` branch is the
+    /// original code path).
     fn station_wait(&self, j: usize, x: f64, options: &ModelOptions) -> Result<f64> {
         let class = &self.classes[j];
         let scv = options.scv.scv(x, self.worm_flits);
-        let res = if class.servers > 1 && options.multi_server_up {
+        let res = if options.lanes > 1 {
+            if class.servers > 1 && options.multi_server_up {
+                mgm::waiting_time(
+                    class.servers * options.lanes,
+                    f64::from(class.servers) * class.lambda,
+                    x,
+                    scv,
+                )
+            } else {
+                // Per-channel view (single-server stations and the A1
+                // ablation): the L lanes of one channel pool its arrivals.
+                mgm::waiting_time(options.lanes, class.lambda, x, scv)
+            }
+        } else if class.servers > 1 && options.multi_server_up {
             mgm::waiting_time(
                 class.servers,
                 f64::from(class.servers) * class.lambda,
@@ -306,6 +327,39 @@ impl NetworkSpec {
             mg1::waiting_time(class.lambda, x, scv)
         };
         res.map_err(|e| ModelError::at(class.name.clone(), e))
+    }
+
+    /// Mean lane-residence time of a worm on a class-`j` channel: `x` with
+    /// its transmission component stretched by flit multiplexing across
+    /// the channel's `L` lanes (`wormsim_queueing::lanes`). Identity —
+    /// bit-for-bit — at `L = 1`.
+    fn lane_residence(&self, j: usize, x: f64, options: &ModelOptions) -> Result<f64> {
+        if options.lanes == 1 {
+            return Ok(x);
+        }
+        let class = &self.classes[j];
+        // Terminal service can sit exactly at the s/f floor; interior
+        // iterates may transiently dip below it from damping, so clamp the
+        // transmission decomposition rather than erroring mid-iteration.
+        let x_checked = x.max(self.worm_flits);
+        wormsim_queueing::lanes::shared_link_residence(
+            options.lanes,
+            x_checked,
+            self.worm_flits,
+            class.lambda,
+        )
+        .map_err(|e| ModelError::at(class.name.clone(), e))
+    }
+
+    /// Crate-visible [`Self::lane_residence`] (used by the enumerated
+    /// model's per-injection breakdown).
+    pub(crate) fn lane_residence_for(
+        &self,
+        j: usize,
+        x: f64,
+        options: &ModelOptions,
+    ) -> Result<f64> {
+        self.lane_residence(j, x, options)
     }
 
     /// Blocking factor `P(i|j)` of Eq. 10 for a worm from class `i`
@@ -331,7 +385,12 @@ impl NetworkSpec {
         (1.0 - lambda_in / lambda_out * r_eff).clamp(0.0, 1.0)
     }
 
-    /// Eq. 11 for class `i` given current service-time estimates `x`.
+    /// Eq. 11 for class `i` given current service-time estimates `x`,
+    /// with the multi-lane extension: downstream service enters as the
+    /// lane residence (multiplex-stretched transmissions) and the wait is
+    /// the M/G/(m·L) lane-slot wait of [`Self::station_wait`], still
+    /// damped by Eq. 10's blocking probability. At `lanes = 1` every term
+    /// reduces to the identity and this is the paper's Eq. 11 unchanged.
     fn service_equation(&self, i: usize, x: &[f64], options: &ModelOptions) -> Result<f64> {
         match &self.classes[i].body {
             ClassBody::Terminal { service_time } => Ok(*service_time),
@@ -339,9 +398,10 @@ impl NetworkSpec {
                 let mut sum = 0.0;
                 for f in forwards {
                     let j = f.to.0;
-                    let w = self.station_wait(j, x[j], options)?;
+                    let r = self.lane_residence(j, x[j], options)?;
+                    let w = self.station_wait(j, r, options)?;
                     let p = self.blocking(i, j, f.blocking_prob, options);
-                    sum += f64::from(f.multiplicity) * f.prob_each * (x[j] + p * w);
+                    sum += f64::from(f.multiplicity) * f.prob_each * (r + p * w);
                 }
                 Ok(sum)
             }
@@ -411,6 +471,11 @@ impl NetworkSpec {
         warm: Option<&mut WarmStart>,
     ) -> Result<Solution> {
         self.validate()?;
+        if options.lanes == 0 {
+            return Err(ModelError::Spec(
+                "lane count must be at least 1 (ModelOptions::lanes)".into(),
+            ));
+        }
         let n = self.classes.len();
         // Seed from the previous sweep point when its spec had the same
         // shape; fall back to the cold start `x̄ = s/f` everywhere.
@@ -467,7 +532,10 @@ impl NetworkSpec {
         }
         let mut w = vec![0.0; n];
         for i in 0..n {
-            w[i] = self.station_wait(i, x[i], options)?;
+            // Waits are evaluated at the lane residence, matching the
+            // service equation (identity at L = 1).
+            let r = self.lane_residence(i, x[i], options)?;
+            w[i] = self.station_wait(i, r, options)?;
         }
         if let Some(state) = warm {
             state.guess = Some(x.clone());
@@ -488,7 +556,7 @@ impl NetworkSpec {
     /// Same as [`Self::solve`].
     pub fn latency(&self, options: &ModelOptions) -> Result<crate::bft::LatencyBreakdown> {
         let sol = self.solve(options)?;
-        Ok(self.breakdown_from(&sol))
+        self.breakdown_from(&sol, options)
     }
 
     /// [`Self::latency`] with warm-started sweep state — the entry point
@@ -503,19 +571,27 @@ impl NetworkSpec {
         warm: &mut WarmStart,
     ) -> Result<crate::bft::LatencyBreakdown> {
         let sol = self.solve_warm(options, warm)?;
-        Ok(self.breakdown_from(&sol))
+        self.breakdown_from(&sol, options)
     }
 
-    fn breakdown_from(&self, sol: &Solution) -> crate::bft::LatencyBreakdown {
+    fn breakdown_from(
+        &self,
+        sol: &Solution,
+        options: &ModelOptions,
+    ) -> Result<crate::bft::LatencyBreakdown> {
         let i = self.injection.0;
-        let x = sol.service_times[i];
+        // With lanes, the source wait is already the M/G/L lane-slot wait
+        // (all-lanes-busy priced by its occupancy distribution) and the
+        // injection hold is the multiplex-stretched residence. Both are
+        // exact identities at L = 1.
+        let x = self.lane_residence(i, sol.service_times[i], options)?;
         let w = sol.waiting_times[i];
-        crate::bft::LatencyBreakdown {
+        Ok(crate::bft::LatencyBreakdown {
             w_injection: w,
             x_injection: x,
             avg_distance: self.avg_distance,
             total: w + x + self.avg_distance - 1.0,
-        }
+        })
     }
 }
 

@@ -41,6 +41,11 @@ pub struct ModelOptions {
     pub blocking_correction: bool,
     /// Service-variance model (paper: Eq. 5 wormhole surrogate).
     pub scv: ScvMode,
+    /// Virtual-channel lanes per physical channel (the multi-lane
+    /// extension; see `wormsim_queueing::lanes`). The paper's model is
+    /// `lanes = 1`, where the solver takes the exact single-lane code
+    /// path — numbers are bit-for-bit unchanged.
+    pub lanes: u32,
 }
 
 impl Default for ModelOptions {
@@ -58,7 +63,16 @@ impl ModelOptions {
             multi_server_up: true,
             blocking_correction: true,
             scv: ScvMode::Wormhole,
+            lanes: 1,
         }
+    }
+
+    /// Returns a copy with `lanes` virtual-channel lanes per physical
+    /// channel. `with_lanes(1)` is the identity (the paper's model).
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes;
+        self
     }
 
     /// Ablation A1: independent single-server up-links (novelty 1 removed).
@@ -86,6 +100,7 @@ impl ModelOptions {
             multi_server_up: false,
             blocking_correction: false,
             scv: ScvMode::Wormhole,
+            lanes: 1,
         }
     }
 }
@@ -114,6 +129,16 @@ mod tests {
         let prior = ModelOptions::prior_art();
         assert!(!prior.multi_server_up);
         assert!(!prior.blocking_correction);
+    }
+
+    #[test]
+    fn lanes_default_to_single_and_builder_overrides() {
+        assert_eq!(ModelOptions::paper().lanes, 1);
+        assert_eq!(ModelOptions::prior_art().lanes, 1);
+        let o = ModelOptions::paper().with_lanes(4);
+        assert_eq!(o.lanes, 4);
+        assert!(o.multi_server_up, "with_lanes must not disturb other knobs");
+        assert_eq!(o.with_lanes(1), ModelOptions::paper());
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn params() -> impl Strategy<Value = BftParams> {
 }
 
 fn options() -> impl Strategy<Value = ModelOptions> {
-    (any::<bool>(), any::<bool>(), 0u8..3).prop_map(|(ms, bc, scv)| ModelOptions {
+    (any::<bool>(), any::<bool>(), 0u8..3, 1u32..=4).prop_map(|(ms, bc, scv, lanes)| ModelOptions {
         multi_server_up: ms,
         blocking_correction: bc,
         scv: match scv {
@@ -21,6 +21,7 @@ fn options() -> impl Strategy<Value = ModelOptions> {
             1 => ScvMode::Deterministic,
             _ => ScvMode::Exponential,
         },
+        lanes,
     })
 }
 

@@ -31,9 +31,9 @@ use wormsim_core::bft::BftModel;
 use wormsim_core::flows::FlowModelSweep;
 use wormsim_core::framework::{bft_spec, ring_spec, WarmStart};
 use wormsim_core::options::ModelOptions;
-use wormsim_sim::config::{SimConfig, TrafficConfig};
+use wormsim_sim::config::{LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
 use wormsim_sim::router::BftRouter;
-use wormsim_sim::runner::run_simulation_with_fast_forward;
+use wormsim_sim::runner::{run_simulation_with_fast_forward, run_simulation_with_lanes};
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 use wormsim_workload::{DestinationPattern, FlowVector};
 
@@ -64,6 +64,7 @@ struct SimPoint {
     name: String,
     n: usize,
     flit_load: f64,
+    lanes: u32,
     fast_forward: bool,
     median_ns: u64,
     cycles_run: u64,
@@ -134,7 +135,38 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                 ),
                 n,
                 flit_load,
+                lanes: 1,
                 fast_forward,
+                median_ns: median,
+                cycles_run: r.cycles_run,
+                cycles_skipped: r.cycles_skipped,
+            });
+        }
+    }
+
+    // ---- Lanes group: engine throughput across lane counts. The L = 1
+    // point doubles as a no-overhead check against the plain grid. ----
+    let mut lane_points: Vec<SimPoint> = Vec::new();
+    {
+        let n = 64usize;
+        let flit_load = 0.1;
+        let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+        let router = BftRouter::new(&tree);
+        let cfg = bench_cfg(ctx.seed);
+        let traffic = TrafficConfig::from_flit_load(flit_load, 16).expect("valid load");
+        for lanes in [1u32, 2, 4] {
+            let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+            let mut last = None;
+            let median = median_ns(reps, || {
+                last = Some(run_simulation_with_lanes(&router, &cfg, &traffic, &lc));
+            });
+            let r = last.expect("at least one repetition ran");
+            lane_points.push(SimPoint {
+                name: format!("bft{n}_load{flit_load}_l{lanes}"),
+                n,
+                flit_load,
+                lanes,
+                fast_forward: true,
                 median_ns: median,
                 cycles_run: r.cycles_run,
                 cycles_skipped: r.cycles_skipped,
@@ -178,6 +210,26 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         warm_iters = warm.total_iterations();
     });
     let iter_reduction = 1.0 - warm_iters as f64 / cold_iters.max(1) as f64;
+
+    // Lane model: multi-lane solve cost plus deterministic latency anchors
+    // (exact same floating-point values on every machine — the committed
+    // baseline pins the lane model's numbers, not just its speed).
+    let lane_model_params =
+        BftParams::paper(if ctx.quick { 64 } else { 1024 }).expect("power of 4");
+    let mut lane_solve_ns = Vec::new();
+    let mut lane_latency = Vec::new();
+    for lanes in [1u32, 2, 4] {
+        let model = BftModel::with_options(
+            lane_model_params,
+            16.0,
+            ModelOptions::paper().with_lanes(lanes),
+        );
+        let ns = median_ns(model_reps, || {
+            std::hint::black_box(model.latency_at_flit_load(0.04).expect("stable").total);
+        });
+        lane_solve_ns.push(ns);
+        lane_latency.push(model.latency_at_flit_load(0.04).expect("stable").total);
+    }
 
     // Workload model sweep: rebuild-per-point vs build-once + rescale.
     let tree64 = ButterflyFatTree::new(BftParams::paper(64).expect("power of 4"));
@@ -230,6 +282,18 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         reps, ctx.seed
     ));
     out.section(tbl.render());
+    let mut lane_tbl = Table::new(vec!["point", "median us", "cycles/s", "vs L=1"]);
+    let l1_ns = lane_points.first().map_or(1, |p| p.median_ns.max(1));
+    for p in &lane_points {
+        lane_tbl.row(vec![
+            p.name.clone(),
+            num(p.median_ns as f64 / 1e3, 1),
+            format!("{:.2e}", p.cycles_per_sec()),
+            num(p.median_ns as f64 / l1_ns as f64, 2),
+        ]);
+    }
+    out.section("Lanes group (N=64, load 0.1, first-free allocator):");
+    out.section(lane_tbl.render());
     out.section(format!(
         "Model: closed-form latency {:.1} us, framework solve {:.1} us (N={}).\n\
          Ring sweep (20 points): cold {} iterations / {:.1} us, warm {} iterations / {:.1} us \
@@ -250,20 +314,22 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // ---- Write the JSON baselines. ----
     let dir = ctx.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     let mut sim_json = String::from("{\n");
-    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v1\",");
+    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v2\",");
     let _ = writeln!(sim_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(sim_json, "  \"repetitions\": {reps},");
     let _ = writeln!(sim_json, "  \"points\": [");
-    for (idx, p) in sim_points.iter().enumerate() {
-        let comma = if idx + 1 == sim_points.len() { "" } else { "," };
+    let all_points: Vec<&SimPoint> = sim_points.iter().chain(&lane_points).collect();
+    for (idx, p) in all_points.iter().enumerate() {
+        let comma = if idx + 1 == all_points.len() { "" } else { "," };
         let _ = writeln!(
             sim_json,
-            "    {{\"name\": \"{}\", \"n\": {}, \"flit_load\": {}, \"fast_forward\": {}, \
-             \"median_ns\": {}, \"cycles_run\": {}, \"cycles_skipped\": {}, \
-             \"cycles_per_sec\": {}}}{comma}",
+            "    {{\"name\": \"{}\", \"n\": {}, \"flit_load\": {}, \"lanes\": {}, \
+             \"fast_forward\": {}, \"median_ns\": {}, \"cycles_run\": {}, \
+             \"cycles_skipped\": {}, \"cycles_per_sec\": {}}}{comma}",
             p.name,
             p.n,
             p.flit_load,
+            p.lanes,
             p.fast_forward,
             p.median_ns,
             p.cycles_run,
@@ -275,7 +341,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     sim_json.push_str("}\n");
 
     let mut model_json = String::from("{\n");
-    let _ = writeln!(model_json, "  \"schema\": \"wormsim-bench-model/v1\",");
+    let _ = writeln!(model_json, "  \"schema\": \"wormsim-bench-model/v2\",");
     let _ = writeln!(model_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(model_json, "  \"repetitions\": {reps},");
     let _ = writeln!(
@@ -293,8 +359,23 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let _ = writeln!(
         model_json,
         "  \"flow_sweep\": {{\"points\": {}, \"rebuild_ns\": {rebuild_ns}, \
-         \"warm_rescale_ns\": {sweep_ns}}}",
+         \"warm_rescale_ns\": {sweep_ns}}},",
         flow_loads.len(),
+    );
+    // Lane latencies are deterministic anchors (machine-independent to the
+    // printed precision); solve times are snapshots like the rest.
+    let _ = writeln!(
+        model_json,
+        "  \"lanes\": {{\"n\": {}, \"flit_load\": 0.04, \
+         \"l1_solve_ns\": {}, \"l2_solve_ns\": {}, \"l4_solve_ns\": {}, \
+         \"l1_latency\": {}, \"l2_latency\": {}, \"l4_latency\": {}}}",
+        lane_model_params.num_processors(),
+        lane_solve_ns[0],
+        lane_solve_ns[1],
+        lane_solve_ns[2],
+        json_num(lane_latency[0]),
+        json_num(lane_latency[1]),
+        json_num(lane_latency[2]),
     );
     model_json.push_str("}\n");
 
@@ -329,9 +410,12 @@ mod tests {
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
         let model = std::fs::read_to_string(dir.join("BENCH_model.json")).unwrap();
-        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v1\""));
+        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v2\""));
         assert!(sim.contains("bft16_load0.001_ff"));
+        assert!(sim.contains("bft64_load0.1_l2"), "lanes sim group present");
         assert!(model.contains("\"ring_sweep\""));
+        assert!(model.contains("\"lanes\""), "lanes model group present");
+        assert!(model.contains("l4_latency"));
         // The iteration counts in the report are deterministic: warm must
         // beat cold by the 30% sweep target.
         assert!(out.report.contains("fewer iterations"));

@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod framework_demo;
 pub mod hotspot;
+pub mod lanes;
 pub mod scaling;
 pub mod tail_latency;
 pub mod throughput;
@@ -183,6 +184,11 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "bursty",
         bursty::run,
         "Workload W2: MMPP bursty sources vs the Poisson and burst-corrected models",
+    ),
+    (
+        "lanes",
+        lanes::run,
+        "Lanes L1: virtual-channel lanes, multi-lane model vs sim for L in {1,2,4}",
     ),
     (
         "bench-baseline",

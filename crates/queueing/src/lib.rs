@@ -18,6 +18,12 @@
 //!   Poisson-arrival queueing results to wormhole routing.
 //! * [`gg1`] — the Kingman / Allen–Cunneen G/G/1 correction for
 //!   non-Poisson (bursty MMPP) arrivals, used by the workload extension.
+//! * [`lanes`] — multi-lane (virtual-channel) extensions: the
+//!   flit-multiplexing residence stretch used by the `wormsim-core`
+//!   framework (which prices lane *availability* through M/G/(m·L)
+//!   lane-slot waits, i.e. [`mgm`] at `m·L` servers), plus a standalone
+//!   geometric-occupancy-tail composition with Eq. 10 for single-station
+//!   analyses; all exact no-ops at `L = 1`.
 //! * [`distribution`] — service-time distribution descriptions by moments.
 //! * [`solver`] — damped fixed-point iteration and bracketing root finding,
 //!   used to resolve cyclic channel dependencies and saturation points.
@@ -59,6 +65,7 @@ pub mod blocking;
 pub mod distribution;
 pub mod error;
 pub mod gg1;
+pub mod lanes;
 pub mod mg1;
 pub mod mgm;
 pub mod mmm;

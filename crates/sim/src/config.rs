@@ -6,6 +6,7 @@
 //! [`Workload`] value parameterizes the simulator and the analytical
 //! model identically.
 
+pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError};
 pub use wormsim_workload::{
     ArrivalProcess, DestinationPattern, MmppProfile, Workload, WorkloadError,
 };

@@ -45,12 +45,31 @@
 //! `tests/fast_forward_replay.rs` proves it field-by-field. Disable with
 //! [`Engine::set_fast_forward`] to recover the reference engine.
 //!
+//! # Virtual channels (lanes)
+//!
+//! Each physical channel carries `L ≥ 1` *lanes*
+//! ([`wormsim_lanes::LaneConfig`]), each buffering one worm. A station
+//! grant hands out a `(channel, lane)` pair: the channel is picked exactly
+//! as before (random free member), the lane within it by the configured
+//! deterministic [`wormsim_lanes::LaneAllocatorKind`] — no RNG draw, so
+//! the random stream is untouched by lane allocation. Occupied lanes of
+//! one physical channel **share its flit bandwidth**: per cycle a channel
+//! transmits at most one flit, and a worm advances only when every channel
+//! of its moving span has a free flit slot this cycle; otherwise it
+//! *stalls* (all flits hold) and retries. Bandwidth priority within a
+//! cycle is draining worms, then previously stalled worms (FCFS), then
+//! freshly granted ones. At `L = 1` a worm owns every channel it occupies,
+//! a span reservation can never fail, and the whole mechanism is bypassed
+//! — `L = 1` runs are bit-for-bit identical to the single-lane engine
+//! (pinned in `tests/lanes_regression.rs`).
+//!
 //! # Path arena
 //!
-//! Worm paths live in a slab of `Vec<ChannelId>` keyed by `WormIdx`,
-//! parallel to the worm slab. Freeing a worm clears its path but keeps the
-//! allocation, and re-allocating a slot reuses it — after the initial
-//! ramp-up the steady-state hot path allocates nothing per message.
+//! Worm paths live in a slab of `Vec<Hop>` (channel + lane) keyed by
+//! `WormIdx`, parallel to the worm slab. Freeing a worm clears its path
+//! but keeps the allocation, and re-allocating a slot reuses it — after
+//! the initial ramp-up the steady-state hot path allocates nothing per
+//! message.
 
 use crate::config::{SimConfig, TrafficConfig};
 use crate::router::Router;
@@ -61,6 +80,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use wormsim_lanes::{LaneAudit, LaneConfig, LaneTable};
 use wormsim_topology::graph::NodeKind;
 use wormsim_topology::ids::{ChannelId, StationId};
 
@@ -76,10 +96,22 @@ enum WormState {
     PendingRequest,
     /// Waiting in a station queue.
     Queued,
+    /// Granted a lane but denied flit bandwidth on its moving span; all
+    /// flits hold and the advancement retries next cycle. Only reachable
+    /// with `L > 1` lanes — a single-lane worm owns its whole span.
+    Stalled,
     /// Head consumed at the destination; drains one flit per cycle.
     Draining,
     /// Slab slot is free.
     Free,
+}
+
+/// One acquired hop of a worm's path: the physical channel and the lane
+/// it holds on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Hop {
+    ch: ChannelId,
+    lane: u16,
 }
 
 /// One worm (message in flight). The acquired path lives in the engine's
@@ -119,23 +151,31 @@ pub struct Engine<'a, R: Router> {
     rng: SmallRng,
     now: u64,
 
-    // Network state.
-    channel_holder: Vec<WormIdx>,
-    channel_grant_time: Vec<u64>,
+    // Network state. Lane-granular occupancy: slot `ch·L + lane` holds the
+    // occupying worm (or NO_WORM) and its grant cycle; `lane_table` mirrors
+    // the free/busy masks and implements the allocation policy;
+    // `slot_used` stamps, per physical channel, the last cycle its single
+    // flit slot was consumed (only consulted when `L > 1`).
+    lane_holder: Vec<WormIdx>,
+    lane_grant_time: Vec<u64>,
+    lane_table: LaneTable,
+    lane_audit: LaneAudit,
+    slot_used: Vec<u64>,
     channel_class_idx: Vec<u16>,
     station_queue: Vec<VecDeque<WormIdx>>,
     station_ready: Vec<bool>,
     ready_stations: Vec<StationId>,
 
-    // Worm slab. `paths[w]` is worm `w`'s acquired channels, in order
+    // Worm slab. `paths[w]` is worm `w`'s acquired hops, in order
     // (index 0 is the injection channel); cleared-but-retained on free.
     worms: Vec<Worm>,
-    paths: Vec<Vec<ChannelId>>,
+    paths: Vec<Vec<Hop>>,
     free_worms: Vec<WormIdx>,
     drain_list: Vec<WormIdx>,
+    stall_list: Vec<WormIdx>,
     pending_requests: Vec<WormIdx>,
     next_pending: Vec<WormIdx>,
-    granted: Vec<(WormIdx, ChannelId)>,
+    granted: Vec<(WormIdx, ChannelId, u16)>,
 
     // Sources.
     sources: Vec<Source>,
@@ -165,7 +205,8 @@ pub struct Engine<'a, R: Router> {
 }
 
 impl<'a, R: Router> Engine<'a, R> {
-    /// Builds an engine over `router`'s network.
+    /// Builds an engine over `router`'s network with single-lane channels
+    /// (the paper's model; see [`Engine::with_lanes`]).
     ///
     /// # Panics
     ///
@@ -173,6 +214,25 @@ impl<'a, R: Router> Engine<'a, R> {
     /// destination pattern maps outside the PE range.
     #[must_use]
     pub fn new(router: &'a R, cfg: &SimConfig, traffic: &TrafficConfig) -> Self {
+        Self::with_lanes(router, cfg, traffic, &LaneConfig::single())
+    }
+
+    /// Builds an engine whose physical channels each carry the configured
+    /// number of virtual-channel lanes. `lanes` is validated by
+    /// construction ([`LaneConfig::new`]), so no further checks apply; at
+    /// `LaneConfig::single()` this is exactly [`Engine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network has fewer than two processors or a traffic
+    /// destination pattern maps outside the PE range.
+    #[must_use]
+    pub fn with_lanes(
+        router: &'a R,
+        cfg: &SimConfig,
+        traffic: &TrafficConfig,
+        lanes: &LaneConfig,
+    ) -> Self {
         let net = router.network();
         let n_pe = net.num_processors();
         assert!(n_pe >= 2, "simulation needs at least two PEs");
@@ -192,14 +252,18 @@ impl<'a, R: Router> Engine<'a, R> {
         let window_end = cfg.warmup_cycles + cfg.measure_cycles;
         let expected_msgs =
             (traffic.message_rate * n_pe as f64 * cfg.measure_cycles as f64).ceil() as u64;
+        let lane_slots = net.num_channels() * lanes.lanes() as usize;
         Self {
             router,
             cfg: *cfg,
             traffic: *traffic,
             rng,
             now: 0,
-            channel_holder: vec![NO_WORM; net.num_channels()],
-            channel_grant_time: vec![0; net.num_channels()],
+            lane_holder: vec![NO_WORM; lane_slots],
+            lane_grant_time: vec![0; lane_slots],
+            lane_table: LaneTable::new(net.num_channels(), lanes),
+            lane_audit: LaneAudit::new(lanes.lanes()),
+            slot_used: vec![u64::MAX; net.num_channels()],
             channel_class_idx,
             station_queue: vec![VecDeque::new(); net.num_stations()],
             station_ready: vec![false; net.num_stations()],
@@ -208,6 +272,7 @@ impl<'a, R: Router> Engine<'a, R> {
             paths: Vec::with_capacity(1024),
             free_worms: Vec::new(),
             drain_list: Vec::with_capacity(256),
+            stall_list: Vec::with_capacity(64),
             pending_requests: Vec::with_capacity(256),
             next_pending: Vec::with_capacity(256),
             granted: Vec::with_capacity(256),
@@ -303,7 +368,12 @@ impl<'a, R: Router> Engine<'a, R> {
         }
     }
 
-    /// Releases the tail channel if the worm's tail flit has passed it.
+    /// Dense index of `(channel, lane)` into the lane-slot arrays.
+    fn lane_slot(&self, ch: ChannelId, lane: u16) -> usize {
+        ch.index() * self.lane_table.lanes() as usize + lane as usize
+    }
+
+    /// Releases the tail lane if the worm's tail flit has passed it.
     fn release_tail(&mut self, widx: WormIdx, t: u64) {
         let (adv, len) = {
             let w = &self.worms[widx as usize];
@@ -317,21 +387,79 @@ impl<'a, R: Router> Engine<'a, R> {
         if idx >= path.len() {
             return;
         }
-        let ch = path[idx];
-        debug_assert_eq!(
-            self.channel_holder[ch.index()],
-            widx,
-            "release by holder only"
-        );
-        self.channel_holder[ch.index()] = NO_WORM;
-        let granted_at = self.channel_grant_time[ch.index()];
+        let Hop { ch, lane } = path[idx];
+        let slot = self.lane_slot(ch, lane);
+        debug_assert_eq!(self.lane_holder[slot], widx, "release by holder only");
+        self.lane_holder[slot] = NO_WORM;
+        self.lane_table.release(ch.index(), lane);
+        let granted_at = self.lane_grant_time[slot];
         if granted_at >= self.window_start && granted_at < self.window_end {
             let hold = t - granted_at + 1;
             self.audit
                 .record_release(self.channel_class_idx[ch.index()] as usize, hold);
+            self.lane_audit.record_release(lane, hold);
         }
         let st = self.router.network().channel(ch).station;
         self.mark_station_ready(st);
+    }
+
+    /// Attempts to reserve this cycle's flit slot on every channel of the
+    /// worm's moving span (the channels its flits would traverse during
+    /// advancement `advancements + 1`). All-or-nothing: a rigid chain
+    /// cannot move partially. With single-lane channels a worm owns its
+    /// whole span, so the reservation trivially succeeds and is skipped.
+    fn try_reserve_span(&mut self, widx: WormIdx, t: u64) -> bool {
+        if self.lane_table.lanes() == 1 {
+            return true;
+        }
+        let (a, s) = {
+            let w = &self.worms[widx as usize];
+            (w.advancements as usize + 1, w.len_flits as usize)
+        };
+        let path = &self.paths[widx as usize];
+        // Flit `j` traverses channel `a − j + 1` (1-based; module docs), so
+        // the span is 0-based hop indices `max(0, a−s) .. min(d, a)`.
+        let span = path[a.saturating_sub(s)..path.len().min(a)].iter();
+        if span.clone().any(|hop| self.slot_used[hop.ch.index()] == t) {
+            return false;
+        }
+        for hop in span {
+            self.slot_used[hop.ch.index()] = t;
+        }
+        true
+    }
+
+    /// Performs the pending advancement of a granted (or stalled) worm —
+    /// its head traverses the most recently granted channel — and routes
+    /// it onward: eject into drain/completion, or request the next hop.
+    fn complete_advance(&mut self, widx: WormIdx, t: u64) {
+        self.worms[widx as usize].advancements += 1;
+        self.release_tail(widx, t);
+        let last_ch = self.paths[widx as usize].last().expect("non-empty").ch;
+        let dst_is_pe = matches!(
+            self.router
+                .network()
+                .node(self.router.network().channel(last_ch).dst)
+                .kind,
+            NodeKind::Processor { .. }
+        );
+        if dst_is_pe {
+            let done = {
+                let w = &self.worms[widx as usize];
+                w.advancements as usize
+                    == self.paths[widx as usize].len() + w.len_flits as usize - 1
+            };
+            if done {
+                // Single-flit worms complete the cycle they eject.
+                self.finalize(widx, t);
+            } else {
+                self.worms[widx as usize].state = WormState::Draining;
+                self.drain_list.push(widx);
+            }
+        } else {
+            self.worms[widx as usize].state = WormState::PendingRequest;
+            self.next_pending.push(widx);
+        }
     }
 
     /// Message fully consumed: record latency, free the slab slot.
@@ -373,6 +501,7 @@ impl<'a, R: Router> Engine<'a, R> {
         if !self.fast_forward
             || !self.pending_requests.is_empty()
             || !self.drain_list.is_empty()
+            || !self.stall_list.is_empty()
             || !self.ready_stations.is_empty()
         {
             return false;
@@ -433,7 +562,7 @@ impl<'a, R: Router> Engine<'a, R> {
                     let head_node = self
                         .router
                         .network()
-                        .channel(*path.last().expect("non-empty"))
+                        .channel(path.last().expect("non-empty").ch)
                         .dst;
                     (self.router.next_station(head_node, w.dest as usize), false)
                 }
@@ -456,12 +585,15 @@ impl<'a, R: Router> Engine<'a, R> {
                 if self.station_queue[st.index()].is_empty() {
                     break;
                 }
-                // Collect free member channels.
+                // Collect member channels with a free lane. A channel with
+                // several free lanes still counts once — the random pick is
+                // over physical channels (the paper's up-link rule), the
+                // lane within it is the allocator's deterministic choice.
                 let members = &self.router.network().station(st).channels;
                 let mut free: [Option<ChannelId>; 8] = [None; 8];
                 let mut n_free = 0usize;
                 for &ch in members {
-                    if self.channel_holder[ch.index()] == NO_WORM {
+                    if self.lane_table.has_free(ch.index()) {
                         if n_free < free.len() {
                             free[n_free] = Some(ch);
                         }
@@ -478,11 +610,16 @@ impl<'a, R: Router> Engine<'a, R> {
                     self.rng.gen_range(0..n_free.min(8))
                 };
                 let ch = free[pick].expect("picked a free member");
+                let lane = self
+                    .lane_table
+                    .allocate(ch.index())
+                    .expect("free member has a free lane");
                 let widx = self.station_queue[st.index()]
                     .pop_front()
                     .expect("non-empty");
-                self.channel_holder[ch.index()] = widx;
-                self.channel_grant_time[ch.index()] = t;
+                let slot = self.lane_slot(ch, lane);
+                self.lane_holder[slot] = widx;
+                self.lane_grant_time[slot] = t;
                 // Wait statistics: source-queue wait for injections
                 // (measured from generation, the paper's W₀,₁), else from
                 // the request at head arrival.
@@ -499,11 +636,12 @@ impl<'a, R: Router> Engine<'a, R> {
                 if t >= self.window_start && t < self.window_end {
                     self.audit
                         .record_grant(self.channel_class_idx[ch.index()] as usize, wait);
+                    self.lane_audit.record_grant(lane);
                 }
                 if measured_grant {
                     self.injection_wait.add(wait as f64);
                 }
-                self.granted.push((widx, ch));
+                self.granted.push((widx, ch, lane));
             }
             // Keep the ready flag only if blocked on channels (a release
             // will re-arm); a station left with an empty queue re-arms on
@@ -514,10 +652,17 @@ impl<'a, R: Router> Engine<'a, R> {
         }
         self.ready_stations.clear();
 
-        // Phase 3: drain advancement for worms already draining.
+        // Phase 3: drain advancement for worms already draining. With
+        // multiple lanes a drainer needs this cycle's flit slot on every
+        // channel of its moving span; a denied drainer holds all flits and
+        // stays in the list (drainers have first claim on bandwidth).
         let mut j = 0;
         while j < self.drain_list.len() {
             let widx = self.drain_list[j];
+            if !self.try_reserve_span(widx, t) {
+                j += 1;
+                continue;
+            }
             self.worms[widx as usize].advancements += 1;
             self.release_tail(widx, t);
             let done = {
@@ -533,48 +678,50 @@ impl<'a, R: Router> Engine<'a, R> {
             }
         }
 
+        // Phase 3b: worms stalled in an earlier cycle retry their pending
+        // advancement (FCFS — the order-preserving compaction keeps the
+        // longest-stalled worm first in every later contention round).
+        // Runs after the drain loop so a worm whose retry ejects it joins
+        // `drain_list` for the *next* cycle, never advancing twice in one.
+        // Empty whenever `L = 1`. (`complete_advance` never touches the
+        // stall list, so taking it for the sweep is safe.)
+        let mut stalled = std::mem::take(&mut self.stall_list);
+        let mut kept = 0;
+        for k in 0..stalled.len() {
+            let widx = stalled[k];
+            if self.try_reserve_span(widx, t) {
+                self.complete_advance(widx, t);
+            } else {
+                stalled[kept] = widx;
+                kept += 1;
+            }
+        }
+        stalled.truncate(kept);
+        self.stall_list = stalled;
+
         // Phase 4: advancement for worms granted this cycle.
         let mut granted = std::mem::take(&mut self.granted);
-        for &(widx, ch) in &granted {
+        for &(widx, ch, lane) in &granted {
             let first_hop = {
                 let path = &mut self.paths[widx as usize];
-                path.push(ch);
-                self.worms[widx as usize].advancements += 1;
+                path.push(Hop { ch, lane });
                 path.len() == 1
             };
             if first_hop {
-                // Injection channel granted: the PE may stage its next
-                // message (it will request from the next cycle).
+                // Injection lane granted: the PE may stage its next
+                // message (it will request from the next cycle and, with
+                // several lanes, can overlap worms on the same channel).
                 let pe = self.worms[widx as usize].src as usize;
                 self.sources[pe].worm_waiting = false;
                 if !self.sources[pe].pending.is_empty() {
                     self.activate_source(pe, true);
                 }
             }
-            self.release_tail(widx, t);
-            let dst_is_pe = matches!(
-                self.router
-                    .network()
-                    .node(self.router.network().channel(ch).dst)
-                    .kind,
-                NodeKind::Processor { .. }
-            );
-            if dst_is_pe {
-                let done = {
-                    let w = &self.worms[widx as usize];
-                    w.advancements as usize
-                        == self.paths[widx as usize].len() + w.len_flits as usize - 1
-                };
-                if done {
-                    // Single-flit worms complete the cycle they eject.
-                    self.finalize(widx, t);
-                } else {
-                    self.worms[widx as usize].state = WormState::Draining;
-                    self.drain_list.push(widx);
-                }
+            if self.try_reserve_span(widx, t) {
+                self.complete_advance(widx, t);
             } else {
-                self.worms[widx as usize].state = WormState::PendingRequest;
-                self.next_pending.push(widx);
+                self.worms[widx as usize].state = WormState::Stalled;
+                self.stall_list.push(widx);
             }
         }
         granted.clear();
@@ -651,6 +798,10 @@ impl<'a, R: Router> Engine<'a, R> {
             topology: self.router.label(),
             num_processors: net.num_processors(),
             worm_flits: self.traffic.worm_flits,
+            lanes: self.lane_table.lanes(),
+            lane_stats: self
+                .lane_audit
+                .finish(self.cfg.measure_cycles, net.num_channels()),
             offered_message_rate: self.traffic.message_rate,
             offered_flit_load: self.traffic.flit_load(),
             avg_latency: self.latency.mean(),
@@ -700,22 +851,61 @@ impl<'a, R: Router> Engine<'a, R> {
         self.completed_total
     }
 
-    /// Invariant checker used by tests: every held channel's holder exists
-    /// and every queued worm appears in exactly one queue.
+    /// Invariant checker used by tests: every held lane's holder exists and
+    /// holds it on its path, lane occupancy is conserved (each live worm's
+    /// unreleased hops hold exactly their lanes, and nothing else is held
+    /// — no lane double-grant, no leaked lane), every queued worm appears
+    /// in exactly one queue, and every stalled worm in the stall list.
     ///
     /// # Errors
     ///
     /// A description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let net = self.router.network();
-        for (ci, &holder) in self.channel_holder.iter().enumerate() {
+        let lanes = self.lane_table.lanes() as usize;
+        for (slot, &holder) in self.lane_holder.iter().enumerate() {
+            let (ci, lane) = (slot / lanes, (slot % lanes) as u16);
             if holder != NO_WORM {
                 let w = &self.worms[holder as usize];
                 if w.state == WormState::Free {
-                    return Err(format!("channel {ci} held by freed worm {holder}"));
+                    return Err(format!(
+                        "channel {ci} lane {lane} held by freed worm {holder}"
+                    ));
                 }
-                if !self.paths[holder as usize].iter().any(|c| c.index() == ci) {
-                    return Err(format!("channel {ci} not on holder {holder}'s path"));
+                if !self.paths[holder as usize]
+                    .iter()
+                    .any(|h| h.ch.index() == ci && h.lane == lane)
+                {
+                    return Err(format!(
+                        "channel {ci} lane {lane} not on holder {holder}'s path"
+                    ));
+                }
+                if self.lane_table.is_free(ci, lane) {
+                    return Err(format!("held channel {ci} lane {lane} free in lane table"));
+                }
+            } else if !self.lane_table.is_free(ci, lane) {
+                return Err(format!(
+                    "unheld channel {ci} lane {lane} busy in lane table"
+                ));
+            }
+        }
+        // Conservation across lanes: a live worm's hop `i` is released iff
+        // `advancements ≥ len_flits + i` (its tail flit passed it), so the
+        // held hops must hold exactly their recorded lanes — summed over
+        // worms this pins total lane occupancy to total in-flight
+        // worm-hops.
+        for (wi, w) in self.worms.iter().enumerate() {
+            if w.state == WormState::Free {
+                continue;
+            }
+            for (i, hop) in self.paths[wi].iter().enumerate() {
+                let released = w.advancements as usize >= w.len_flits as usize + i;
+                let holder = self.lane_holder[hop.ch.index() * lanes + hop.lane as usize];
+                if released && holder == wi as WormIdx {
+                    return Err(format!("worm {wi} still holds released hop {i}"));
+                }
+                if !released && holder != wi as WormIdx {
+                    return Err(format!("worm {wi} lost unreleased hop {i}"));
                 }
             }
         }
@@ -726,6 +916,11 @@ impl<'a, R: Router> Engine<'a, R> {
                 if self.worms[w as usize].state != WormState::Queued {
                     return Err(format!("worm {w} in queue but not Queued"));
                 }
+            }
+        }
+        for &w in &self.stall_list {
+            if self.worms[w as usize].state != WormState::Stalled {
+                return Err(format!("worm {w} in stall list but not Stalled"));
             }
         }
         for (wi, w) in self.worms.iter().enumerate() {
@@ -741,10 +936,13 @@ impl<'a, R: Router> Engine<'a, R> {
                     }
                 }
             }
+            if w.state == WormState::Stalled && !self.stall_list.contains(&(wi as WormIdx)) {
+                return Err(format!("stalled worm {wi} missing from the stall list"));
+            }
             if w.state == WormState::Draining
                 && self.paths[wi]
                     .last()
-                    .map(|&ch| net.channel(ch).dst)
+                    .map(|h| net.channel(h.ch).dst)
                     .map(|n| !matches!(net.node(n).kind, NodeKind::Processor { .. }))
                     == Some(true)
             {

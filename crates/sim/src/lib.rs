@@ -21,6 +21,14 @@
 //!    among free members.
 //! 4. Sinks consume one flit per cycle and never block.
 //!
+//! Beyond the paper's assumptions, every physical channel can carry
+//! `L ≥ 1` **virtual-channel lanes** ([`wormsim_lanes::LaneConfig`],
+//! re-exported as [`config::LaneConfig`]): each lane buffers one worm, a
+//! deterministic pluggable allocator picks the lane on grant, and the
+//! occupied lanes flit-multiplex the physical link (one flit per channel
+//! per cycle; a worm denied its span's bandwidth stalls and retries). At
+//! `L = 1` the engine is bit-for-bit the paper's single-lane simulator.
+//!
 //! # Architecture
 //!
 //! * [`engine`] — the cycle kernel: request → grant → advance phases,
@@ -66,4 +74,4 @@ pub mod stats;
 pub mod traffic;
 
 pub use config::{SimConfig, TrafficConfig};
-pub use runner::{run_simulation, SimResult};
+pub use runner::{run_simulation, run_simulation_with_lanes, SimResult};

@@ -4,6 +4,7 @@ use crate::config::{SimConfig, TrafficConfig};
 use crate::engine::Engine;
 use crate::router::Router;
 use crate::stats::ClassStats;
+use wormsim_lanes::{LaneConfig, LaneStats};
 
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -14,6 +15,12 @@ pub struct SimResult {
     pub num_processors: usize,
     /// Worm length in flits.
     pub worm_flits: u32,
+    /// Virtual-channel lanes per physical channel (1 = the paper's
+    /// single-lane channels).
+    pub lanes: u32,
+    /// Per-lane-index occupancy statistics over the measurement window
+    /// (one entry per lane, aggregated across every physical channel).
+    pub lane_stats: Vec<LaneStats>,
     /// Offered message rate λ₀ (messages/cycle/PE).
     pub offered_message_rate: f64,
     /// Offered flit load (flits/cycle/PE).
@@ -95,6 +102,46 @@ pub fn run_simulation_with_fast_forward<R: Router>(
     let mut engine = Engine::new(router, cfg, traffic);
     engine.set_fast_forward(fast_forward);
     engine.run()
+}
+
+/// Runs one simulation with the given virtual-channel configuration.
+///
+/// At [`LaneConfig::single`] this is exactly [`run_simulation`] — the lane
+/// machinery is bypassed and results are bit-for-bit identical to the
+/// single-lane engine (see `tests/lanes_regression.rs`).
+#[must_use]
+pub fn run_simulation_with_lanes<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    lanes: &LaneConfig,
+) -> SimResult {
+    Engine::with_lanes(router, cfg, traffic, lanes).run()
+}
+
+/// Like [`sweep_traffic`] but with the given virtual-channel configuration
+/// applied at every point (same per-point seed derivation, so the `L = 1`
+/// sweep reproduces [`sweep_traffic`] exactly).
+///
+/// # Panics
+///
+/// Same as [`sweep_traffic`].
+#[must_use]
+pub fn sweep_traffic_with_lanes<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    base: &TrafficConfig,
+    lanes: &LaneConfig,
+    flit_loads: &[f64],
+) -> Vec<SimResult> {
+    base.pattern
+        .validate(router.network().num_processors())
+        .expect("destination pattern must fit the machine");
+    run_indexed_parallel(flit_loads.len(), |i| {
+        let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
+        let traffic = base.at_flit_load(flit_loads[i]).expect("valid sweep load");
+        run_simulation_with_lanes(router, &point_cfg, &traffic, lanes)
+    })
 }
 
 /// Derives the uncorrelated per-point seed used by [`sweep_flit_loads`]

@@ -133,4 +133,80 @@ proptest! {
         engine.step_many(2_000);
         engine.check_invariants().map_err(TestCaseError::fail)?;
     }
+
+    #[test]
+    fn multi_lane_engine_upholds_invariants_and_conserves_worms(
+        params in small_bft(),
+        seed in 0u64..500,
+        load_pct in 1u32..120,
+        flits in 1u32..40,
+        lanes in 2u32..=4,
+        allocator in prop_oneof![
+            Just(wormsim_lanes::LaneAllocatorKind::FirstFree),
+            Just(wormsim_lanes::LaneAllocatorKind::RoundRobin),
+            Just(wormsim_lanes::LaneAllocatorKind::LeastOccupied),
+        ],
+    ) {
+        // The lane invariants (no lane double-grant, conservation of
+        // in-flight worms across lanes, stall-list consistency) must hold
+        // for arbitrary machines, loads — saturated ones included — and
+        // every allocation policy.
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let load = 0.002 * f64::from(load_pct);
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            drain_cap_cycles: 4_000,
+            seed,
+            batches: 4,
+        };
+        let traffic = TrafficConfig::from_flit_load(load, flits).unwrap();
+        let lane_cfg = wormsim_lanes::LaneConfig::new(lanes, allocator).unwrap();
+        let mut engine = Engine::with_lanes(&router, &cfg, &traffic, &lane_cfg);
+        for _ in 0..8 {
+            engine.step_many(400);
+            engine.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("{params:?} seed={seed} L={lanes} {allocator:?}: {e}"))
+            })?;
+        }
+        prop_assert!(engine.completed_total() <= engine.generated_total());
+    }
+
+    #[test]
+    fn single_lane_config_replays_the_default_engine_bit_for_bit(
+        seed in 0u64..300,
+        load_pct in 1u32..40,
+        pat in pattern(),
+    ) {
+        // `L = 1` must be indistinguishable from the plain engine — same
+        // RNG draw sequence, same every-field result.
+        let params = BftParams::paper(16).unwrap();
+        let tree = ButterflyFatTree::new(params);
+        let router = BftRouter::new(&tree);
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 2_500,
+            drain_cap_cycles: 8_000,
+            seed,
+            batches: 4,
+        };
+        let traffic = TrafficConfig::from_flit_load(0.005 * f64::from(load_pct), 16)
+            .unwrap()
+            .with_pattern(pat);
+        let plain = run_simulation(&router, &cfg, &traffic);
+        let single = wormsim_sim::runner::run_simulation_with_lanes(
+            &router,
+            &cfg,
+            &traffic,
+            &wormsim_lanes::LaneConfig::single(),
+        );
+        prop_assert_eq!(plain.avg_latency.to_bits(), single.avg_latency.to_bits());
+        prop_assert_eq!(plain.latency_p99.to_bits(), single.latency_p99.to_bits());
+        prop_assert_eq!(plain.messages_completed, single.messages_completed);
+        prop_assert_eq!(plain.cycles_run, single.cycles_run);
+        prop_assert_eq!(plain.cycles_skipped, single.cycles_skipped);
+        prop_assert_eq!(plain.lanes, 1u32);
+        prop_assert_eq!(single.lanes, 1u32);
+    }
 }

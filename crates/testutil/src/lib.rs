@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use wormsim_sim::config::{SimConfig, TrafficConfig};
+use wormsim_sim::config::{LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
 
 /// The base seed used across the test suites. One canonical value keeps
 /// failures reproducible by re-running any single test.
@@ -58,6 +58,58 @@ pub fn validation_sim_config(seed: u64) -> SimConfig {
 #[must_use]
 pub fn test_traffic(flit_load: f64, worm_flits: u32) -> TrafficConfig {
     TrafficConfig::from_flit_load(flit_load, worm_flits).unwrap()
+}
+
+/// The lane counts every lane-sweep test tier compares: the paper's
+/// single-lane channels plus the two multi-lane points of the `repro
+/// lanes` experiment.
+pub const LANE_SWEEP: [u32; 3] = [1, 2, 4];
+
+/// A validated [`LaneConfig`] for `lanes` lanes with the default
+/// (first-free) allocator — the shared construction for lane-sweep tests.
+///
+/// # Panics
+///
+/// Panics when `lanes` is outside the validated range (a test-authoring
+/// bug, not a runtime condition).
+#[must_use]
+pub fn lane_config(lanes: u32) -> LaneConfig {
+    LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("test lane count is valid")
+}
+
+/// The standard seeded lane-sweep grid: one validated config per
+/// [`LANE_SWEEP`] entry, for use with `sweep_traffic_with_lanes` /
+/// `run_simulation_with_lanes`.
+#[must_use]
+pub fn lane_sweep_configs() -> Vec<LaneConfig> {
+    LANE_SWEEP.iter().map(|&l| lane_config(l)).collect()
+}
+
+/// Relative tolerance for "multi-lane model matches simulation"
+/// comparisons at low-to-moderate load: tight at `L = 1` (the paper's
+/// validated model) and the acceptance band of the lanes extension above.
+#[must_use]
+pub fn lane_model_tolerance(lanes: u32) -> f64 {
+    if lanes <= 1 {
+        0.04
+    } else {
+        0.07
+    }
+}
+
+/// Asserts the multi-lane model latency agrees with the simulated latency
+/// within [`lane_model_tolerance`] — the shared acceptance check for
+/// lane-sweep comparisons, so root tests and crate tests use one bound.
+///
+/// # Panics
+/// Panics when the relative error exceeds the per-lane-count tolerance.
+pub fn assert_lane_model_close(model: f64, sim: f64, lanes: u32, what: &str) {
+    assert_relative_close(
+        model,
+        sim,
+        lane_model_tolerance(lanes),
+        &format!("{what} (L={lanes})"),
+    );
 }
 
 /// Asserts `|a - b| <= abs_tol + rel_tol * max(|a|, |b|)` with a failure
@@ -120,5 +172,23 @@ mod tests {
     #[should_panic(expected = "differ by")]
     fn tolerance_violation_panics() {
         assert_relative_close(100.0, 120.0, 0.01, "must fail");
+    }
+
+    #[test]
+    fn lane_sweep_configs_cover_the_standard_grid() {
+        let configs = lane_sweep_configs();
+        assert_eq!(configs.len(), LANE_SWEEP.len());
+        for (cfg, &l) in configs.iter().zip(&LANE_SWEEP) {
+            assert_eq!(cfg.lanes(), l);
+        }
+        assert!(lane_model_tolerance(1) < lane_model_tolerance(2));
+        assert_eq!(lane_model_tolerance(2), lane_model_tolerance(4));
+        assert_lane_model_close(100.0, 104.0, 2, "within band");
+    }
+
+    #[test]
+    #[should_panic(expected = "L=4")]
+    fn lane_model_violation_panics_with_lane_count() {
+        assert_lane_model_close(100.0, 130.0, 4, "must fail");
     }
 }

@@ -23,6 +23,9 @@
 //!   ablations, and the workload-driven per-station generalization.
 //! * [`sim`] — a cycle-accurate flit-level wormhole-routing simulator used
 //!   to validate the model exactly as the paper does.
+//! * [`lanes`] — virtual-channel (multi-lane) channels: validated lane
+//!   configs, deterministic allocation policies, and occupancy statistics,
+//!   shared by the simulator and the multi-lane model extension.
 //! * [`experiments`] — the harness regenerating every figure and table.
 //!
 //! ## Quickstart
@@ -72,11 +75,38 @@
 //! // At this low load the two agree within a few percent.
 //! assert!((predicted - simulated).abs() / simulated < 0.05);
 //! ```
+//!
+//! ## Virtual channels: multi-lane wormhole routing
+//!
+//! Every physical channel can carry `L ≥ 1` lanes; the simulator
+//! multiplexes the link's flit bandwidth among them and the model prices
+//! lane availability through M/G/(m·L) lane-slot waits. `L = 1` is
+//! bit-for-bit the paper's single-lane system.
+//!
+//! ```
+//! use wormsim::prelude::*;
+//!
+//! let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+//! let router = wormsim::sim::router::BftRouter::new(&tree);
+//! let cfg = SimConfig { warmup_cycles: 1_000, measure_cycles: 8_000, ..SimConfig::quick() };
+//! let traffic = TrafficConfig::from_flit_load(0.05, 16).unwrap();
+//!
+//! let lanes = LaneConfig::new(2, LaneAllocatorKind::RoundRobin).unwrap();
+//! let r = run_simulation_with_lanes(&router, &cfg, &traffic, &lanes);
+//! assert_eq!(r.lanes, 2);
+//! assert_eq!(r.lane_stats.len(), 2);
+//!
+//! // The analytical model accepts the same lane count.
+//! let model = BftModel::with_options(
+//!     BftParams::paper(16).unwrap(), 16.0, ModelOptions::paper().with_lanes(2));
+//! assert!(model.latency_at_flit_load(0.05).is_ok());
+//! ```
 
 #![warn(missing_docs)]
 
 pub use wormsim_core as model;
 pub use wormsim_experiments as experiments;
+pub use wormsim_lanes as lanes;
 pub use wormsim_queueing as queueing;
 pub use wormsim_sim as sim;
 pub use wormsim_topology as topology;
@@ -91,11 +121,13 @@ pub mod prelude {
     pub use wormsim_core::options::{ModelOptions, ScvMode};
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
+    pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
     pub use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
     pub use wormsim_sim::runner::{
         find_saturation, replicate, run_simulation, run_simulation_with_fast_forward,
-        sweep_flit_loads, sweep_traffic, SimResult,
+        run_simulation_with_lanes, sweep_flit_loads, sweep_traffic, sweep_traffic_with_lanes,
+        SimResult,
     };
     pub use wormsim_topology::bft::{BftParams, ButterflyFatTree};
     pub use wormsim_topology::{ChannelClass, ChannelNetwork};

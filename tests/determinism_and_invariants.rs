@@ -16,6 +16,8 @@ fn fingerprint(r: &SimResult) -> String {
         topology,
         num_processors,
         worm_flits,
+        lanes,
+        lane_stats,
         offered_message_rate,
         offered_flit_load,
         avg_latency,
@@ -78,6 +80,17 @@ fn fingerprint(r: &SimResult) -> String {
             c.mean_service.to_bits(),
             c.mean_wait.to_bits(),
             c.utilization.to_bits()
+        );
+    }
+    let _ = write!(s, ";lanes={lanes}");
+    for l in lane_stats {
+        let _ = write!(
+            s,
+            ";L{}:{}:{:x}:{:x}",
+            l.lane,
+            l.grants,
+            l.mean_hold.to_bits(),
+            l.utilization.to_bits()
         );
     }
     // latency_ci95 is NaN for tiny populations; NaN != NaN, so compare its

@@ -61,6 +61,18 @@ fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
         "{label}: max_active_worms"
     );
     assert_eq!(a.seed, b.seed, "{label}: seed");
+    assert_eq!(a.lanes, b.lanes, "{label}: lanes");
+    assert_eq!(
+        a.lane_stats.len(),
+        b.lane_stats.len(),
+        "{label}: lane stats"
+    );
+    for (la, lb) in a.lane_stats.iter().zip(&b.lane_stats) {
+        assert_eq!(la.lane, lb.lane, "{label}: lane index");
+        assert_eq!(la.grants, lb.grants, "{label}: lane {} grants", la.lane);
+        f(la.mean_hold, lb.mean_hold, "lane mean_hold");
+        f(la.utilization, lb.utilization, "lane utilization");
+    }
     assert_eq!(a.class_stats.len(), b.class_stats.len(), "{label}: classes");
     for (ca, cb) in a.class_stats.iter().zip(&b.class_stats) {
         assert_eq!(ca.class, cb.class, "{label}: class id");
