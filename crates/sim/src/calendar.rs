@@ -1,0 +1,402 @@
+//! A calendar queue for pending-event times: a bucketed timing wheel with
+//! an overflow heap.
+//!
+//! The event-driven engine ([`crate::config::EngineKind::Event`]) replaces
+//! the traffic generator's binary heap with this structure. Entries are
+//! `(time, pe)` pairs ordered ascending by time with ties broken on the PE
+//! index — exactly the order the reference heap pops in, which is what
+//! makes the swap invisible to the RNG stream (arrival destinations and
+//! inter-arrival gaps are drawn *in pop order*).
+//!
+//! # Design
+//!
+//! * **Wheel** — `W` buckets (a power of two), one simulated cycle each,
+//!   covering cycles `[base, base + W)`. An entry for cycle `c` lives in
+//!   bucket `c & (W − 1)`; buckets are small unsorted vectors and the
+//!   per-bucket minimum is found by a linear scan (bucket populations are
+//!   `O(N·λ₀)`, a handful of entries even for 1024 PEs at saturating
+//!   load). A one-bit-per-bucket occupancy bitmap makes "first non-empty
+//!   bucket" a few word scans, so peeking the horizon is `O(1)`-ish
+//!   rather than a heap traversal.
+//! * **Overflow heap** — entries beyond the wheel horizon (`c ≥ base + W`)
+//!   wait in a plain binary min-heap and migrate into the wheel whenever
+//!   `base` advances. Migration preserves the separation invariant used
+//!   by `pop_min`: every overflow entry is strictly later than every
+//!   wheel entry.
+//! * **Wrap-around** — `base` only advances over empty buckets (on pop,
+//!   or via [`CalendarQueue::advance_to`] as simulation time moves), so a
+//!   bucket is never shared by two different cycles. Entries pushed "into
+//!   the past" (before `base`) are clamped into the front bucket but keep
+//!   their real time for ordering, preserving the global pop order.
+//!
+//! Equivalence with a naive `BinaryHeap` on random insert/pop sequences —
+//! including sequences spanning many wheel revolutions — is proved in
+//! `crates/sim/tests/calendar_properties.rs`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending event: the real-valued event time and the PE it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalendarEntry {
+    /// Event time on the continuous clock (never NaN).
+    pub time: f64,
+    /// Owning PE index (the deterministic tie-break).
+    pub pe: usize,
+}
+
+impl Eq for CalendarEntry {}
+
+impl Ord for CalendarEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for use in a max-heap as a min-heap, matching the
+        // traffic generator's `Pending` ordering.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+impl PartialOrd for CalendarEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Is `a` strictly earlier than `b` in pop order (ascending time, ties on
+/// the smaller PE)?
+fn earlier(a: &CalendarEntry, b: &CalendarEntry) -> bool {
+    a.time < b.time || (a.time == b.time && a.pe < b.pe)
+}
+
+/// The cycle an event time belongs to: the first cycle `c` with
+/// `time < c + 1`, i.e. `⌊max(time, 0)⌋` (mirrors
+/// `TrafficGenerator::next_arrival_cycle`).
+fn cycle_of(time: f64) -> u64 {
+    time.max(0.0).floor() as u64
+}
+
+/// Bucketed timing wheel with an overflow heap. See the module docs.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// `W` buckets, `W` a power of two; bucket `c & (W−1)` holds cycle `c`
+    /// for `c ∈ [base, base + W)`.
+    wheel: Vec<Vec<CalendarEntry>>,
+    /// Occupancy bitmap: bit `b` of word `b / 64` set iff `wheel[b]` is
+    /// non-empty.
+    occupied: Vec<u64>,
+    /// Earliest cycle the wheel can currently hold.
+    base: u64,
+    /// Entries for cycles `≥ base + W` (strictly later than every wheel
+    /// entry).
+    overflow: BinaryHeap<CalendarEntry>,
+    /// Entries currently in the wheel.
+    in_wheel: usize,
+    /// Total entries (wheel + overflow).
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// Default wheel span in cycles — comfortably beyond the mean
+    /// inter-arrival gap at every load the simulator sweeps, so overflow
+    /// migration is rare.
+    pub const DEFAULT_WHEEL: usize = 512;
+
+    /// Creates an empty queue whose wheel starts at `start_cycle`.
+    #[must_use]
+    pub fn new(start_cycle: u64) -> Self {
+        Self::with_wheel(start_cycle, Self::DEFAULT_WHEEL)
+    }
+
+    /// Creates an empty queue with an explicit wheel size (rounded up to a
+    /// power of two, minimum 64 — small wheels are only useful to force
+    /// wrap-around and overflow in tests).
+    #[must_use]
+    pub fn with_wheel(start_cycle: u64, wheel: usize) -> Self {
+        let w = wheel.next_power_of_two().max(64);
+        Self {
+            wheel: vec![Vec::new(); w],
+            occupied: vec![0; w / 64],
+            base: start_cycle,
+            overflow: BinaryHeap::new(),
+            in_wheel: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(&self) -> u64 {
+        self.wheel.len() as u64 - 1
+    }
+
+    /// Inserts an event. Times earlier than the wheel base are clamped
+    /// into the front bucket (they still pop first — ordering uses the
+    /// stored time, not the bucket).
+    pub fn push(&mut self, time: f64, pe: usize) {
+        debug_assert!(!time.is_nan(), "event times are never NaN");
+        let cycle = cycle_of(time).max(self.base);
+        self.len += 1;
+        if cycle >= self.base + self.wheel.len() as u64 {
+            self.overflow.push(CalendarEntry { time, pe });
+            return;
+        }
+        let b = (cycle & self.mask()) as usize;
+        self.wheel[b].push(CalendarEntry { time, pe });
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.in_wheel += 1;
+    }
+
+    /// The cycle offset (relative to `base`) of the first non-empty
+    /// bucket, scanning the occupancy bitmap circularly from `base`.
+    fn first_occupied_offset(&self) -> Option<u64> {
+        if self.in_wheel == 0 {
+            return None;
+        }
+        let w = self.wheel.len() as u64;
+        let start = self.base & self.mask();
+        // Scan whole words, rotating the start bucket to offset 0.
+        for chunk in 0..=(w / 64) {
+            let bit0 = (start + chunk * 64) % w; // absolute bit of offset chunk*64
+            let word_idx = (bit0 / 64) as usize;
+            let shift = bit0 % 64;
+            // Assemble 64 occupancy bits starting at absolute bit `bit0`.
+            let lo = self.occupied[word_idx] >> shift;
+            let hi_idx = (word_idx + 1) % self.occupied.len();
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.occupied[hi_idx] << (64 - shift)
+            };
+            let bits = lo | hi;
+            if bits != 0 {
+                let off = chunk * 64 + u64::from(bits.trailing_zeros());
+                if off < w {
+                    return Some(off);
+                }
+            }
+        }
+        unreachable!("in_wheel > 0 but no occupied bucket found");
+    }
+
+    /// Index of the minimum entry of a bucket (ascending time, ties on PE).
+    fn bucket_min(bucket: &[CalendarEntry]) -> usize {
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if earlier(e, &bucket[best]) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Moves overflow entries that now fit under the wheel horizon into
+    /// their buckets (called after every `base` advance).
+    fn migrate_overflow(&mut self) {
+        let horizon = self.base + self.wheel.len() as u64;
+        while let Some(top) = self.overflow.peek() {
+            if cycle_of(top.time) >= horizon {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry exists");
+            let b = (cycle_of(e.time).max(self.base) & self.mask()) as usize;
+            self.wheel[b].push(e);
+            self.occupied[b / 64] |= 1 << (b % 64);
+            self.in_wheel += 1;
+        }
+    }
+
+    /// Advances the wheel base to `cycle` (a no-op if `cycle ≤ base`).
+    /// Every bucket before `cycle` must already be empty — the engine
+    /// calls this with the current simulation cycle, whose predecessors
+    /// have all been drained.
+    pub fn advance_to(&mut self, cycle: u64) {
+        if cycle <= self.base {
+            return;
+        }
+        debug_assert!(
+            self.first_occupied_offset()
+                .is_none_or(|off| self.base + off >= cycle),
+            "advance_to({cycle}) would skip a non-empty bucket"
+        );
+        self.base = cycle;
+        self.migrate_overflow();
+    }
+
+    /// The earliest queued entry, without removing it.
+    #[must_use]
+    pub fn peek_min(&self) -> Option<CalendarEntry> {
+        if let Some(off) = self.first_occupied_offset() {
+            let b = ((self.base + off) & self.mask()) as usize;
+            let bucket = &self.wheel[b];
+            return Some(bucket[Self::bucket_min(bucket)]);
+        }
+        // Wheel empty: the overflow minimum (strictly later than anything
+        // the wheel could have held) is the global minimum.
+        self.overflow.peek().copied()
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop_min(&mut self) -> Option<CalendarEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.in_wheel == 0 {
+            // Refill the wheel from the overflow heap: jump the base to
+            // the overflow minimum's cycle and migrate.
+            let next = self.overflow.peek().expect("len > 0, wheel empty");
+            self.base = self.base.max(cycle_of(next.time));
+            self.migrate_overflow();
+        }
+        let off = self.first_occupied_offset().expect("wheel refilled");
+        // Advancing over the empty prefix keeps the push horizon fresh and
+        // lets waiting overflow entries migrate as the wheel turns.
+        if off > 0 {
+            self.base += off;
+            self.migrate_overflow();
+        }
+        let b = (self.base & self.mask()) as usize;
+        let i = Self::bucket_min(&self.wheel[b]);
+        let e = self.wheel[b].swap_remove(i);
+        if self.wheel[b].is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        self.in_wheel -= 1;
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Removes and returns the earliest entry if its time is strictly
+    /// before `horizon` — the traffic generator's per-cycle drain
+    /// primitive.
+    pub fn pop_before(&mut self, horizon: f64) -> Option<CalendarEntry> {
+        let top = self.peek_min()?;
+        if top.time >= horizon {
+            return None;
+        }
+        self.pop_min()
+    }
+
+    /// The cycle at which the earliest entry surfaces (`None` when empty).
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.peek_min().map(|e| cycle_of(e.time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_pe_order() {
+        let mut q = CalendarQueue::new(0);
+        q.push(3.5, 1);
+        q.push(1.25, 9);
+        q.push(3.5, 0);
+        q.push(0.0, 4);
+        let order: Vec<(f64, usize)> = std::iter::from_fn(|| q.pop_min())
+            .map(|e| (e.time, e.pe))
+            .collect();
+        assert_eq!(order, vec![(0.0, 4), (1.25, 9), (3.5, 0), (3.5, 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wrap_around_and_overflow_preserve_order() {
+        // A tiny wheel forces both wrap-around and overflow migration.
+        let mut q = CalendarQueue::with_wheel(0, 64);
+        let times: Vec<f64> = (0..200).map(|i| f64::from((i * 37) % 191)).collect();
+        for (pe, &t) in times.iter().enumerate() {
+            q.push(t, pe);
+        }
+        assert_eq!(q.len(), 200);
+        let mut prev = None;
+        let mut popped = 0;
+        while let Some(e) = q.pop_min() {
+            if let Some((pt, ppe)) = prev {
+                assert!(
+                    pt < e.time || (pt == e.time && ppe < e.pe),
+                    "out of order: ({pt},{ppe}) then ({},{})",
+                    e.time,
+                    e.pe
+                );
+            }
+            prev = Some((e.time, e.pe));
+            popped += 1;
+        }
+        assert_eq!(popped, 200, "no entry lost or duplicated");
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_revolutions() {
+        let mut q = CalendarQueue::with_wheel(0, 64);
+        let mut clock = 0.0f64;
+        let mut expected = 0usize;
+        for round in 0..50u64 {
+            // Push a batch around the current clock, some far beyond the
+            // wheel horizon.
+            for k in 0..4usize {
+                q.push(clock + (k as f64) * 40.0, k);
+                expected += 1;
+            }
+            // Pop a couple.
+            for _ in 0..3 {
+                if let Some(e) = q.pop_min() {
+                    assert!(e.time >= 0.0);
+                    expected -= 1;
+                }
+            }
+            clock += 37.0;
+            // Respect the precondition the engine guarantees: never advance
+            // past a still-queued entry.
+            let target = (round + 1) * 37;
+            q.advance_to(q.next_event_cycle().map_or(target, |c| c.min(target)));
+            assert_eq!(q.len(), expected);
+        }
+        while q.pop_min().is_some() {
+            expected -= 1;
+        }
+        assert_eq!(expected, 0);
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        let mut q = CalendarQueue::new(0);
+        q.push(4.75, 0);
+        q.push(5.25, 1);
+        assert_eq!(q.next_event_cycle(), Some(4));
+        assert!(q.pop_before(4.0).is_none());
+        let e = q.pop_before(5.0).expect("4.75 < 5.0");
+        assert_eq!(e.pe, 0);
+        assert!(q.pop_before(5.0).is_none(), "5.25 is next cycle");
+        assert_eq!(q.next_event_cycle(), Some(5));
+    }
+
+    #[test]
+    fn past_pushes_clamp_but_keep_their_time_order() {
+        let mut q = CalendarQueue::new(100);
+        q.push(105.0, 0);
+        let _ = q.pop_min(); // base may advance
+        q.push(50.0, 1); // "in the past" relative to the base
+        q.push(102.0, 2);
+        // Hmm: 102 < base after the pop? Both clamp into the front bucket
+        // and must still pop in time order.
+        let a = q.pop_min().unwrap();
+        let b = q.pop_min().unwrap();
+        assert_eq!((a.pe, b.pe), (1, 2));
+        assert!(a.time < b.time);
+    }
+}

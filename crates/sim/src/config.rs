@@ -14,6 +14,47 @@ pub use wormsim_workload::{
 /// The simulator's historical name for [`DestinationPattern`].
 pub type TrafficPattern = DestinationPattern;
 
+/// Which execution core runs the simulation.
+///
+/// All three kinds are **bit-exact**: given the same seed and traffic they
+/// produce field-for-field identical [`crate::runner::SimResult`]s (proved
+/// by `testutil::differential` and the replay regression suites). They
+/// differ only in how much work each simulated cycle costs:
+///
+/// * [`Reference`](Self::Reference) — walks every cycle unconditionally.
+///   The oracle: simplest code path, no skipping, no caching.
+/// * [`FastForward`](Self::FastForward) — the reference walk plus
+///   whole-network idle skipping (PR 3). Wins at low load where idle
+///   gaps exist; neutral in the loaded regime.
+/// * [`Event`](Self::Event) — the discrete-event core: calendar-queue
+///   arrival scheduling, routing/grant caches, free-lane bitmasks and
+///   silent-drain span batching, advancing per-worm state only when it
+///   can change. Aimed at the loaded regime (and large machines) where
+///   fast-forward gains nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Plain cycle walk — the bit-exact oracle.
+    Reference,
+    /// Cycle walk with whole-network idle skipping (the long-standing
+    /// default).
+    #[default]
+    FastForward,
+    /// Discrete-event core with calendar-queue scheduling.
+    Event,
+}
+
+impl EngineKind {
+    /// A short stable label (used in bench JSON and tables).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Reference => "reference",
+            EngineKind::FastForward => "fast-forward",
+            EngineKind::Event => "event",
+        }
+    }
+}
+
 /// Measurement orchestration parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {

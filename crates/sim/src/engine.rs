@@ -63,6 +63,41 @@
 //! — `L = 1` runs are bit-for-bit identical to the single-lane engine
 //! (pinned in `tests/lanes_regression.rs`).
 //!
+//! # The event-driven core
+//!
+//! Fast-forwarding only wins where whole-network idle cycles exist; in the
+//! loaded regime every cycle does work and the per-cycle walk is the cost.
+//! [`EngineKind::Event`] keeps the exact cycle semantics but attacks the
+//! constant factor of each walked cycle:
+//!
+//! * **Calendar-queue arrivals** — the traffic generator's binary heap is
+//!   swapped for a bucketed timing wheel with an overflow heap
+//!   ([`crate::calendar::CalendarQueue`]): near-`O(1)` per arrival under
+//!   the engine's monotone clock instead of `O(log N)`. Pop order — and
+//!   therefore the RNG draw sequence — is identical by construction.
+//! * **Route and injection caches** — [`Router::next_station`] is a pure
+//!   function of `(head node, destination)`, so grant-phase routing
+//!   memoizes into a flat `node × dest` table (capped at 2²⁴ entries);
+//!   per-PE injection stations are precomputed.
+//! * **Free-member bitmasks** — each station keeps a bitmask of member
+//!   channels with a free lane, maintained on grant/release, so the grant
+//!   phase replaces the member scan with a popcount and an indexed-bit
+//!   select that reproduces the reference's pick semantics exactly
+//!   (including the first-8 truncation).
+//! * **Silent drain spans** — with `L = 1`, a long worm draining into its
+//!   sink performs advancements that touch nothing (no release, no
+//!   completion, no RNG) while its tail has not started moving; when only
+//!   such worms are active the span is batched into one update, like
+//!   `skip_idle` but for busy-yet-silent cycles.
+//!
+//! Every one of these is RNG-neutral and state-transparent: the event
+//! engine is **bit-for-bit identical** to the reference walk (proved
+//! field-by-field by `testutil::differential`, the randomized suite in
+//! `tests/differential_engines.rs` and the pinned configs in
+//! `tests/event_engine_replay.rs`). The reference engine
+//! ([`EngineKind::Reference`]) stays the oracle: the simplest code path,
+//! against which both optimized modes are differentially tested.
+//!
 //! # Path arena
 //!
 //! Worm paths live in a slab of `Vec<Hop>` (channel + lane) keyed by
@@ -71,7 +106,7 @@
 //! the initial ramp-up the steady-state hot path allocates nothing per
 //! message.
 
-use crate::config::{SimConfig, TrafficConfig};
+use crate::config::{EngineKind, SimConfig, TrafficConfig};
 use crate::router::Router;
 use crate::runner::SimResult;
 use crate::stats::{BatchMeans, ClassAudit, Percentiles, Welford};
@@ -199,9 +234,38 @@ pub struct Engine<'a, R: Router> {
     backlog_at_window_end: u64,
     max_active_worms: usize,
 
-    // Fast-forwarding (see module docs).
-    fast_forward: bool,
+    // Execution mode (see module docs): which cycles are walked and which
+    // per-cycle shortcuts are active. All modes are bit-exact.
+    kind: EngineKind,
     cycles_skipped: u64,
+
+    // Event-mode acceleration structures (empty/false outside
+    // `EngineKind::Event`; all RNG-neutral, see module docs).
+    /// Memoized `next_station` results, keyed `node·n_pe + dest`, storing
+    /// `station + 1` (0 = unfilled). Empty when the table would exceed
+    /// `ROUTE_CACHE_CAP` entries.
+    route_cache: Vec<u32>,
+    /// Per-PE injection station (pure topology, precomputed).
+    inject_station: Vec<StationId>,
+    /// Per-channel `(station, member position)` for mask maintenance.
+    member_pos: Vec<(u32, u8)>,
+    /// Per-station bitmask of member channels with a free lane.
+    free_mask: Vec<u16>,
+    /// Masks are active (Event mode and every station has ≤ 16 members).
+    use_masks: bool,
+}
+
+/// Upper bound on route-cache entries (4 bytes each): 2²⁴ ≈ 64 MiB worst
+/// case, ~6 MiB for the N = 1024 butterfly fat-tree.
+const ROUTE_CACHE_CAP: usize = 1 << 24;
+
+/// Position of the `n`-th set bit of `mask` (0-based; `n` < popcount).
+fn nth_set_bit(mask: u16, n: usize) -> usize {
+    let mut m = mask;
+    for _ in 0..n {
+        m &= m - 1;
+    }
+    m.trailing_zeros() as usize
 }
 
 impl<'a, R: Router> Engine<'a, R> {
@@ -294,8 +358,13 @@ impl<'a, R: Router> Engine<'a, R> {
             backlog_at_window_start: 0,
             backlog_at_window_end: 0,
             max_active_worms: 0,
-            fast_forward: true,
+            kind: EngineKind::FastForward,
             cycles_skipped: 0,
+            route_cache: Vec::new(),
+            inject_station: Vec::new(),
+            member_pos: Vec::new(),
+            free_mask: Vec::new(),
+            use_masks: false,
         }
     }
 
@@ -303,12 +372,67 @@ impl<'a, R: Router> Engine<'a, R> {
     ///
     /// Results are bit-for-bit identical either way — the switch exists so
     /// tests and benchmarks can compare against the reference cycle-stepped
-    /// engine.
+    /// engine. Shorthand for [`Engine::set_engine_kind`] with
+    /// [`EngineKind::FastForward`] / [`EngineKind::Reference`].
     pub fn set_fast_forward(&mut self, enabled: bool) {
-        self.fast_forward = enabled;
+        self.set_engine_kind(if enabled {
+            EngineKind::FastForward
+        } else {
+            EngineKind::Reference
+        });
     }
 
-    /// Cycles elided by fast-forwarding so far (0 when disabled).
+    /// Selects the execution core (default [`EngineKind::FastForward`]).
+    /// Call before the first cycle runs — the event mode's calendar queue
+    /// and caches are built from the pristine initial state.
+    ///
+    /// Results are bit-for-bit identical across all kinds; only the cost
+    /// per simulated cycle differs (see the module docs).
+    pub fn set_engine_kind(&mut self, kind: EngineKind) {
+        debug_assert_eq!(self.now, 0, "select the engine before running");
+        self.kind = kind;
+        if kind != EngineKind::Event {
+            self.route_cache = Vec::new();
+            self.inject_station = Vec::new();
+            self.member_pos = Vec::new();
+            self.free_mask = Vec::new();
+            self.use_masks = false;
+            return;
+        }
+        self.traffic_gen.enable_calendar();
+        let net = self.router.network();
+        let n_pe = self.sources.len();
+        let cache_entries = net.num_nodes() * n_pe;
+        if cache_entries <= ROUTE_CACHE_CAP {
+            self.route_cache = vec![0; cache_entries];
+        }
+        self.inject_station = (0..n_pe)
+            .map(|pe| {
+                let ports = net.processors()[pe];
+                net.channel(ports.inject).station
+            })
+            .collect();
+        self.use_masks =
+            (0..net.num_stations()).all(|s| net.station(StationId::from(s)).channels.len() <= 16);
+        if self.use_masks {
+            self.member_pos = vec![(0, 0); net.num_channels()];
+            self.free_mask = vec![0; net.num_stations()];
+            for s in 0..net.num_stations() {
+                let st = StationId::from(s);
+                for (pos, &ch) in net.station(st).channels.iter().enumerate() {
+                    debug_assert_eq!(net.channel(ch).station, st, "station membership");
+                    self.member_pos[ch.index()] = (s as u32, pos as u8);
+                    if self.lane_table.has_free(ch.index()) {
+                        self.free_mask[s] |= 1 << pos;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cycles not individually walked so far: idle spans jumped by
+    /// fast-forwarding plus (in event mode) batched silent drain spans.
+    /// 0 for the reference engine.
     #[must_use]
     pub fn cycles_skipped(&self) -> u64 {
         self.cycles_skipped
@@ -392,6 +516,11 @@ impl<'a, R: Router> Engine<'a, R> {
         debug_assert_eq!(self.lane_holder[slot], widx, "release by holder only");
         self.lane_holder[slot] = NO_WORM;
         self.lane_table.release(ch.index(), lane);
+        if self.use_masks {
+            // The channel certainly has a free lane now.
+            let (s, pos) = self.member_pos[ch.index()];
+            self.free_mask[s as usize] |= 1 << pos;
+        }
         let granted_at = self.lane_grant_time[slot];
         if granted_at >= self.window_start && granted_at < self.window_end {
             let hold = t - granted_at + 1;
@@ -498,7 +627,7 @@ impl<'a, R: Router> Engine<'a, R> {
     /// over it preserves the simulation bit-for-bit. Returns `true` when
     /// `now` moved (the caller re-checks its window boundaries).
     fn skip_idle(&mut self, limit: u64) -> bool {
-        if !self.fast_forward
+        if self.kind == EngineKind::Reference
             || !self.pending_requests.is_empty()
             || !self.drain_list.is_empty()
             || !self.stall_list.is_empty()
@@ -518,6 +647,53 @@ impl<'a, R: Router> Engine<'a, R> {
         } else {
             false
         }
+    }
+
+    /// Event-mode counterpart of [`Engine::skip_idle`] for busy-yet-silent
+    /// spans: only drainers are active (`L = 1`), and each has not yet
+    /// reached the advancement where its tail starts releasing channels.
+    /// Every cycle of such a span does exactly one thing — increment each
+    /// drainer's advancement counter — with no release, no completion
+    /// (completion needs `advancements ≥ s + 1 > s − 1`), no flit-slot
+    /// stamp (`L = 1` bypasses spans) and **no RNG draw** (empty shuffle,
+    /// no grants, no arrivals before the horizon). Batching the span into
+    /// one update is therefore invisible, exactly like an idle skip.
+    /// Returns `true` when `now` moved.
+    fn skip_drain_silent(&mut self, limit: u64) -> bool {
+        if self.kind != EngineKind::Event
+            || self.lane_table.lanes() != 1
+            || self.drain_list.is_empty()
+            || !self.pending_requests.is_empty()
+            || !self.stall_list.is_empty()
+            || !self.ready_stations.is_empty()
+        {
+            return false;
+        }
+        // Per drainer, advancements stay silent while `adv + k ≤ s − 1`
+        // (release_tail is a no-op below `s`); the batch is the minimum
+        // remaining silent run over all drainers.
+        let mut span = u64::MAX;
+        for &widx in &self.drain_list {
+            let w = &self.worms[widx as usize];
+            span = span.min(u64::from((w.len_flits - 1).saturating_sub(w.advancements)));
+        }
+        // Stop before the next arrival surfaces (that cycle must be walked)
+        // and at the caller's window boundary.
+        let cap = self
+            .traffic_gen
+            .next_arrival_cycle()
+            .map_or(limit, |c| c.min(limit));
+        let span = span.min(cap.saturating_sub(self.now));
+        if span == 0 {
+            return false;
+        }
+        for i in 0..self.drain_list.len() {
+            let widx = self.drain_list[i] as usize;
+            self.worms[widx].advancements += span as u32;
+        }
+        self.cycles_skipped += span;
+        self.now += span;
+        true
     }
 
     /// One simulated cycle.
@@ -548,26 +724,40 @@ impl<'a, R: Router> Engine<'a, R> {
         self.arrivals = arrivals;
 
         // Phase 1: requests (random tie-break among same-cycle requesters).
+        let n_pe = self.sources.len();
         let mut pending = std::mem::take(&mut self.pending_requests);
         pending.shuffle(&mut self.rng);
         for widx in pending.drain(..) {
-            let (station, is_injection) = {
+            let (head, dest, src) = {
                 let w = &self.worms[widx as usize];
-                let path = &self.paths[widx as usize];
                 debug_assert_eq!(w.state, WormState::PendingRequest);
-                if path.is_empty() {
-                    let ports = self.router.network().processors()[w.src as usize];
-                    (self.router.network().channel(ports.inject).station, true)
-                } else {
-                    let head_node = self
-                        .router
-                        .network()
-                        .channel(path.last().expect("non-empty").ch)
-                        .dst;
-                    (self.router.next_station(head_node, w.dest as usize), false)
-                }
+                let head = self.paths[widx as usize]
+                    .last()
+                    .map(|h| self.router.network().channel(h.ch).dst);
+                (head, w.dest as usize, w.src as usize)
             };
-            let _ = is_injection;
+            let station = match head {
+                // Injection request: the source PE's injection channel.
+                None if !self.inject_station.is_empty() => self.inject_station[src],
+                None => {
+                    let ports = self.router.network().processors()[src];
+                    self.router.network().channel(ports.inject).station
+                }
+                // Switch hop: route from the head's node (memoized in
+                // event mode — `next_station` is a pure function).
+                Some(node) if !self.route_cache.is_empty() => {
+                    let key = node.index() * n_pe + dest;
+                    match self.route_cache[key] {
+                        0 => {
+                            let st = self.router.next_station(node, dest);
+                            self.route_cache[key] = st.index() as u32 + 1;
+                            st
+                        }
+                        c => StationId::from((c - 1) as usize),
+                    }
+                }
+                Some(node) => self.router.next_station(node, dest),
+            };
             let w = &mut self.worms[widx as usize];
             w.state = WormState::Queued;
             w.request_time = t;
@@ -590,30 +780,55 @@ impl<'a, R: Router> Engine<'a, R> {
                 // over physical channels (the paper's up-link rule), the
                 // lane within it is the allocator's deterministic choice.
                 let members = &self.router.network().station(st).channels;
-                let mut free: [Option<ChannelId>; 8] = [None; 8];
-                let mut n_free = 0usize;
-                for &ch in members {
-                    if self.lane_table.has_free(ch.index()) {
-                        if n_free < free.len() {
-                            free[n_free] = Some(ch);
-                        }
-                        n_free += 1;
+                let ch = if self.use_masks {
+                    // Event mode: the maintained mask already lists the
+                    // free members; popcount + indexed-bit select replays
+                    // the reference scan exactly (the `n`-th set bit *is*
+                    // the `n`-th free member in member order, and picks
+                    // stay within the first 8 as below).
+                    let mask = self.free_mask[st.index()];
+                    let n_free = mask.count_ones() as usize;
+                    if n_free == 0 {
+                        exhausted_free = true;
+                        break;
                     }
-                }
-                if n_free == 0 {
-                    exhausted_free = true;
-                    break;
-                }
-                let pick = if n_free == 1 {
-                    0
+                    let pick = if n_free == 1 {
+                        0
+                    } else {
+                        self.rng.gen_range(0..n_free.min(8))
+                    };
+                    members[nth_set_bit(mask, pick)]
                 } else {
-                    self.rng.gen_range(0..n_free.min(8))
+                    let mut free: [Option<ChannelId>; 8] = [None; 8];
+                    let mut n_free = 0usize;
+                    for &ch in members {
+                        if self.lane_table.has_free(ch.index()) {
+                            if n_free < free.len() {
+                                free[n_free] = Some(ch);
+                            }
+                            n_free += 1;
+                        }
+                    }
+                    if n_free == 0 {
+                        exhausted_free = true;
+                        break;
+                    }
+                    let pick = if n_free == 1 {
+                        0
+                    } else {
+                        self.rng.gen_range(0..n_free.min(8))
+                    };
+                    free[pick].expect("picked a free member")
                 };
-                let ch = free[pick].expect("picked a free member");
                 let lane = self
                     .lane_table
                     .allocate(ch.index())
                     .expect("free member has a free lane");
+                if self.use_masks && !self.lane_table.has_free(ch.index()) {
+                    // Last lane taken: the channel leaves its station mask.
+                    let (s, pos) = self.member_pos[ch.index()];
+                    self.free_mask[s as usize] &= !(1 << pos);
+                }
                 let widx = self.station_queue[st.index()]
                     .pop_front()
                     .expect("non-empty");
@@ -762,7 +977,7 @@ impl<'a, R: Router> Engine<'a, R> {
             } else {
                 self.window_end
             };
-            if self.skip_idle(limit) {
+            if self.skip_idle(limit) || self.skip_drain_silent(limit) {
                 continue;
             }
             self.step();
@@ -773,7 +988,7 @@ impl<'a, R: Router> Engine<'a, R> {
         // tail is not artificially unloaded).
         let deadline = self.window_end + self.cfg.drain_cap_cycles;
         while self.outstanding_measured > 0 && self.now < deadline {
-            if self.skip_idle(deadline) {
+            if self.skip_idle(deadline) || self.skip_drain_silent(deadline) {
                 continue;
             }
             self.step();
@@ -819,6 +1034,7 @@ impl<'a, R: Router> Engine<'a, R> {
             backlog_growth,
             cycles_run: self.now,
             cycles_skipped: self.cycles_skipped,
+            engine: self.kind,
             max_active_worms: self.max_active_worms,
             class_stats: self.audit.finish(self.cfg.measure_cycles),
             seed: self.cfg.seed,

@@ -32,7 +32,11 @@
 //! # Architecture
 //!
 //! * [`engine`] — the cycle kernel: request → grant → advance phases,
-//!   channel occupancy, worm lifecycle.
+//!   channel occupancy, worm lifecycle. Three bit-exact execution cores
+//!   ([`config::EngineKind`]): the reference walk, idle-span
+//!   fast-forwarding, and the event-driven core for the loaded regime.
+//! * [`calendar`] — the event core's calendar queue (bucketed timing
+//!   wheel + overflow heap) for pending arrival times.
 //! * [`router`] — per-topology routing logic behind one trait
 //!   ([`router::Router`]): butterfly fat-tree, hypercube (e-cube),
 //!   k-ary n-mesh (dimension order).
@@ -66,6 +70,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod router;
@@ -73,5 +78,8 @@ pub mod runner;
 pub mod stats;
 pub mod traffic;
 
-pub use config::{SimConfig, TrafficConfig};
-pub use runner::{run_simulation, run_simulation_with_lanes, SimResult};
+pub use config::{EngineKind, SimConfig, TrafficConfig};
+pub use runner::{
+    run_simulation, run_simulation_with_engine, run_simulation_with_lanes,
+    run_simulation_with_lanes_and_engine, SimResult,
+};

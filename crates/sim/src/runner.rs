@@ -1,6 +1,6 @@
 //! Run orchestration: single simulations and parallel load sweeps.
 
-use crate::config::{SimConfig, TrafficConfig};
+use crate::config::{EngineKind, SimConfig, TrafficConfig};
 use crate::engine::Engine;
 use crate::router::Router;
 use crate::stats::ClassStats;
@@ -55,10 +55,16 @@ pub struct SimResult {
     pub backlog_growth: u64,
     /// Total cycles simulated (including warmup and drain).
     pub cycles_run: u64,
-    /// Of those, how many were fast-forwarded over rather than executed
-    /// (0 with fast-forwarding disabled). Diagnostic only: every other
-    /// field is bit-identical whether cycles were skipped or stepped.
+    /// Of [`Self::cycles_run`], how many were **not individually walked**:
+    /// idle spans jumped by fast-forwarding, plus (event engine) batched
+    /// silent drain spans. Always 0 for [`EngineKind::Reference`].
+    /// Diagnostic only: every other field is bit-identical whichever
+    /// engine ran — compare against [`Self::engine`] to interpret it.
     pub cycles_skipped: u64,
+    /// Which execution core produced this result (results are bit-exact
+    /// across cores; recorded so stats consumers can interpret
+    /// [`Self::cycles_skipped`] and benchmarks can label runs).
+    pub engine: EngineKind,
     /// Peak number of in-flight worms.
     pub max_active_worms: usize,
     /// Per-channel-class audit over the measurement window.
@@ -99,9 +105,28 @@ pub fn run_simulation_with_fast_forward<R: Router>(
     traffic: &TrafficConfig,
     fast_forward: bool,
 ) -> SimResult {
-    let mut engine = Engine::new(router, cfg, traffic);
-    engine.set_fast_forward(fast_forward);
-    engine.run()
+    let kind = if fast_forward {
+        EngineKind::FastForward
+    } else {
+        EngineKind::Reference
+    };
+    run_simulation_with_engine(router, cfg, traffic, kind)
+}
+
+/// Runs one simulation on the selected execution core
+/// ([`EngineKind`]); single-lane channels.
+///
+/// All cores are bit-exact — the selector trades per-cycle cost, not
+/// results (see `testutil::differential` and
+/// `tests/event_engine_replay.rs`).
+#[must_use]
+pub fn run_simulation_with_engine<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    kind: EngineKind,
+) -> SimResult {
+    run_simulation_with_lanes_and_engine(router, cfg, traffic, &LaneConfig::single(), kind)
 }
 
 /// Runs one simulation with the given virtual-channel configuration.
@@ -119,6 +144,21 @@ pub fn run_simulation_with_lanes<R: Router>(
     Engine::with_lanes(router, cfg, traffic, lanes).run()
 }
 
+/// Runs one simulation with both a virtual-channel configuration and an
+/// explicit execution core — the fully general entry point.
+#[must_use]
+pub fn run_simulation_with_lanes_and_engine<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    lanes: &LaneConfig,
+    kind: EngineKind,
+) -> SimResult {
+    let mut engine = Engine::with_lanes(router, cfg, traffic, lanes);
+    engine.set_engine_kind(kind);
+    engine.run()
+}
+
 /// Like [`sweep_traffic`] but with the given virtual-channel configuration
 /// applied at every point (same per-point seed derivation, so the `L = 1`
 /// sweep reproduces [`sweep_traffic`] exactly).
@@ -134,13 +174,33 @@ pub fn sweep_traffic_with_lanes<R: Router>(
     lanes: &LaneConfig,
     flit_loads: &[f64],
 ) -> Vec<SimResult> {
+    sweep_traffic_with_engine(router, cfg, base, lanes, EngineKind::default(), flit_loads)
+}
+
+/// Like [`sweep_traffic_with_lanes`] with an explicit execution core per
+/// point — the fully general sweep. Per-point seeds are derived exactly as
+/// in [`sweep_traffic`], and every core is bit-exact, so sweeps agree
+/// field-for-field across [`EngineKind`]s.
+///
+/// # Panics
+///
+/// Same as [`sweep_traffic`].
+#[must_use]
+pub fn sweep_traffic_with_engine<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    base: &TrafficConfig,
+    lanes: &LaneConfig,
+    kind: EngineKind,
+    flit_loads: &[f64],
+) -> Vec<SimResult> {
     base.pattern
         .validate(router.network().num_processors())
         .expect("destination pattern must fit the machine");
     run_indexed_parallel(flit_loads.len(), |i| {
         let point_cfg = cfg.with_seed(point_seed(cfg.seed, i as u64));
         let traffic = base.at_flit_load(flit_loads[i]).expect("valid sweep load");
-        run_simulation_with_lanes(router, &point_cfg, &traffic, lanes)
+        run_simulation_with_lanes_and_engine(router, &point_cfg, &traffic, lanes, kind)
     })
 }
 
@@ -297,10 +357,24 @@ pub fn replicate<R: Router>(
     traffic: &TrafficConfig,
     replications: usize,
 ) -> ReplicatedResult {
+    replicate_with_engine(router, cfg, traffic, replications, EngineKind::default())
+}
+
+/// Like [`replicate`] with an explicit execution core. Identical seed
+/// derivation — and bit-exact cores — so replicated aggregates agree
+/// across [`EngineKind`]s.
+#[must_use]
+pub fn replicate_with_engine<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    replications: usize,
+    kind: EngineKind,
+) -> ReplicatedResult {
     assert!(replications >= 1);
     let runs = run_indexed_parallel(replications, |i| {
         let seed = replication_seed(cfg.seed, i as u64);
-        run_simulation(router, &cfg.with_seed(seed), traffic)
+        run_simulation_with_engine(router, &cfg.with_seed(seed), traffic, kind)
     });
     let n = runs.len() as f64;
     let mean_latency = runs.iter().map(|r| r.avg_latency).sum::<f64>() / n;

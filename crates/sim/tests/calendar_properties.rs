@@ -1,0 +1,186 @@
+//! Property tests for the calendar queue: it must be observationally a
+//! binary min-heap ordered by `(time, pe)` — pops nondecreasing, nothing
+//! lost or duplicated across wheel wrap-around and overflow migration —
+//! under arbitrary interleavings of pushes, pops and base advances.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wormsim_sim::calendar::CalendarQueue;
+
+/// The naive model: a binary heap popping min-`(time, pe)` like the
+/// traffic generator's reference heap.
+#[derive(Debug, PartialEq)]
+struct ModelEntry {
+    time: f64,
+    pe: usize,
+}
+
+impl Eq for ModelEntry {}
+
+impl Ord for ModelEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("no NaN")
+            .then_with(|| other.pe.cmp(&self.pe))
+    }
+}
+
+impl PartialOrd for ModelEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleaving of pushes (including times far beyond the wheel
+    /// horizon, forcing overflow, and across many wheel revolutions) and
+    /// pops: every pop must return exactly what the naive heap returns.
+    #[test]
+    fn agrees_with_a_binary_heap_on_random_sequences(
+        seed in 0u64..10_000,
+        wheel in prop_oneof![Just(64usize), Just(128)],
+        ops in 50usize..400,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cal = CalendarQueue::with_wheel(0, wheel);
+        let mut model: BinaryHeap<ModelEntry> = BinaryHeap::new();
+        let mut pe = 0usize;
+        for _ in 0..ops {
+            if model.is_empty() || rng.gen::<f64>() < 0.6 {
+                // Time scale ~8× the wheel span: wrap-around and overflow
+                // both occur many times per case. Quantized to quarters so
+                // exact time ties (PE tie-break) occur too.
+                let t = (rng.gen::<f64>() * 8.0 * wheel as f64 * 4.0).floor() / 4.0;
+                cal.push(t, pe);
+                model.push(ModelEntry { time: t, pe });
+                pe += 1;
+            } else {
+                let got = cal.pop_min();
+                let want = model.pop();
+                match (got, want) {
+                    (Some(g), Some(w)) => {
+                        prop_assert_eq!(g.time.to_bits(), w.time.to_bits());
+                        prop_assert_eq!(g.pe, w.pe);
+                    }
+                    (None, None) => {}
+                    (g, w) => return Err(TestCaseError::fail(
+                        format!("pop mismatch: calendar {g:?} vs model {w:?}"))),
+                }
+            }
+            prop_assert_eq!(cal.len(), model.len());
+        }
+        // Drain both: full multiset equality, in order.
+        while let Some(w) = model.pop() {
+            let g = cal.pop_min().expect("conservation: calendar ran dry early");
+            prop_assert_eq!(g.time.to_bits(), w.time.to_bits());
+            prop_assert_eq!(g.pe, w.pe);
+        }
+        prop_assert!(cal.is_empty());
+        prop_assert!(cal.pop_min().is_none());
+    }
+
+    /// The engine's actual access pattern: a monotone clock, `advance_to`
+    /// each cycle, `pop_before(cycle + 1)` draining the due entries, and
+    /// re-pushes of future times (some past the wheel horizon). Pops must
+    /// match the model heap filtered by the same horizon, and nothing may
+    /// leak across revolutions.
+    #[test]
+    fn engine_access_pattern_matches_the_model(
+        seed in 0u64..10_000,
+        cycles in 100u64..600,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cal = CalendarQueue::with_wheel(0, 64);
+        let mut model: BinaryHeap<ModelEntry> = BinaryHeap::new();
+        for pe in 0..8usize {
+            let t = rng.gen::<f64>() * 20.0;
+            cal.push(t, pe);
+            model.push(ModelEntry { time: t, pe });
+        }
+        let mut popped = 0u64;
+        for clock in 0..cycles {
+            cal.advance_to(clock);
+            let horizon = (clock + 1) as f64;
+            while let Some(g) = cal.pop_before(horizon) {
+                let w = model.pop().expect("model agrees the entry is due");
+                prop_assert!(w.time < horizon, "model min not due yet");
+                prop_assert_eq!(g.time.to_bits(), w.time.to_bits());
+                prop_assert_eq!(g.pe, w.pe);
+                popped += 1;
+                // Re-push the PE's next event: usually soon, sometimes far
+                // beyond the wheel horizon (overflow), like an MMPP source
+                // going quiet.
+                let gap = if rng.gen::<f64>() < 0.1 {
+                    100.0 + rng.gen::<f64>() * 500.0
+                } else {
+                    rng.gen::<f64>() * 10.0
+                };
+                cal.push(g.time + gap, g.pe);
+                model.push(ModelEntry { time: g.time + gap, pe: g.pe });
+            }
+            // Due check must agree with the model at every cycle.
+            let model_due = model.peek().map(|e| e.time.max(0.0).floor() as u64);
+            prop_assert_eq!(cal.next_event_cycle(), model_due);
+            prop_assert_eq!(cal.len(), model.len());
+        }
+        prop_assert_eq!(cal.len(), 8);
+        prop_assert!(popped > 0, "the pattern must exercise pops");
+    }
+
+    /// Pop order is globally nondecreasing in `(time, pe)` and the count
+    /// is conserved, even when entries are pushed "into the past" after
+    /// the base advanced (they clamp into the front bucket but keep their
+    /// real time for ordering).
+    #[test]
+    fn pops_nondecreasing_and_conserved_with_past_pushes(
+        seed in 0u64..10_000,
+        n in 20usize..200,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cal = CalendarQueue::with_wheel(0, 64);
+        let mut pushed = 0usize;
+        for pe in 0..n {
+            cal.push(rng.gen::<f64>() * 300.0, pe);
+            pushed += 1;
+        }
+        // Pop half, then push times guaranteed before the advanced base.
+        let mut last: Option<(f64, usize)> = None;
+        let mut count = 0usize;
+        for _ in 0..n / 2 {
+            let e = cal.pop_min().expect("half the entries are present");
+            if let Some((t, p)) = last {
+                prop_assert!(
+                    t < e.time || (t == e.time && p < e.pe),
+                    "order violated: ({t},{p}) then ({},{})", e.time, e.pe
+                );
+            }
+            last = Some((e.time, e.pe));
+            count += 1;
+        }
+        for pe in n..n + 5 {
+            cal.push(rng.gen::<f64>() * 2.0, pe); // almost surely in the past
+            pushed += 1;
+        }
+        // Order restarts (past entries pop first), but conservation and
+        // internal ordering must hold to emptiness.
+        let mut rest: Vec<(f64, usize)> = Vec::new();
+        while let Some(e) = cal.pop_min() {
+            rest.push((e.time, e.pe));
+            count += 1;
+        }
+        for w in rest.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "order violated after past pushes: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        prop_assert_eq!(count, pushed, "no entry lost or duplicated");
+    }
+}

@@ -10,6 +10,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod differential;
+
+pub use differential::{assert_engine_equivalence, assert_sim_results_identical};
+
 use wormsim_sim::config::{LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
 
 /// The base seed used across the test suites. One canonical value keeps

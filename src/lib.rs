@@ -123,11 +123,12 @@ pub mod prelude {
     pub use wormsim_core::ModelError;
     pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
-    pub use wormsim_sim::config::{SimConfig, TrafficConfig, TrafficPattern};
+    pub use wormsim_sim::config::{EngineKind, SimConfig, TrafficConfig, TrafficPattern};
     pub use wormsim_sim::runner::{
-        find_saturation, replicate, run_simulation, run_simulation_with_fast_forward,
-        run_simulation_with_lanes, sweep_flit_loads, sweep_traffic, sweep_traffic_with_lanes,
-        SimResult,
+        find_saturation, replicate, replicate_with_engine, run_simulation,
+        run_simulation_with_engine, run_simulation_with_fast_forward, run_simulation_with_lanes,
+        run_simulation_with_lanes_and_engine, sweep_flit_loads, sweep_traffic,
+        sweep_traffic_with_engine, sweep_traffic_with_lanes, SimResult,
     };
     pub use wormsim_topology::bft::{BftParams, ButterflyFatTree};
     pub use wormsim_topology::{ChannelClass, ChannelNetwork};

@@ -38,6 +38,7 @@ fn fingerprint(r: &SimResult) -> String {
         max_active_worms,
         class_stats,
         seed,
+        engine,
     } = r;
     let mut s = String::new();
     use std::fmt::Write as _;
@@ -96,6 +97,7 @@ fn fingerprint(r: &SimResult) -> String {
     // latency_ci95 is NaN for tiny populations; NaN != NaN, so compare its
     // bit pattern too rather than leaving it out.
     let _ = write!(s, ";{:x}", latency_ci95.to_bits());
+    let _ = write!(s, ";engine={}", engine.label());
     s
 }
 

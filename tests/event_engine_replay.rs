@@ -1,0 +1,145 @@
+//! Event-engine replay: the calendar-queue event core must reproduce the
+//! reference cycle walk bit for bit on every pinned regression config.
+//!
+//! The configs are exactly the six pinned in `tests/lanes_regression.rs`
+//! (three BFT workloads, a hypercube, a mesh, and the 16-PE reference-walk
+//! pin) plus two loaded-regime points — the regime the event engine exists
+//! for, where fast-forwarding finds no idle spans. Each config runs on the
+//! reference oracle, the fast-forward core and the event core through
+//! `testutil::assert_engine_equivalence`, which asserts field-for-field
+//! `SimResult` equality (floats via `to_bits`, per-lane and per-class
+//! stats included).
+
+use wormsim::prelude::*;
+use wormsim::sim::config::{ArrivalProcess, LaneAllocatorKind, MmppProfile};
+use wormsim::sim::router::{BftRouter, HypercubeRouter, MeshRouter};
+use wormsim::topology::hypercube::Hypercube;
+use wormsim::topology::mesh::Mesh;
+use wormsim_testutil::assert_engine_equivalence;
+
+/// Same orchestration parameters as the `lanes_regression` pins.
+fn pin_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 8_000,
+        drain_cap_cycles: 30_000,
+        seed,
+        batches: 8,
+    }
+}
+
+/// Both optimized cores, checked against the reference oracle.
+const OPTIMIZED: [EngineKind; 2] = [EngineKind::FastForward, EngineKind::Event];
+
+#[test]
+fn event_engine_replays_the_six_pinned_regression_configs() {
+    let single = LaneConfig::single();
+
+    let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+    let router = BftRouter::new(&tree);
+    let t_uni = TrafficConfig::from_flit_load(0.04, 16).unwrap();
+    assert_engine_equivalence(
+        &router,
+        &pin_cfg(7),
+        &t_uni,
+        &single,
+        &OPTIMIZED,
+        "bft64_uniform",
+    );
+    let t_hot = TrafficConfig::from_flit_load(0.02, 16)
+        .unwrap()
+        .with_pattern(DestinationPattern::hot_spot());
+    assert_engine_equivalence(
+        &router,
+        &pin_cfg(11),
+        &t_hot,
+        &single,
+        &OPTIMIZED,
+        "bft64_hotspot",
+    );
+    let t_mmpp = TrafficConfig::from_flit_load(0.03, 16)
+        .unwrap()
+        .with_arrival(ArrivalProcess::Mmpp(MmppProfile::default_bursty()));
+    assert_engine_equivalence(
+        &router,
+        &pin_cfg(13),
+        &t_mmpp,
+        &single,
+        &OPTIMIZED,
+        "bft64_mmpp",
+    );
+
+    let cube = Hypercube::new(4);
+    let rc = HypercubeRouter::new(&cube);
+    let tc = TrafficConfig::from_flit_load(0.05, 16).unwrap();
+    assert_engine_equivalence(&rc, &pin_cfg(19), &tc, &single, &OPTIMIZED, "cube4_uniform");
+
+    let mesh = Mesh::new(4, 2);
+    let rm = MeshRouter::new(&mesh);
+    let tm = TrafficConfig::from_flit_load(0.05, 8).unwrap();
+    assert_engine_equivalence(
+        &rm,
+        &pin_cfg(23),
+        &tm,
+        &single,
+        &OPTIMIZED,
+        "mesh4x4_uniform",
+    );
+
+    let tree16 = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router16 = BftRouter::new(&tree16);
+    let t16 = TrafficConfig::from_flit_load(0.08, 32).unwrap();
+    assert_engine_equivalence(
+        &router16,
+        &pin_cfg(17),
+        &t16,
+        &single,
+        &OPTIMIZED,
+        "bft16_ref",
+    );
+}
+
+#[test]
+fn event_engine_replays_the_loaded_regime() {
+    // The regime the event core targets: N=64 at 0.1 flits/cycle/PE (the
+    // bench group's operating point, ~55% of the single-lane knee) on
+    // single-lane channels, and the same load on 2-lane channels where
+    // stalls and the lane audit are in play. Both must replay the oracle
+    // exactly — including a saturating point where the drain cap and
+    // incomplete-message accounting are exercised.
+    let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+    let router = BftRouter::new(&tree);
+
+    let loaded = TrafficConfig::from_flit_load(0.1, 16).unwrap();
+    let r = assert_engine_equivalence(
+        &router,
+        &pin_cfg(29),
+        &loaded,
+        &LaneConfig::single(),
+        &OPTIMIZED,
+        "bft64_load0.1_l1",
+    );
+    assert!(!r.saturated, "0.1 is below the N=64 knee");
+
+    let two = LaneConfig::new(2, LaneAllocatorKind::FirstFree).unwrap();
+    assert_engine_equivalence(
+        &router,
+        &pin_cfg(31),
+        &loaded,
+        &two,
+        &OPTIMIZED,
+        "bft64_load0.1_l2",
+    );
+
+    // Past the knee: saturated accounting must agree too.
+    let past_knee = TrafficConfig::from_flit_load(0.25, 16).unwrap();
+    let r = assert_engine_equivalence(
+        &router,
+        &pin_cfg(37),
+        &past_knee,
+        &LaneConfig::single(),
+        &OPTIMIZED,
+        "bft64_load0.25_l1",
+    );
+    assert!(r.saturated, "0.25 is past the N=64 knee");
+}

@@ -12,78 +12,9 @@
 
 use wormsim::prelude::*;
 use wormsim::sim::router::BftRouter;
-use wormsim_testutil::quick_sim_config;
-
-/// Field-by-field bit comparison of two simulation results.
-///
-/// Floats are compared via `to_bits` so that NaN sentinels (e.g. the CI
-/// half-width of a tiny population) compare equal when both runs produce
-/// them, and the `cycles_skipped` diagnostic — which differs by design —
-/// is excluded.
-fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
-    let f = |x: f64, y: f64, field: &str| {
-        assert_eq!(x.to_bits(), y.to_bits(), "{label}: {field} {x} vs {y}");
-    };
-    assert_eq!(a.topology, b.topology, "{label}: topology");
-    assert_eq!(a.num_processors, b.num_processors, "{label}: N");
-    assert_eq!(a.worm_flits, b.worm_flits, "{label}: worm_flits");
-    f(a.offered_message_rate, b.offered_message_rate, "rate");
-    f(a.offered_flit_load, b.offered_flit_load, "offered load");
-    f(a.avg_latency, b.avg_latency, "avg_latency");
-    f(a.latency_ci95, b.latency_ci95, "latency_ci95");
-    f(a.latency_p50, b.latency_p50, "latency_p50");
-    f(a.latency_p95, b.latency_p95, "latency_p95");
-    f(a.latency_p99, b.latency_p99, "latency_p99");
-    f(a.latency_max, b.latency_max, "latency_max");
-    f(
-        a.injection_wait_mean,
-        b.injection_wait_mean,
-        "injection wait",
-    );
-    assert_eq!(
-        a.messages_measured, b.messages_measured,
-        "{label}: measured"
-    );
-    assert_eq!(
-        a.messages_completed, b.messages_completed,
-        "{label}: completed"
-    );
-    assert_eq!(
-        a.messages_incomplete, b.messages_incomplete,
-        "{label}: incomplete"
-    );
-    f(a.delivered_flit_load, b.delivered_flit_load, "delivered");
-    assert_eq!(a.saturated, b.saturated, "{label}: saturated");
-    assert_eq!(a.backlog_growth, b.backlog_growth, "{label}: backlog");
-    assert_eq!(a.cycles_run, b.cycles_run, "{label}: cycles_run");
-    assert_eq!(
-        a.max_active_worms, b.max_active_worms,
-        "{label}: max_active_worms"
-    );
-    assert_eq!(a.seed, b.seed, "{label}: seed");
-    assert_eq!(a.lanes, b.lanes, "{label}: lanes");
-    assert_eq!(
-        a.lane_stats.len(),
-        b.lane_stats.len(),
-        "{label}: lane stats"
-    );
-    for (la, lb) in a.lane_stats.iter().zip(&b.lane_stats) {
-        assert_eq!(la.lane, lb.lane, "{label}: lane index");
-        assert_eq!(la.grants, lb.grants, "{label}: lane {} grants", la.lane);
-        f(la.mean_hold, lb.mean_hold, "lane mean_hold");
-        f(la.utilization, lb.utilization, "lane utilization");
-    }
-    assert_eq!(a.class_stats.len(), b.class_stats.len(), "{label}: classes");
-    for (ca, cb) in a.class_stats.iter().zip(&b.class_stats) {
-        assert_eq!(ca.class, cb.class, "{label}: class id");
-        assert_eq!(ca.channels, cb.channels, "{label}: {} channels", ca.class);
-        assert_eq!(ca.grants, cb.grants, "{label}: {} grants", ca.class);
-        f(ca.lambda, cb.lambda, "class lambda");
-        f(ca.mean_service, cb.mean_service, "class mean_service");
-        f(ca.mean_wait, cb.mean_wait, "class mean_wait");
-        f(ca.utilization, cb.utilization, "class utilization");
-    }
-}
+// The field-by-field comparison lives in testutil so every replay/
+// differential suite shares one definition of "identical result".
+use wormsim_testutil::{assert_sim_results_identical as assert_bit_identical, quick_sim_config};
 
 fn workloads() -> Vec<(&'static str, Workload)> {
     vec![

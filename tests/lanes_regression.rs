@@ -26,7 +26,8 @@ use wormsim::sim::runner::run_simulation_with_lanes;
 use wormsim::topology::hypercube::Hypercube;
 use wormsim::topology::mesh::Mesh;
 use wormsim_testutil::{
-    assert_lane_model_close, lane_config, lane_sweep_configs, validation_sim_config, LANE_SWEEP,
+    assert_lane_model_close, assert_sim_results_identical, lane_config, lane_sweep_configs,
+    validation_sim_config, LANE_SWEEP,
 };
 
 fn pin_cfg(seed: u64) -> SimConfig {
@@ -309,23 +310,12 @@ fn fast_forward_stays_bit_exact_with_multiple_lanes() {
                 let mut engine = Engine::with_lanes(&router, &cfg, &traffic, &lc);
                 engine.set_fast_forward(false);
                 let reference = engine.run();
-                assert_eq!(
-                    fast.avg_latency.to_bits(),
-                    reference.avg_latency.to_bits(),
-                    "L={lanes} {kind:?} load {load}: latency"
+                assert_sim_results_identical(
+                    &fast,
+                    &reference,
+                    &format!("L={lanes} {kind:?} load {load}"),
                 );
-                assert_eq!(
-                    fast.latency_p99.to_bits(),
-                    reference.latency_p99.to_bits(),
-                    "L={lanes} {kind:?} load {load}: p99"
-                );
-                assert_eq!(fast.messages_completed, reference.messages_completed);
-                assert_eq!(fast.cycles_run, reference.cycles_run);
                 assert_eq!(reference.cycles_skipped, 0);
-                for (a, b) in fast.lane_stats.iter().zip(&reference.lane_stats) {
-                    assert_eq!(a.grants, b.grants, "L={lanes}: lane {} grants", a.lane);
-                    assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
-                }
             }
         }
     }
