@@ -36,8 +36,9 @@
 use crate::error::ModelError;
 use crate::options::ModelOptions;
 use crate::Result;
+use wormsim_obs::{ModelTelemetry, SolverTrace, StationBreakdown};
 use wormsim_queueing::solver::{
-    fixed_point, fixed_point_accelerated, AccelerationConfig, FixedPointConfig,
+    fixed_point_accelerated_traced, fixed_point_traced, AccelerationConfig, FixedPointConfig,
 };
 use wormsim_queueing::{mg1, mgm};
 
@@ -449,7 +450,105 @@ impl NetworkSpec {
     /// Spec errors, saturation at any station, or fixed-point divergence
     /// (cyclic graphs near saturation).
     pub fn solve(&self, options: &ModelOptions) -> Result<Solution> {
-        self.solve_inner(options, None)
+        self.solve_inner(options, None, None)
+    }
+
+    /// Like [`Self::solve`], but filling `telemetry` with the solver's
+    /// convergence trace (per-evaluation residual, damping, Aitken
+    /// outcomes — empty when the class graph is a DAG and no iteration
+    /// runs) and the per-station breakdown of the solution. The solved
+    /// values are bit-for-bit those of [`Self::solve`]: tracing only
+    /// records, it never alters the iteration.
+    ///
+    /// Any previous contents of `telemetry` are replaced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`]. On error the telemetry holds whatever
+    /// trace accumulated before the failure and no station rows.
+    pub fn solve_traced(
+        &self,
+        options: &ModelOptions,
+        telemetry: &mut ModelTelemetry,
+    ) -> Result<Solution> {
+        telemetry.solver = SolverTrace::new();
+        telemetry.stations.clear();
+        let sol = self.solve_inner(options, None, Some(&mut telemetry.solver))?;
+        telemetry.stations = self.station_breakdown(&sol, options)?;
+        Ok(sol)
+    }
+
+    /// [`Self::solve_warm`] with telemetry: the accelerated, warm-seeded
+    /// iteration runs with its convergence trace captured (this is the
+    /// variant that exercises Aitken Δ² and adaptive damping), and the
+    /// per-station breakdown is filled on success. Bit-for-bit identical
+    /// values to [`Self::solve_warm`] given the same prior state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_warm`].
+    pub fn solve_warm_traced(
+        &self,
+        options: &ModelOptions,
+        warm: &mut WarmStart,
+        telemetry: &mut ModelTelemetry,
+    ) -> Result<Solution> {
+        telemetry.solver = SolverTrace::new();
+        telemetry.stations.clear();
+        let sol = self.solve_inner(options, Some(warm), Some(&mut telemetry.solver))?;
+        telemetry.stations = self.station_breakdown(&sol, options)?;
+        Ok(sol)
+    }
+
+    /// Per-station breakdown of a solved spec: for every class, the
+    /// solved service time and wait, the lane-slot residence, the
+    /// per-server utilization `λ·x̄`, and the traffic-weighted mean of
+    /// the Eq. 10 blocking factors over the forwards *into* the class
+    /// (each forward `i → j` weighted by the rate of worms taking it,
+    /// `multiplicity × prob_each × λ_i`; classes nothing forwards into —
+    /// injection channels — report 1.0).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`] (lane-residence decomposition can reject a
+    /// malformed service time).
+    pub fn station_breakdown(
+        &self,
+        sol: &Solution,
+        options: &ModelOptions,
+    ) -> Result<Vec<StationBreakdown>> {
+        let n = self.classes.len();
+        let mut blk_num = vec![0.0; n];
+        let mut blk_den = vec![0.0; n];
+        for (i, class) in self.classes.iter().enumerate() {
+            if let ClassBody::Interior { forwards } = &class.body {
+                for f in forwards {
+                    let j = f.to.0;
+                    let weight = f64::from(f.multiplicity) * f.prob_each * class.lambda;
+                    blk_num[j] += weight * self.blocking(i, j, f.blocking_prob, options);
+                    blk_den[j] += weight;
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(n);
+        for (j, class) in self.classes.iter().enumerate() {
+            let x = sol.service_times[j];
+            rows.push(StationBreakdown {
+                name: class.name.clone(),
+                lambda: class.lambda,
+                servers: class.servers,
+                service_time: x,
+                waiting_time: sol.waiting_times[j],
+                residence: self.lane_residence(j, x, options)?,
+                utilization: class.lambda * x,
+                inbound_blocking: if blk_den[j] > 0.0 {
+                    blk_num[j] / blk_den[j]
+                } else {
+                    1.0
+                },
+            });
+        }
+        Ok(rows)
     }
 
     /// Like [`Self::solve`], but threading sweep state: the cyclic solve
@@ -462,13 +561,14 @@ impl NetworkSpec {
     /// Same as [`Self::solve`] (a failed point leaves `warm` untouched, so
     /// the next point still seeds from the last convergent one).
     pub fn solve_warm(&self, options: &ModelOptions, warm: &mut WarmStart) -> Result<Solution> {
-        self.solve_inner(options, Some(warm))
+        self.solve_inner(options, Some(warm), None)
     }
 
     fn solve_inner(
         &self,
         options: &ModelOptions,
         warm: Option<&mut WarmStart>,
+        trace: Option<&mut SolverTrace>,
     ) -> Result<Solution> {
         self.validate()?;
         if options.lanes == 0 {
@@ -515,9 +615,9 @@ impl NetworkSpec {
                 Ok(())
             };
             let outcome = if warm.is_some() {
-                fixed_point_accelerated(&x, cfg, AccelerationConfig::default(), map)
+                fixed_point_accelerated_traced(&x, cfg, AccelerationConfig::default(), map, trace)
             } else {
-                fixed_point(&x, cfg, map)
+                fixed_point_traced(&x, cfg, map, trace)
             };
             match outcome {
                 Ok(out) => {
@@ -1222,6 +1322,88 @@ mod tests {
             assert_eq!(cold.total.to_bits(), hot.total.to_bits());
         }
         assert_eq!(warm.total_iterations(), 0);
+    }
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_captures_convergence() {
+        // Cyclic spec → fixed-point iteration → a non-empty trace whose
+        // values change nothing about the solution.
+        let spec = ring_spec(8, 16.0, 0.002);
+        let opts = ModelOptions::paper();
+        let plain = spec.solve(&opts).unwrap();
+        let mut tel = ModelTelemetry::default();
+        let traced = spec.solve_traced(&opts, &mut tel).unwrap();
+        assert_eq!(plain.iterations, traced.iterations);
+        for (a, b) in plain.service_times.iter().zip(&traced.service_times) {
+            assert_eq!(a.to_bits(), b.to_bits(), "tracing perturbed the solve");
+        }
+        for (a, b) in plain.waiting_times.iter().zip(&traced.waiting_times) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(tel.solver.converged);
+        assert_eq!(tel.solver.len(), plain.iterations);
+        assert!(tel.solver.final_residual <= 1e-12);
+        // Residuals decrease overall: last strictly below first.
+        let first = tel.solver.samples.first().unwrap().residual;
+        let last = tel.solver.samples.last().unwrap().residual;
+        assert!(last < first, "residual did not shrink: {first} -> {last}");
+        assert_eq!(tel.stations.len(), spec.classes.len());
+        for row in &tel.stations {
+            assert!(row.utilization >= 0.0 && row.utilization < 1.0);
+            assert!((0.0..=1.0).contains(&row.inbound_blocking));
+            assert!(row.residence >= 0.0 && row.waiting_time >= 0.0);
+        }
+        // The injection class has no inbound forwards → neutral factor.
+        let inj = &tel.stations[spec.injection.0];
+        assert_eq!(inj.inbound_blocking, 1.0);
+    }
+
+    #[test]
+    fn traced_warm_solve_matches_and_records_aitken_activity() {
+        let opts = ModelOptions::paper();
+        let mut warm_a = WarmStart::new();
+        let mut warm_b = WarmStart::new();
+        let mut tel = ModelTelemetry::default();
+        for lambda0 in [0.001, 0.0015, 0.002] {
+            let spec = ring_spec(10, 16.0, lambda0);
+            let plain = spec.solve_warm(&opts, &mut warm_a).unwrap();
+            let traced = spec
+                .solve_warm_traced(&opts, &mut warm_b, &mut tel)
+                .unwrap();
+            assert_eq!(plain.iterations, traced.iterations);
+            for (a, b) in plain.service_times.iter().zip(&traced.service_times) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert!(tel.solver.converged);
+            assert!(!tel.solver.is_empty());
+        }
+        assert_eq!(warm_a.total_iterations(), warm_b.total_iterations());
+    }
+
+    #[test]
+    fn traced_dag_solve_leaves_trace_empty_but_fills_stations() {
+        let params = BftParams::paper(64).unwrap();
+        let spec = bft_spec(&params, 16.0, 0.001);
+        let mut tel = ModelTelemetry::default();
+        let sol = spec.solve_traced(&ModelOptions::paper(), &mut tel).unwrap();
+        assert_eq!(sol.iterations, 0, "BFT class graph is a DAG");
+        assert!(tel.solver.is_empty(), "no iteration ran, no samples");
+        assert_eq!(tel.stations.len(), spec.classes.len());
+        // Interior stations see real blocking factors under paper options.
+        assert!(tel
+            .stations
+            .iter()
+            .any(|s| s.inbound_blocking < 1.0 && s.inbound_blocking > 0.0));
+        // Breakdown values come straight from the solution.
+        for (row, (x, w)) in tel
+            .stations
+            .iter()
+            .zip(sol.service_times.iter().zip(&sol.waiting_times))
+        {
+            assert_eq!(row.service_time.to_bits(), x.to_bits());
+            assert_eq!(row.waiting_time.to_bits(), w.to_bits());
+            assert_eq!(row.residence.to_bits(), x.to_bits(), "L = 1: residence = x̄");
+        }
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! machine-readable baselines:
 //!
 //! * `BENCH_sim.json` — simulator wall-clock per operating point (median
-//!   ns over repetitions), cycles/second, and the skipped-cycle fraction,
-//!   for the reference (cycle-stepped) walk, the fast-forwarding core and
-//!   the calendar-queue event core side by side — including a loaded
-//!   regime group (`bft64_load0.1_*`) and a saturating N=1024 point where
-//!   fast-forwarding finds no idle spans and the event core's caches
-//!   carry the speedup.
+//!   ns over repetitions), cycles/second, and the fraction of cycles not
+//!   individually walked (idle fast-forward spans plus the event core's
+//!   batched silent-drain spans), for the reference (cycle-stepped) walk,
+//!   the fast-forwarding core and the calendar-queue event core side by
+//!   side — including a loaded regime group (`bft64_load0.1_*`), a
+//!   saturating N=1024 point where fast-forwarding finds no idle spans
+//!   and the event core's caches carry the speedup, and the
+//!   observability-overhead A/B point (`obs_overhead`, budget ≤1%).
 //! * `BENCH_model.json` — analytical-model costs: closed-form and
 //!   framework solve times, plus the **deterministic** fixed-point
 //!   iteration counts of a 20-point cyclic framework sweep, cold-started
@@ -19,8 +21,8 @@
 //! The JSON is hand-rolled (no serde in this offline workspace): flat
 //! objects, stable key order, one point per line — diffable across PRs so
 //! the perf trajectory is tracked from this baseline onward. Timings are
-//! machine-dependent snapshots; iteration counts and skip fractions must
-//! reproduce exactly anywhere.
+//! machine-dependent snapshots; iteration counts and not-walked-cycle
+//! fractions must reproduce exactly anywhere.
 //!
 //! `--quick` shrinks repetitions and drops the largest machine so CI can
 //! smoke the harness on every push.
@@ -34,11 +36,45 @@ use wormsim_core::bft::BftModel;
 use wormsim_core::flows::FlowModelSweep;
 use wormsim_core::framework::{bft_spec, ring_spec, WarmStart};
 use wormsim_core::options::ModelOptions;
+use wormsim_sim::config::ObsConfig;
 use wormsim_sim::config::{EngineKind, LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
 use wormsim_sim::router::BftRouter;
-use wormsim_sim::runner::{run_simulation_with_engine, run_simulation_with_lanes_and_engine};
+use wormsim_sim::runner::{
+    run_simulation_observed, run_simulation_with_engine, run_simulation_with_lanes_and_engine,
+};
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 use wormsim_workload::{DestinationPattern, FlowVector};
+
+/// Medians of two interleaved timed closures, in nanoseconds: each
+/// repetition samples both (order alternating), so clock drift and
+/// thermal throttling hit the two sides alike — the fair way to compare
+/// a pair of near-identical costs.
+fn interleaved_median_ns<FA: FnMut(), FB: FnMut()>(
+    reps: usize,
+    mut a: FA,
+    mut b: FB,
+) -> (u64, u64) {
+    fn time<F: FnMut()>(f: &mut F) -> u64 {
+        let t0 = Instant::now();
+        f();
+        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+    let reps = reps.max(1);
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    for i in 0..reps {
+        if i % 2 == 0 {
+            sa.push(time(&mut a));
+            sb.push(time(&mut b));
+        } else {
+            sb.push(time(&mut b));
+            sa.push(time(&mut a));
+        }
+    }
+    sa.sort_unstable();
+    sb.sort_unstable();
+    (sa[sa.len() / 2], sb[sb.len() / 2])
+}
 
 /// Median of timed repetitions of `f`, in nanoseconds.
 fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
@@ -185,6 +221,66 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         }
     }
 
+    // ---- Observability overhead A/B (bft64_load0.1_l1): the plain entry
+    // point vs `run_simulation_observed` with the observer disabled. The
+    // disabled path is one not-taken branch per hook, so the ratio must
+    // stay within the ≤1% budget (tests/observability.rs enforces it in
+    // release mode; this block is the committed evidence). A counters-only
+    // enabled point is recorded for information. ----
+    let (obs_plain_ns, obs_disabled_ns, obs_enabled_ns) = {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).expect("power of 4"));
+        let router = BftRouter::new(&tree);
+        let cfg = bench_cfg(ctx.seed);
+        let traffic = TrafficConfig::from_flit_load(0.1, 16).expect("valid load");
+        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let obs_reps = if ctx.quick { 5 } else { 31 };
+        let disabled = ObsConfig::disabled();
+        let (plain, off) = interleaved_median_ns(
+            obs_reps,
+            || {
+                std::hint::black_box(
+                    run_simulation_with_lanes_and_engine(
+                        &router,
+                        &cfg,
+                        &traffic,
+                        &lc,
+                        EngineKind::FastForward,
+                    )
+                    .cycles_run,
+                );
+            },
+            || {
+                std::hint::black_box(
+                    run_simulation_observed(
+                        &router,
+                        &cfg,
+                        &traffic,
+                        &lc,
+                        EngineKind::FastForward,
+                        &disabled,
+                    )
+                    .cycles_run,
+                );
+            },
+        );
+        let counters = ObsConfig::counters_only();
+        let on = median_ns(obs_reps, || {
+            std::hint::black_box(
+                run_simulation_observed(
+                    &router,
+                    &cfg,
+                    &traffic,
+                    &lc,
+                    EngineKind::FastForward,
+                    &counters,
+                )
+                .cycles_run,
+            );
+        });
+        (plain, off, on)
+    };
+    let obs_ratio = obs_disabled_ns as f64 / obs_plain_ns.max(1) as f64;
+
     // ---- Model set: solve costs + deterministic iteration counts. ----
     let model_reps = reps * 4;
     let params = BftParams::paper(if ctx.quick { 256 } else { 1024 }).expect("power of 4");
@@ -278,7 +374,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         "point",
         "median us",
         "cycles/s",
-        "skipped %",
+        "not walked %",
         "vs ref",
     ]);
     for triple in sim_points.chunks(ENGINES.len()) {
@@ -330,6 +426,15 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     out.section("Lanes group (N=64, load 0.1, first-free allocator; loaded regime):");
     out.section(lane_tbl.render());
     out.section(format!(
+        "Observability overhead (bft64_load0.1_l1, interleaved medians): plain {:.1} us, \
+         observer-disabled {:.1} us → ratio {:.4} (budget ≤ 1.01); counters-only enabled \
+         {:.1} us.",
+        obs_plain_ns as f64 / 1e3,
+        obs_disabled_ns as f64 / 1e3,
+        obs_ratio,
+        obs_enabled_ns as f64 / 1e3,
+    ));
+    out.section(format!(
         "Model: closed-form latency {:.1} us, framework solve {:.1} us (N={}).\n\
          Ring sweep (20 points): cold {} iterations / {:.1} us, warm {} iterations / {:.1} us \
          → {:.1}% fewer iterations.\n\
@@ -349,9 +454,16 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // ---- Write the JSON baselines. ----
     let dir = ctx.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     let mut sim_json = String::from("{\n");
-    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v3\",");
+    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v4\",");
     let _ = writeln!(sim_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(sim_json, "  \"repetitions\": {reps},");
+    let _ = writeln!(
+        sim_json,
+        "  \"obs_overhead\": {{\"point\": \"bft64_load0.1_l1\", \"plain_median_ns\": \
+         {obs_plain_ns}, \"disabled_median_ns\": {obs_disabled_ns}, \"ratio\": {}, \
+         \"budget\": 1.01, \"counters_enabled_median_ns\": {obs_enabled_ns}}},",
+        json_num(obs_ratio),
+    );
     let _ = writeln!(sim_json, "  \"points\": [");
     let all_points: Vec<&SimPoint> = sim_points.iter().chain(&lane_points).collect();
     for (idx, p) in all_points.iter().enumerate() {
@@ -445,7 +557,9 @@ mod tests {
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
         let model = std::fs::read_to_string(dir.join("BENCH_model.json")).unwrap();
-        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v3\""));
+        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v4\""));
+        assert!(sim.contains("\"obs_overhead\""), "overhead point present");
+        assert!(sim.contains("\"budget\": 1.01"));
         assert!(sim.contains("bft16_load0.001_ff"));
         assert!(
             sim.contains("bft16_load0.001_ev"),

@@ -16,6 +16,7 @@ pub mod lanes;
 pub mod scaling;
 pub mod tail_latency;
 pub mod throughput;
+pub mod trace;
 
 /// Shared experiment knobs.
 #[derive(Debug, Clone)]
@@ -194,6 +195,11 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "bench-baseline",
         bench_baseline::run,
         "Perf P1: micro-bench baseline (BENCH_sim.json / BENCH_model.json), ff + warm-start evidence",
+    ),
+    (
+        "trace",
+        trace::run,
+        "Obs O1: worm-lifecycle trace (JSONL + Chrome trace_event), per-level usage, solver telemetry",
     ),
 ];
 

@@ -1,0 +1,418 @@
+//! Event-stream exporters: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both formats are built by hand — every field is numeric or a fixed
+//! label from a closed set, so no escaping machinery is needed and the
+//! repo keeps its no-external-deps discipline. The Chrome writer emits
+//! the JSON-object form (`{"traceEvents": [...]}`), which loads directly
+//! in `about:tracing` and Perfetto: each worm becomes a thread (`tid` =
+//! worm id) carrying a `B`/`E` duration slice from injection to
+//! delivery, with instant events for route decisions, lane grants and
+//! stalls layered on top. One simulation cycle is mapped to one
+//! microsecond of trace time.
+
+use crate::events::WormEvent;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Format an f64 the way the bench JSON does: finite, shortest-ish.
+fn json_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{}", x)
+    }
+}
+
+/// Render one event as a single JSON object (no trailing newline).
+pub fn event_to_json(ev: &WormEvent) -> String {
+    match *ev {
+        WormEvent::Inject { t, worm, src, dest } => {
+            format!(r#"{{"t":{t},"ev":"inject","worm":{worm},"src":{src},"dest":{dest}}}"#)
+        }
+        WormEvent::RouteChosen { t, worm, station } => {
+            format!(r#"{{"t":{t},"ev":"route","worm":{worm},"station":{station}}}"#)
+        }
+        WormEvent::LaneGrant {
+            t,
+            worm,
+            channel,
+            lane,
+        } => {
+            format!(r#"{{"t":{t},"ev":"lane_grant","worm":{worm},"ch":{channel},"lane":{lane}}}"#)
+        }
+        WormEvent::Stall { t, worm, cause } => {
+            format!(
+                r#"{{"t":{t},"ev":"stall","worm":{worm},"cause":"{}"}}"#,
+                cause.label()
+            )
+        }
+        WormEvent::Drain { t, worm } => {
+            format!(r#"{{"t":{t},"ev":"drain","worm":{worm}}}"#)
+        }
+        WormEvent::Deliver { t, worm, latency } => {
+            format!(r#"{{"t":{t},"ev":"deliver","worm":{worm},"latency":{latency}}}"#)
+        }
+    }
+}
+
+/// Render the event stream as JSONL: one JSON object per line.
+pub fn events_to_jsonl(events: &[WormEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for ev in events {
+        out.push_str(&event_to_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+fn chrome_event(out: &mut String, ev: &WormEvent, pid: u32) {
+    let ts = json_num(ev.time() as f64);
+    match *ev {
+        WormEvent::Inject {
+            worm, src, dest, ..
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"worm {worm}","cat":"worm","ph":"B","ts":{ts},"pid":{pid},"tid":{worm},"args":{{"src":{src},"dest":{dest}}}}}"#
+            );
+        }
+        WormEvent::Deliver { worm, latency, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"worm {worm}","cat":"worm","ph":"E","ts":{ts},"pid":{pid},"tid":{worm},"args":{{"latency":{latency}}}}}"#
+            );
+        }
+        WormEvent::RouteChosen { worm, station, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"route st{station}","cat":"route","ph":"i","s":"t","ts":{ts},"pid":{pid},"tid":{worm}}}"#
+            );
+        }
+        WormEvent::LaneGrant {
+            worm,
+            channel,
+            lane,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"grant ch{channel}.{lane}","cat":"grant","ph":"i","s":"t","ts":{ts},"pid":{pid},"tid":{worm}}}"#
+            );
+        }
+        WormEvent::Stall { worm, cause, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"stall {}","cat":"stall","ph":"i","s":"t","ts":{ts},"pid":{pid},"tid":{worm}}}"#,
+                cause.label()
+            );
+        }
+        WormEvent::Drain { worm, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"drain","cat":"drain","ph":"i","s":"t","ts":{ts},"pid":{pid},"tid":{worm}}}"#
+            );
+        }
+    }
+}
+
+/// Render the event stream in Chrome `trace_event` JSON-object format.
+/// `label` becomes the process name shown by the viewer. Worms still in
+/// flight at the end of the run appear as unclosed `B` slices, which
+/// both `about:tracing` and Perfetto tolerate.
+pub fn events_to_chrome_trace(events: &[WormEvent], label: &str) -> String {
+    let pid = 1u32;
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\": [\n");
+    // Process-name metadata record. Labels come from experiment names —
+    // restrict to a safe charset rather than escape.
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || " _-.=".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let _ = write!(
+        out,
+        r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{safe}"}}}}"#
+    );
+    for ev in events {
+        out.push_str(",\n");
+        chrome_event(&mut out, ev, pid);
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+/// Write the JSONL stream to `path`.
+pub fn write_jsonl(path: &Path, events: &[WormEvent]) -> io::Result<()> {
+    std::fs::write(path, events_to_jsonl(events))
+}
+
+/// Write the Chrome trace to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[WormEvent], label: &str) -> io::Result<()> {
+    std::fs::write(path, events_to_chrome_trace(events, label))
+}
+
+/// Minimal JSON well-formedness check (recursive descent over the full
+/// grammar, no allocation). Used by the test suite to validate the
+/// exporters without pulling in a JSON dependency; returns `true` iff
+/// `s` is exactly one valid JSON value surrounded by whitespace.
+pub fn json_is_well_formed(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize, depth: u32) -> bool {
+        if depth > 64 {
+            return false;
+        }
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    ws(b, i);
+                    if !string(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return false;
+                    }
+                    *i += 1;
+                    if !value(b, i, depth + 1) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, i, depth + 1) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(_) => number(b, i),
+            None => false,
+        }
+    }
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+        if b[*i..].starts_with(lit) {
+            *i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> bool {
+        if b.get(*i) != Some(&b'"') {
+            return false;
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return true;
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                        Some(b'u') => {
+                            *i += 1;
+                            for _ in 0..4 {
+                                match b.get(*i) {
+                                    Some(h) if h.is_ascii_hexdigit() => *i += 1,
+                                    _ => return false,
+                                }
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                0x00..=0x1f => return false,
+                _ => *i += 1,
+            }
+        }
+        false
+    }
+    fn number(b: &[u8], i: &mut usize) -> bool {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        let int_start = *i;
+        while matches!(b.get(*i), Some(c) if c.is_ascii_digit()) {
+            *i += 1;
+        }
+        if *i == int_start {
+            return false;
+        }
+        if b[int_start] == b'0' && *i > int_start + 1 {
+            return false; // leading zero
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            let f = *i;
+            while matches!(b.get(*i), Some(c) if c.is_ascii_digit()) {
+                *i += 1;
+            }
+            if *i == f {
+                return false;
+            }
+        }
+        if matches!(b.get(*i), Some(b'e' | b'E')) {
+            *i += 1;
+            if matches!(b.get(*i), Some(b'+' | b'-')) {
+                *i += 1;
+            }
+            let e = *i;
+            while matches!(b.get(*i), Some(c) if c.is_ascii_digit()) {
+                *i += 1;
+            }
+            if *i == e {
+                return false;
+            }
+        }
+        *i > start
+    }
+    if !value(b, &mut i, 0) {
+        return false;
+    }
+    ws(b, &mut i);
+    i == b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::StallCause;
+
+    fn sample_events() -> Vec<WormEvent> {
+        vec![
+            WormEvent::Inject {
+                t: 1,
+                worm: 0,
+                src: 2,
+                dest: 5,
+            },
+            WormEvent::RouteChosen {
+                t: 2,
+                worm: 0,
+                station: 3,
+            },
+            WormEvent::Stall {
+                t: 2,
+                worm: 0,
+                cause: StallCause::NoFreeLane,
+            },
+            WormEvent::LaneGrant {
+                t: 3,
+                worm: 0,
+                channel: 7,
+                lane: 1,
+            },
+            WormEvent::Drain { t: 9, worm: 0 },
+            WormEvent::Deliver {
+                t: 12,
+                worm: 0,
+                latency: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let jsonl = events_to_jsonl(&sample_events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in lines {
+            assert!(json_is_well_formed(line), "bad JSONL line: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_balanced_slices() {
+        let trace = events_to_chrome_trace(&sample_events(), "unit test");
+        assert!(json_is_well_formed(&trace), "bad chrome trace: {trace}");
+        assert_eq!(trace.matches(r#""ph":"B""#).count(), 1);
+        assert_eq!(trace.matches(r#""ph":"E""#).count(), 1);
+        assert_eq!(trace.matches(r#""ph":"i""#).count(), 4);
+    }
+
+    #[test]
+    fn chrome_label_is_sanitized() {
+        let trace = events_to_chrome_trace(&[], "we\"ird\\label\n");
+        assert!(json_is_well_formed(&trace));
+        assert!(trace.contains("we_ird_label_"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            r#"{"a": [1, 2.5, -3e2, true, false, null, "s\n"]}"#,
+            "  42 ",
+            r#""é""#,
+        ] {
+            assert!(json_is_well_formed(good), "should accept: {good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{'a':1}",
+            "01",
+            "1.",
+            "1e",
+            r#"{"a":}"#,
+            "{} {}",
+            r#""unterminated"#,
+        ] {
+            assert!(!json_is_well_formed(bad), "should reject: {bad}");
+        }
+    }
+}

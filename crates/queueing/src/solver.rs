@@ -17,8 +17,16 @@
 //! * [`bisect_increasing`] — bracketing bisection on a monotone function,
 //!   used for the throughput computation of paper §2.3/§3.5: find the
 //!   arrival rate where the source service time crosses `1/λ₀`.
+//!
+//! Both fixed-point solvers have `_traced` variants threading an optional
+//! [`SolverTrace`] through the iteration loop — per-evaluation raw
+//! residual, damping factor in force, and Aitken accept/reject outcomes —
+//! for convergence telemetry. The untraced functions are thin `None`
+//! wrappers; with no trace attached the per-iteration cost is one
+//! not-taken branch.
 
 use crate::{QueueingError, Result};
+use wormsim_obs::{AitkenStep, SolverTrace};
 
 /// Configuration for the damped fixed-point iteration.
 #[derive(Debug, Clone, Copy)]
@@ -65,10 +73,27 @@ pub struct FixedPointOutcome {
 ///
 /// * [`QueueingError::NoConvergence`] after `max_iterations`.
 /// * Any error returned by `f` (typically [`QueueingError::Saturated`]).
-pub fn fixed_point<F>(
+pub fn fixed_point<F>(initial: &[f64], config: FixedPointConfig, f: F) -> Result<FixedPointOutcome>
+where
+    F: FnMut(&[f64], &mut [f64]) -> Result<()>,
+{
+    fixed_point_traced(initial, config, f, None)
+}
+
+/// [`fixed_point`] with an optional convergence trace: each iteration
+/// records the raw residual `max_i |F(x)_i − x_i|` and the (fixed)
+/// damping factor. With `trace = None` this *is* `fixed_point` — the
+/// trace branch is never taken and the raw residual is not computed.
+///
+/// # Errors
+///
+/// As [`fixed_point`]. On [`QueueingError::NoConvergence`] the trace is
+/// finished with `converged = false`; a map error leaves it unfinished.
+pub fn fixed_point_traced<F>(
     initial: &[f64],
     config: FixedPointConfig,
     mut f: F,
+    mut trace: Option<&mut SolverTrace>,
 ) -> Result<FixedPointOutcome>
 where
     F: FnMut(&[f64], &mut [f64]) -> Result<()>,
@@ -78,6 +103,13 @@ where
     let mut fx = vec![0.0; x.len()];
     for iteration in 1..=config.max_iterations {
         f(&x, &mut fx)?;
+        if let Some(tr) = trace.as_deref_mut() {
+            let mut raw = 0.0f64;
+            for (xi, fxi) in x.iter().zip(fx.iter()) {
+                raw = raw.max((fxi - xi).abs());
+            }
+            tr.record(iteration, raw, theta, AitkenStep::NotAttempted);
+        }
         let mut residual = 0.0f64;
         for (xi, fxi) in x.iter_mut().zip(fx.iter()) {
             let next = (1.0 - theta) * *xi + theta * *fxi;
@@ -85,6 +117,9 @@ where
             *xi = next;
         }
         if residual < config.tolerance {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.finish(true, residual);
+            }
             return Ok(FixedPointOutcome {
                 values: x,
                 iterations: iteration,
@@ -96,6 +131,9 @@ where
     f(&x, &mut fx)?;
     for (xi, fxi) in x.iter().zip(fx.iter()) {
         residual = residual.max((theta * (fxi - xi)).abs());
+    }
+    if let Some(tr) = trace {
+        tr.finish(false, residual);
     }
     Err(QueueingError::NoConvergence {
         iterations: config.max_iterations,
@@ -163,7 +201,32 @@ pub fn fixed_point_accelerated<F>(
     initial: &[f64],
     config: FixedPointConfig,
     accel: AccelerationConfig,
+    f: F,
+) -> Result<FixedPointOutcome>
+where
+    F: FnMut(&[f64], &mut [f64]) -> Result<()>,
+{
+    fixed_point_accelerated_traced(initial, config, accel, f, None)
+}
+
+/// [`fixed_point_accelerated`] with an optional convergence trace: one
+/// sample per main-loop evaluation (raw residual and the adaptive θ in
+/// force), plus one sample per Aitken Δ² verification recording the
+/// candidate's residual and whether it was accepted (a verification
+/// that errored records an infinite residual, rejected). With
+/// `trace = None` this *is* `fixed_point_accelerated`.
+///
+/// # Errors
+///
+/// As [`fixed_point_accelerated`]; the trace is finished with
+/// `converged = false` on [`QueueingError::NoConvergence`] and left
+/// unfinished on a map error.
+pub fn fixed_point_accelerated_traced<F>(
+    initial: &[f64],
+    config: FixedPointConfig,
+    accel: AccelerationConfig,
     mut f: F,
+    mut trace: Option<&mut SolverTrace>,
 ) -> Result<FixedPointOutcome>
 where
     F: FnMut(&[f64], &mut [f64]) -> Result<()>,
@@ -194,11 +257,17 @@ where
         for (xi, fxi) in x.iter().zip(fx.iter()) {
             raw = raw.max((fxi - xi).abs());
         }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.record(evals, raw, theta, AitkenStep::NotAttempted);
+        }
         // Damped update; convergence on the update norm, as in
         // `fixed_point`.
         if theta * raw < config.tolerance {
             for (xi, fxi) in x.iter_mut().zip(fx.iter()) {
                 *xi = (1.0 - theta) * *xi + theta * *fxi;
+            }
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.finish(true, theta * raw);
             }
             return Ok(FixedPointOutcome {
                 values: x,
@@ -255,7 +324,20 @@ where
                         for (ci, fxi) in candidate.iter().zip(fx.iter()) {
                             cand_raw = cand_raw.max((fxi - ci).abs());
                         }
-                        if cand_raw < prev_raw {
+                        let accepted = cand_raw < prev_raw;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record(
+                                evals,
+                                cand_raw,
+                                theta,
+                                if accepted {
+                                    AitkenStep::Accepted
+                                } else {
+                                    AitkenStep::Rejected
+                                },
+                            );
+                        }
+                        if accepted {
                             x.copy_from_slice(&candidate);
                             prev_raw = cand_raw;
                             // The jump invalidates the difference history;
@@ -269,6 +351,9 @@ where
                     Err(_) => {
                         evals += 1;
                         history = 0;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record(evals, f64::INFINITY, theta, AitkenStep::Rejected);
+                        }
                     }
                 }
             }
@@ -278,6 +363,9 @@ where
     f(&x, &mut fx)?;
     for (xi, fxi) in x.iter().zip(fx.iter()) {
         residual = residual.max((theta * (fxi - xi)).abs());
+    }
+    if let Some(tr) = trace {
+        tr.finish(false, residual);
     }
     Err(QueueingError::NoConvergence {
         iterations: config.max_iterations,
@@ -548,6 +636,92 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, QueueingError::Saturated { .. }));
+    }
+
+    #[test]
+    fn traced_solve_is_identical_and_records_iterations() {
+        let map = |x: &[f64], fx: &mut [f64]| {
+            fx[0] = 0.5 * x[1] + 1.0;
+            fx[1] = 0.3 * x[0] + 2.0;
+            Ok(())
+        };
+        let plain = fixed_point(&[0.0, 0.0], FixedPointConfig::default(), map).unwrap();
+        let mut tr = SolverTrace::new();
+        let traced =
+            fixed_point_traced(&[0.0, 0.0], FixedPointConfig::default(), map, Some(&mut tr))
+                .unwrap();
+        // The trace is observation only: bit-identical outcome.
+        assert_eq!(plain.iterations, traced.iterations);
+        for (a, b) in plain.values.iter().zip(&traced.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(plain.residual.to_bits(), traced.residual.to_bits());
+        assert_eq!(tr.len(), traced.iterations);
+        assert!(tr.converged);
+        assert_eq!(tr.final_residual, traced.residual);
+        // Raw residuals decrease overall on a contraction.
+        assert!(tr.samples.last().unwrap().residual < tr.samples[0].residual);
+        // Fixed damping is recorded as configured.
+        assert!(tr.samples.iter().all(|s| s.damping == 0.5));
+        assert!(tr
+            .samples
+            .iter()
+            .all(|s| s.aitken == AitkenStep::NotAttempted));
+    }
+
+    #[test]
+    fn traced_accelerated_solve_is_identical_and_records_aitken() {
+        // Stiff contraction: acceleration fires and accepts Aitken steps.
+        let map = |x: &[f64], fx: &mut [f64]| {
+            fx[0] = 0.99 * x[0] + 1.0;
+            Ok(())
+        };
+        let cfg = FixedPointConfig {
+            tolerance: 1e-10,
+            max_iterations: 100_000,
+            damping: 0.5,
+        };
+        let plain =
+            fixed_point_accelerated(&[0.0], cfg, AccelerationConfig::default(), map).unwrap();
+        let mut tr = SolverTrace::new();
+        let traced = fixed_point_accelerated_traced(
+            &[0.0],
+            cfg,
+            AccelerationConfig::default(),
+            map,
+            Some(&mut tr),
+        )
+        .unwrap();
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(plain.values[0].to_bits(), traced.values[0].to_bits());
+        assert!(tr.converged);
+        assert!(tr.aitken_accepts() > 0, "stiff map must accept Δ² steps");
+        // Adaptive damping: θ must move off its initial value somewhere.
+        assert!(tr.samples.iter().any(|s| s.damping != 0.5));
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn traced_nonconvergence_finishes_trace_unconverged() {
+        let cfg = FixedPointConfig {
+            max_iterations: 20,
+            ..Default::default()
+        };
+        let mut tr = SolverTrace::new();
+        let err = fixed_point_traced(
+            &[1.0],
+            cfg,
+            |x, fx| {
+                fx[0] = 2.0 * x[0] + 1.0;
+                Ok(())
+            },
+            Some(&mut tr),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueueingError::NoConvergence { .. }));
+        assert!(!tr.converged);
+        assert_eq!(tr.len(), 20);
+        assert!(tr.final_residual > 0.0);
     }
 
     #[test]

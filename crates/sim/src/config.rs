@@ -7,6 +7,7 @@
 //! model identically.
 
 pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError};
+pub use wormsim_obs::ObsConfig;
 pub use wormsim_workload::{
     ArrivalProcess, DestinationPattern, MmppProfile, Workload, WorkloadError,
 };

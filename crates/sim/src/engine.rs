@@ -116,6 +116,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use wormsim_lanes::{LaneAudit, LaneConfig, LaneTable};
+use wormsim_obs::{ObsConfig, SimTrace, StallCause};
 use wormsim_topology::graph::NodeKind;
 use wormsim_topology::ids::{ChannelId, StationId};
 
@@ -253,6 +254,12 @@ pub struct Engine<'a, R: Router> {
     free_mask: Vec<u16>,
     /// Masks are active (Event mode and every station has ≤ 16 members).
     use_masks: bool,
+
+    /// Optional observer ([`Engine::set_observer`]). `None` is the
+    /// zero-cost disabled path: every hook site is one not-taken branch.
+    /// Hooks never draw RNG and never alter control flow, so observed
+    /// runs are bit-for-bit identical to bare runs under every kind.
+    obs: Option<Box<SimTrace>>,
 }
 
 /// Upper bound on route-cache entries (4 bytes each): 2²⁴ ≈ 64 MiB worst
@@ -365,6 +372,7 @@ impl<'a, R: Router> Engine<'a, R> {
             member_pos: Vec::new(),
             free_mask: Vec::new(),
             use_masks: false,
+            obs: None,
         }
     }
 
@@ -430,6 +438,28 @@ impl<'a, R: Router> Engine<'a, R> {
         }
     }
 
+    /// Attaches (or, with `cfg.enabled == false`, detaches) the
+    /// observability layer: worm-lifecycle events, per-channel busy /
+    /// stalled / idle accounting and per-lane grant tracking
+    /// ([`wormsim_obs`]). Call before the first cycle runs.
+    ///
+    /// Observation is RNG-neutral — hooks never draw from the simulation
+    /// RNG and never change control flow — so the run's `SimResult` is
+    /// bit-for-bit identical with or without an observer, and the
+    /// captured snapshot itself is identical across all
+    /// [`EngineKind`]s (events only occur at worm state transitions,
+    /// which happen in individually-walked cycles under every kind).
+    pub fn set_observer(&mut self, cfg: &ObsConfig) {
+        debug_assert_eq!(self.now, 0, "attach the observer before running");
+        self.obs = cfg.enabled.then(|| {
+            Box::new(SimTrace::new(
+                self.router.network().num_channels(),
+                self.lane_table.lanes() as usize,
+                cfg,
+            ))
+        });
+    }
+
     /// Cycles not individually walked so far: idle spans jumped by
     /// fast-forwarding plus (in event mode) batched silent drain spans.
     /// 0 for the reference engine.
@@ -457,7 +487,7 @@ impl<'a, R: Router> Engine<'a, R> {
             request_time: gen_time,
             measured,
         };
-        if let Some(idx) = self.free_worms.pop() {
+        let idx = if let Some(idx) = self.free_worms.pop() {
             // Slot reuse: the path vector was cleared at finalize and keeps
             // its capacity, so steady state allocates nothing per message.
             debug_assert!(self.paths[idx as usize].is_empty());
@@ -467,7 +497,11 @@ impl<'a, R: Router> Engine<'a, R> {
             self.worms.push(worm);
             self.paths.push(Vec::with_capacity(16));
             (self.worms.len() - 1) as WormIdx
+        };
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_inject(idx as usize, self.now, src, dest);
         }
+        idx
     }
 
     fn mark_station_ready(&mut self, st: StationId) {
@@ -522,6 +556,9 @@ impl<'a, R: Router> Engine<'a, R> {
             self.free_mask[s as usize] |= 1 << pos;
         }
         let granted_at = self.lane_grant_time[slot];
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_release(t, ch.index(), lane, t - granted_at + 1);
+        }
         if granted_at >= self.window_start && granted_at < self.window_end {
             let hold = t - granted_at + 1;
             self.audit
@@ -558,11 +595,31 @@ impl<'a, R: Router> Engine<'a, R> {
         true
     }
 
+    /// Observer hook: records the flit transmissions of the advancement
+    /// the worm just performed (call right after `advancements += 1`).
+    /// The channels crossed are exactly the reservation span of
+    /// [`Engine::try_reserve_span`] for this advancement.
+    #[inline]
+    fn observe_advance(&mut self, widx: WormIdx) {
+        let Some(o) = self.obs.as_deref_mut() else {
+            return;
+        };
+        let (a, s) = {
+            let w = &self.worms[widx as usize];
+            (w.advancements as usize, w.len_flits as usize)
+        };
+        let path = &self.paths[widx as usize];
+        for hop in &path[a.saturating_sub(s)..path.len().min(a)] {
+            o.on_flit(hop.ch.index());
+        }
+    }
+
     /// Performs the pending advancement of a granted (or stalled) worm —
     /// its head traverses the most recently granted channel — and routes
     /// it onward: eject into drain/completion, or request the next hop.
     fn complete_advance(&mut self, widx: WormIdx, t: u64) {
         self.worms[widx as usize].advancements += 1;
+        self.observe_advance(widx);
         self.release_tail(widx, t);
         let last_ch = self.paths[widx as usize].last().expect("non-empty").ch;
         let dst_is_pe = matches!(
@@ -583,6 +640,9 @@ impl<'a, R: Router> Engine<'a, R> {
                 self.finalize(widx, t);
             } else {
                 self.worms[widx as usize].state = WormState::Draining;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_drain(widx as usize, t);
+                }
                 self.drain_list.push(widx);
             }
         } else {
@@ -612,6 +672,14 @@ impl<'a, R: Router> Engine<'a, R> {
             self.latency_sample.add(latency);
             self.completed_measured += 1;
             self.outstanding_measured -= 1;
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_deliver(
+                widx as usize,
+                t,
+                t - gen + 1,
+                self.paths[widx as usize].len() as u64,
+            );
         }
         self.worms[widx as usize].state = WormState::Free;
         self.paths[widx as usize].clear();
@@ -691,6 +759,18 @@ impl<'a, R: Router> Engine<'a, R> {
             let widx = self.drain_list[i] as usize;
             self.worms[widx].advancements += span as u32;
         }
+        if let Some(o) = self.obs.as_deref_mut() {
+            // Every batched cycle advances every drainer by one, and a
+            // silent drainer's moving span is its whole path (its head
+            // has ejected and its tail has not yet started releasing), so
+            // each path channel carries one flit per batched cycle —
+            // identical to what the per-cycle walk would account.
+            for &widx in &self.drain_list {
+                for hop in &self.paths[widx as usize] {
+                    o.on_drain_span(hop.ch.index(), span);
+                }
+            }
+        }
         self.cycles_skipped += span;
         self.now += span;
         true
@@ -758,6 +838,10 @@ impl<'a, R: Router> Engine<'a, R> {
                 }
                 Some(node) => self.router.next_station(node, dest),
             };
+            if let Some(o) = self.obs.as_deref_mut() {
+                let queued_behind = !self.station_queue[station.index()].is_empty();
+                o.on_route_chosen(widx as usize, t, station.index() as u32, queued_behind);
+            }
             let w = &mut self.worms[widx as usize];
             w.state = WormState::Queued;
             w.request_time = t;
@@ -856,12 +940,21 @@ impl<'a, R: Router> Engine<'a, R> {
                 if measured_grant {
                     self.injection_wait.add(wait as f64);
                 }
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_grant(widx as usize, t, ch.index(), lane);
+                }
                 self.granted.push((widx, ch, lane));
             }
             // Keep the ready flag only if blocked on channels (a release
             // will re-arm); a station left with an empty queue re-arms on
             // the next enqueue.
-            let _ = exhausted_free;
+            if exhausted_free {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    if let Some(&head) = self.station_queue[st.index()].front() {
+                        o.on_stall(head as usize, t, StallCause::NoFreeLane);
+                    }
+                }
+            }
             self.station_ready[st.index()] = false;
             i += 1;
         }
@@ -875,10 +968,14 @@ impl<'a, R: Router> Engine<'a, R> {
         while j < self.drain_list.len() {
             let widx = self.drain_list[j];
             if !self.try_reserve_span(widx, t) {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_stall(widx as usize, t, StallCause::LinkBusy);
+                }
                 j += 1;
                 continue;
             }
             self.worms[widx as usize].advancements += 1;
+            self.observe_advance(widx);
             self.release_tail(widx, t);
             let done = {
                 let w = &self.worms[widx as usize];
@@ -907,6 +1004,9 @@ impl<'a, R: Router> Engine<'a, R> {
             if self.try_reserve_span(widx, t) {
                 self.complete_advance(widx, t);
             } else {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_stall(widx as usize, t, StallCause::LinkBusy);
+                }
                 stalled[kept] = widx;
                 kept += 1;
             }
@@ -935,6 +1035,9 @@ impl<'a, R: Router> Engine<'a, R> {
             if self.try_reserve_span(widx, t) {
                 self.complete_advance(widx, t);
             } else {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_stall(widx as usize, t, StallCause::LinkBusy);
+                }
                 self.worms[widx as usize].state = WormState::Stalled;
                 self.stall_list.push(widx);
             }
@@ -1008,6 +1111,24 @@ impl<'a, R: Router> Engine<'a, R> {
             * f64::from(self.traffic.worm_flits)
             / (self.cfg.measure_cycles as f64 * n_pe);
 
+        let obs = self.obs.take().map(|o| {
+            // Worms still in flight keep their granted lanes; count their
+            // hops so the grant-vs-hop conservation law closes exactly.
+            let mut inflight_hops = 0u64;
+            for (wi, w) in self.worms.iter().enumerate() {
+                if w.state != WormState::Free {
+                    inflight_hops += self.paths[wi].len() as u64;
+                }
+            }
+            let snap = o.finish(self.now, inflight_hops);
+            debug_assert!(
+                snap.check_conservation().is_ok(),
+                "obs conservation: {:?}",
+                snap.check_conservation()
+            );
+            snap
+        });
+
         let mut sample = self.latency_sample;
         SimResult {
             topology: self.router.label(),
@@ -1038,6 +1159,7 @@ impl<'a, R: Router> Engine<'a, R> {
             max_active_worms: self.max_active_worms,
             class_stats: self.audit.finish(self.cfg.measure_cycles),
             seed: self.cfg.seed,
+            obs,
         }
     }
 

@@ -48,6 +48,13 @@
 //! * [`runner`] — warmup/measure/drain orchestration, saturation detection,
 //!   and thread-parallel load sweeps with deterministic per-point seeds.
 //!
+//! The engine also hosts the optional `wormsim-obs` observer
+//! ([`runner::run_simulation_observed`]): worm-lifecycle events,
+//! per-channel busy/stalled/idle accounting and stall causes, captured
+//! RNG-neutrally — an observed run's `SimResult` is bit-for-bit the bare
+//! run's, on every engine core, and the snapshot is identical across
+//! cores. Disabled (the default) the hooks are single not-taken branches.
+//!
 //! # Example
 //!
 //! ```
@@ -80,6 +87,6 @@ pub mod traffic;
 
 pub use config::{EngineKind, SimConfig, TrafficConfig};
 pub use runner::{
-    run_simulation, run_simulation_with_engine, run_simulation_with_lanes,
+    run_simulation, run_simulation_observed, run_simulation_with_engine, run_simulation_with_lanes,
     run_simulation_with_lanes_and_engine, SimResult,
 };

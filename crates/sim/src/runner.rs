@@ -5,6 +5,7 @@ use crate::engine::Engine;
 use crate::router::Router;
 use crate::stats::ClassStats;
 use wormsim_lanes::{LaneConfig, LaneStats};
+use wormsim_obs::{ObsConfig, SimSnapshot};
 
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -71,6 +72,11 @@ pub struct SimResult {
     pub class_stats: Vec<ClassStats>,
     /// Seed the run used (for reproduction).
     pub seed: u64,
+    /// Observability snapshot, present when an observer was attached
+    /// ([`run_simulation_observed`]). Observation is RNG-neutral: every
+    /// other field is bit-identical with or without it, and the snapshot
+    /// itself is identical across all [`EngineKind`]s.
+    pub obs: Option<SimSnapshot>,
 }
 
 impl SimResult {
@@ -156,6 +162,29 @@ pub fn run_simulation_with_lanes_and_engine<R: Router>(
 ) -> SimResult {
     let mut engine = Engine::with_lanes(router, cfg, traffic, lanes);
     engine.set_engine_kind(kind);
+    engine.run()
+}
+
+/// Runs one simulation with the observability layer attached:
+/// worm-lifecycle events, per-channel busy/stalled/idle accounting,
+/// per-lane grant tracking and a delivered-latency histogram, returned
+/// in [`SimResult::obs`]. With `obs.enabled == false` this is exactly
+/// [`run_simulation_with_lanes_and_engine`] (the observer slot stays
+/// `None` and every hook is a single not-taken branch — the bench
+/// baseline's `bft64_load0.1_l1` overhead point holds that path to a
+/// ≤1% budget).
+#[must_use]
+pub fn run_simulation_observed<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    lanes: &LaneConfig,
+    kind: EngineKind,
+    obs: &ObsConfig,
+) -> SimResult {
+    let mut engine = Engine::with_lanes(router, cfg, traffic, lanes);
+    engine.set_engine_kind(kind);
+    engine.set_observer(obs);
     engine.run()
 }
 

@@ -18,9 +18,11 @@
 //! diagnostic that *must* differ — it counts cycles a core chose not to
 //! walk) and `engine` (the core's own label).
 
-use wormsim_sim::config::{EngineKind, LaneConfig, SimConfig, TrafficConfig};
+use wormsim_sim::config::{EngineKind, LaneConfig, ObsConfig, SimConfig, TrafficConfig};
 use wormsim_sim::router::Router;
-use wormsim_sim::runner::{run_simulation_with_lanes_and_engine, SimResult};
+use wormsim_sim::runner::{
+    run_simulation_observed, run_simulation_with_lanes_and_engine, SimResult,
+};
 
 /// Field-by-field bit comparison of two simulation results.
 ///
@@ -96,6 +98,17 @@ pub fn assert_sim_results_identical(a: &SimResult, b: &SimResult, label: &str) {
         f(ca.mean_wait, cb.mean_wait, "class mean_wait");
         f(ca.utilization, cb.utilization, "class utilization");
     }
+    // Observability snapshots must agree too: both absent, or equal —
+    // the obs layer guarantees the captured snapshot is itself identical
+    // across engine kinds (events only occur in walked cycles).
+    assert_eq!(
+        a.obs.is_some(),
+        b.obs.is_some(),
+        "{label}: obs presence mismatch"
+    );
+    if let (Some(oa), Some(ob)) = (&a.obs, &b.obs) {
+        assert_eq!(oa, ob, "{label}: obs snapshots differ");
+    }
 }
 
 /// Runs the same seeded configuration on the reference oracle and on each
@@ -126,4 +139,68 @@ pub fn assert_engine_equivalence<R: Router>(
         );
     }
     oracle
+}
+
+/// Proves instrumentation transparency for one seeded configuration:
+/// for the reference oracle and each of `kinds`,
+///
+/// 1. an observed run's `SimResult` (snapshot stripped) is bit-for-bit
+///    identical to the bare run's — attaching the observer perturbs
+///    nothing (RNG-neutral, no control-flow changes); and
+/// 2. the captured [`wormsim_obs::SimSnapshot`]s are identical across
+///    all engine kinds, and satisfy the conservation laws.
+///
+/// Returns the reference engine's observed result (snapshot attached)
+/// so callers can inspect the metrics.
+///
+/// # Panics
+///
+/// Panics with `label`, the engine kind and the offending field on the
+/// first divergence, and on any conservation violation.
+pub fn assert_observation_transparent<R: Router>(
+    router: &R,
+    cfg: &SimConfig,
+    traffic: &TrafficConfig,
+    lanes: &LaneConfig,
+    kinds: &[EngineKind],
+    obs: &ObsConfig,
+    label: &str,
+) -> SimResult {
+    let oracle_observed =
+        run_simulation_observed(router, cfg, traffic, lanes, EngineKind::Reference, obs);
+    let oracle_snap = oracle_observed
+        .obs
+        .as_ref()
+        .expect("observer was enabled for the oracle");
+    oracle_snap
+        .check_conservation()
+        .unwrap_or_else(|e| panic!("{label}: oracle conservation: {e}"));
+    for &kind in std::iter::once(&EngineKind::Reference).chain(kinds) {
+        let bare = run_simulation_with_lanes_and_engine(router, cfg, traffic, lanes, kind);
+        let observed = run_simulation_observed(router, cfg, traffic, lanes, kind, obs);
+        let snap = observed
+            .obs
+            .as_ref()
+            .expect("observer was enabled for this run");
+        assert_eq!(
+            snap,
+            oracle_snap,
+            "{label} [{}]: snapshot differs from the reference engine's",
+            kind.label()
+        );
+        let mut stripped = observed.clone();
+        stripped.obs = None;
+        assert_sim_results_identical(
+            &stripped,
+            &bare,
+            &format!("{label} [{} observed vs bare]", kind.label()),
+        );
+        assert_eq!(
+            stripped.cycles_skipped,
+            bare.cycles_skipped,
+            "{label} [{}]: observation changed the skip schedule",
+            kind.label()
+        );
+    }
+    oracle_observed
 }

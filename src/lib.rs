@@ -26,6 +26,11 @@
 //! * [`lanes`] — virtual-channel (multi-lane) channels: validated lane
 //!   configs, deterministic allocation policies, and occupancy statistics,
 //!   shared by the simulator and the multi-lane model extension.
+//! * [`obs`] — zero-cost observability: worm-lifecycle event tracing,
+//!   per-channel/per-lane usage accounting, solver convergence telemetry,
+//!   and JSONL / Chrome `trace_event` exporters. Disabled (the default)
+//!   it costs one not-taken branch per hook; enabled it is RNG-neutral —
+//!   the observed run's results are bit-for-bit the bare run's.
 //! * [`experiments`] — the harness regenerating every figure and table.
 //!
 //! ## Quickstart
@@ -107,6 +112,7 @@
 pub use wormsim_core as model;
 pub use wormsim_experiments as experiments;
 pub use wormsim_lanes as lanes;
+pub use wormsim_obs as obs;
 pub use wormsim_queueing as queueing;
 pub use wormsim_sim as sim;
 pub use wormsim_topology as topology;
@@ -122,10 +128,14 @@ pub mod prelude {
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
     pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
+    pub use wormsim_obs::{
+        ModelTelemetry, ObsConfig, SimSnapshot, SolverTrace, StallCause, StationBreakdown,
+        WormEvent,
+    };
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
     pub use wormsim_sim::config::{EngineKind, SimConfig, TrafficConfig, TrafficPattern};
     pub use wormsim_sim::runner::{
-        find_saturation, replicate, replicate_with_engine, run_simulation,
+        find_saturation, replicate, replicate_with_engine, run_simulation, run_simulation_observed,
         run_simulation_with_engine, run_simulation_with_fast_forward, run_simulation_with_lanes,
         run_simulation_with_lanes_and_engine, sweep_flit_loads, sweep_traffic,
         sweep_traffic_with_engine, sweep_traffic_with_lanes, SimResult,

@@ -39,6 +39,7 @@ fn fingerprint(r: &SimResult) -> String {
         class_stats,
         seed,
         engine,
+        obs,
     } = r;
     let mut s = String::new();
     use std::fmt::Write as _;
@@ -98,6 +99,32 @@ fn fingerprint(r: &SimResult) -> String {
     // bit pattern too rather than leaving it out.
     let _ = write!(s, ";{:x}", latency_ci95.to_bits());
     let _ = write!(s, ";engine={}", engine.label());
+    // Observability snapshot: absent for bare runs; when present, digest
+    // the counters, per-channel totals and event stream so observed runs
+    // replay bit-for-bit too.
+    match obs {
+        None => {
+            let _ = write!(s, ";obs=none");
+        }
+        Some(o) => {
+            let _ = write!(
+                s,
+                ";obs={}:{}:{}:{}:{}:{}:{}:{}:{}",
+                o.injected,
+                o.delivered,
+                o.route_decisions,
+                o.lane_grants,
+                o.worm_hops,
+                o.stalls_link_busy,
+                o.stalls_no_free_lane,
+                o.stalls_fcfs_queued,
+                o.events.len(),
+            );
+            let busy: u64 = o.channels.iter().map(|c| c.busy_cycles).sum();
+            let stalled: u64 = o.channels.iter().map(|c| c.stalled_cycles).sum();
+            let _ = write!(s, ":{busy}:{stalled}");
+        }
+    }
     s
 }
 

@@ -1,0 +1,193 @@
+//! Observability-layer integration tests: instrumentation transparency
+//! (observed runs are bit-for-bit the bare runs, snapshots identical
+//! across all three engine cores), the per-channel conservation laws,
+//! exporter well-formedness, and the disabled-path overhead budget.
+
+use proptest::prelude::*;
+use wormsim::obs::export::{events_to_chrome_trace, events_to_jsonl, json_is_well_formed};
+use wormsim::prelude::*;
+use wormsim_testutil::differential::assert_observation_transparent;
+use wormsim_testutil::mix_seed;
+
+const ALL_ENGINES: [EngineKind; 2] = [EngineKind::FastForward, EngineKind::Event];
+
+fn small_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 2_500,
+        drain_cap_cycles: 12_000,
+        seed,
+        batches: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant, fuzzed: for arbitrary operating points the
+    /// observer (a) changes nothing — the observed `SimResult` equals the
+    /// bare one and the skip schedule is untouched on every engine core —
+    /// (b) captures the same snapshot on all cores, and (c) the snapshot
+    /// satisfies Σ(busy + stalled + idle) = cycles_run per channel and
+    /// Σ lane grants = Σ worm hops.
+    #[test]
+    fn observation_is_transparent_and_conserves(
+        n_idx in 0usize..2,
+        seed in 0u64..500,
+        load_pct in 1u32..110,
+        lanes_idx in 0usize..3,
+        events in any::<bool>(),
+    ) {
+        let n = [16usize, 64][n_idx];
+        let lanes = [1u32, 2, 4][lanes_idx];
+        let tree = ButterflyFatTree::new(BftParams::paper(n).unwrap());
+        let router = wormsim::sim::router::BftRouter::new(&tree);
+        let cfg = small_cfg(mix_seed(0xB0B0, seed));
+        let traffic = TrafficConfig::from_flit_load(0.0015 * f64::from(load_pct), 16).unwrap();
+        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).unwrap();
+        let obs = if events { ObsConfig::full() } else { ObsConfig::counters_only() };
+        let observed = assert_observation_transparent(
+            &router,
+            &cfg,
+            &traffic,
+            &lc,
+            &ALL_ENGINES,
+            &obs,
+            &format!("obs-proptest n={n} lanes={lanes} seed={seed}"),
+        );
+        let snap = observed.obs.as_ref().unwrap();
+        prop_assert_eq!(snap.cycles, observed.cycles_run);
+        prop_assert!(snap.events_dropped == 0);
+        prop_assert_eq!(!snap.events.is_empty(), events && snap.injected > 0);
+    }
+}
+
+#[test]
+fn exported_artifacts_are_well_formed_json() {
+    let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+    let router = wormsim::sim::router::BftRouter::new(&tree);
+    let cfg = small_cfg(42);
+    let traffic = TrafficConfig::from_flit_load(0.08, 16).unwrap();
+    let lc = LaneConfig::new(2, LaneAllocatorKind::FirstFree).unwrap();
+    let r = run_simulation_observed(
+        &router,
+        &cfg,
+        &traffic,
+        &lc,
+        EngineKind::FastForward,
+        &ObsConfig::full(),
+    );
+    let snap = r.obs.as_ref().unwrap();
+    assert!(snap.injected > 0 && !snap.events.is_empty());
+    snap.check_conservation().unwrap();
+
+    let jsonl = events_to_jsonl(&snap.events);
+    assert_eq!(jsonl.lines().count(), snap.events.len());
+    for line in jsonl.lines() {
+        assert!(json_is_well_formed(line), "malformed JSONL line: {line}");
+    }
+    // Every lifecycle kind appears at this load.
+    for kind in ["inject", "route", "lane_grant", "drain", "deliver"] {
+        assert!(
+            jsonl.contains(&format!("\"ev\":\"{kind}\"")),
+            "no {kind} events in the stream"
+        );
+    }
+
+    let chrome = events_to_chrome_trace(&snap.events, "obs test");
+    assert!(json_is_well_formed(&chrome), "chrome trace is invalid JSON");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\":\"B\"") && chrome.contains("\"ph\":\"E\""));
+}
+
+#[test]
+fn snapshot_registry_round_trips_totals() {
+    let tree = ButterflyFatTree::new(BftParams::paper(16).unwrap());
+    let router = wormsim::sim::router::BftRouter::new(&tree);
+    let cfg = small_cfg(7);
+    let traffic = TrafficConfig::from_flit_load(0.05, 16).unwrap();
+    let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).unwrap();
+    let r = run_simulation_observed(
+        &router,
+        &cfg,
+        &traffic,
+        &lc,
+        EngineKind::FastForward,
+        &ObsConfig::counters_only(),
+    );
+    let snap = r.obs.as_ref().unwrap();
+    let reg = snap.registry();
+    assert_eq!(reg.counter_by_name("worms_injected"), Some(snap.injected));
+    assert_eq!(reg.counter_by_name("lane_grants"), Some(snap.lane_grants));
+    assert_eq!(reg.counter_by_name("worm_hops"), Some(snap.worm_hops));
+}
+
+/// The ≤1% disabled-path budget, enforced in release mode (run via
+/// `cargo test --release --test observability -- --ignored`; CI's
+/// dedicated step does exactly that). Min-of-interleaved-samples is used
+/// rather than the median: the minimum is the best noise-rejecting
+/// estimator of the true cost on a shared machine.
+#[test]
+#[ignore = "timing-sensitive: run explicitly in release mode"]
+fn disabled_observer_overhead_within_budget() {
+    use std::time::Instant;
+    let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+    let router = wormsim::sim::router::BftRouter::new(&tree);
+    let cfg = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 4_000,
+        drain_cap_cycles: 20_000,
+        seed: 0xC0FFEE,
+        batches: 4,
+    };
+    let traffic = TrafficConfig::from_flit_load(0.1, 16).unwrap();
+    let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).unwrap();
+    let disabled = ObsConfig::disabled();
+
+    let mut plain_min = u64::MAX;
+    let mut off_min = u64::MAX;
+    for i in 0..21 {
+        let time_plain = |min: &mut u64| {
+            let t0 = Instant::now();
+            std::hint::black_box(
+                run_simulation_with_lanes_and_engine(
+                    &router,
+                    &cfg,
+                    &traffic,
+                    &lc,
+                    EngineKind::FastForward,
+                )
+                .cycles_run,
+            );
+            *min = (*min).min(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        };
+        let time_off = |min: &mut u64| {
+            let t0 = Instant::now();
+            std::hint::black_box(
+                run_simulation_observed(
+                    &router,
+                    &cfg,
+                    &traffic,
+                    &lc,
+                    EngineKind::FastForward,
+                    &disabled,
+                )
+                .cycles_run,
+            );
+            *min = (*min).min(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        };
+        if i % 2 == 0 {
+            time_plain(&mut plain_min);
+            time_off(&mut off_min);
+        } else {
+            time_off(&mut off_min);
+            time_plain(&mut plain_min);
+        }
+    }
+    let ratio = off_min as f64 / plain_min.max(1) as f64;
+    assert!(
+        ratio <= 1.01,
+        "disabled-observer path exceeds the 1% budget: plain {plain_min} ns, \
+         disabled {off_min} ns, ratio {ratio:.4}"
+    );
+}
