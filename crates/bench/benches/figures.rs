@@ -63,7 +63,7 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     // Framework demo: hypercube model + simulation.
-    let cube = Hypercube::new(6);
+    let cube = Hypercube::new(6).unwrap();
     let cube_router = HypercubeRouter::new(&cube);
     group.bench_function("framework_demo_hypercube", |b| {
         b.iter(|| {

@@ -52,7 +52,7 @@ fn bench_flow_vectors(c: &mut Criterion) {
             b.iter(|| FlowVector::build(t, &DestinationPattern::hot_spot()).unwrap())
         });
     }
-    let mesh = Mesh::new(8, 2);
+    let mesh = Mesh::new(8, 2).unwrap();
     group.bench_function("mesh8x8_tornado", |b| {
         b.iter(|| FlowVector::build(&mesh, &DestinationPattern::Tornado).unwrap())
     });

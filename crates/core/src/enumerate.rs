@@ -246,7 +246,7 @@ mod tests {
         // per-dimension class model are the same mathematical object; their
         // latencies must agree to floating-point accuracy.
         let dim = 4u32;
-        let cube = Hypercube::new(dim);
+        let cube = Hypercube::new(dim).unwrap();
         for lambda0 in [0.0, 0.002, 0.008] {
             let enumerated = enumerate_deterministic(
                 cube.network(),
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn hypercube_enumeration_recovers_exact_rates() {
         let dim = 5u32;
-        let cube = Hypercube::new(dim);
+        let cube = Hypercube::new(dim).unwrap();
         let lambda0 = 0.004;
         let m = enumerate_deterministic(
             cube.network(),
@@ -301,7 +301,7 @@ mod tests {
     fn mesh_enumeration_exposes_positional_asymmetry() {
         // In a mesh, central channels carry more traffic than edge ones,
         // and central sources see more contention than corner sources.
-        let mesh = Mesh::new(4, 2);
+        let mesh = Mesh::new(4, 2).unwrap();
         let m = enumerate_deterministic(
             mesh.network(),
             |node, dest| mesh.route(node, dest),
@@ -332,7 +332,7 @@ mod tests {
 
     #[test]
     fn mesh_enumeration_distance_matches_closed_form() {
-        let mesh = Mesh::new(5, 2);
+        let mesh = Mesh::new(5, 2).unwrap();
         let m = enumerate_deterministic(
             mesh.network(),
             |node, dest| mesh.route(node, dest),
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn zero_load_enumerated_latency_is_exact() {
-        let mesh = Mesh::new(3, 2);
+        let mesh = Mesh::new(3, 2).unwrap();
         let m = enumerate_deterministic(
             mesh.network(),
             |node, dest| mesh.route(node, dest),
@@ -364,7 +364,7 @@ mod tests {
 
     #[test]
     fn loop_protection_rejects_broken_routers() {
-        let mesh = Mesh::new(3, 2);
+        let mesh = Mesh::new(3, 2).unwrap();
         // A "router" that never ejects and ping-pongs forever.
         let err = enumerate_deterministic(
             mesh.network(),
@@ -386,7 +386,7 @@ mod tests {
 
     #[test]
     fn wrong_ejection_switch_is_detected() {
-        let mesh = Mesh::new(3, 2);
+        let mesh = Mesh::new(3, 2).unwrap();
         // Eject immediately everywhere: wrong switch for almost all pairs.
         let err =
             enumerate_deterministic(mesh.network(), |_node, _dest| None, 16.0, 0.001).unwrap_err();

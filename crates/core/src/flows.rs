@@ -45,6 +45,30 @@ pub fn model_from_flows(
     worm_flits: f64,
     lambda0: f64,
 ) -> Result<EnumeratedModel> {
+    model_from_flows_with_servers(net, flows, worm_flits, lambda0, None)
+}
+
+/// [`model_from_flows`] over a *degraded* fabric: `alive_servers[st]`
+/// gives the number of surviving member channels of each station (what
+/// `wormsim_faults::FaultPlan::alive_servers` computes), and the station
+/// classes become M/G/`alive` instead of M/G/`m` — a fat-tree up-link
+/// pair with one dead member is priced as a single-server station
+/// carrying the full surviving flow. `None` (or the pristine counts)
+/// reproduces [`model_from_flows`] bit-for-bit.
+///
+/// # Errors
+///
+/// As [`model_from_flows`]; additionally [`ModelError::Spec`] when the
+/// server vector has the wrong length or a station carries flow with no
+/// surviving servers (a disconnected fabric — the flow builder reports
+/// those as typed workload errors first).
+pub fn model_from_flows_with_servers(
+    net: &ChannelNetwork,
+    flows: &FlowVector,
+    worm_flits: f64,
+    lambda0: f64,
+    alive_servers: Option<&[u32]>,
+) -> Result<EnumeratedModel> {
     if !(lambda0.is_finite() && lambda0 >= 0.0) {
         return Err(ModelError::Spec(format!("invalid message rate {lambda0}")));
     }
@@ -60,6 +84,14 @@ pub fn model_from_flows(
     }
 
     let n_st = net.num_stations();
+    if let Some(servers) = alive_servers {
+        if servers.len() != n_st {
+            return Err(ModelError::Spec(format!(
+                "alive-server vector has {} entries for {n_st} stations",
+                servers.len()
+            )));
+        }
+    }
     // Aggregate channel-level flows and continuations by station. For each
     // target station, track both the total continuation weight and the
     // *sending flow* — the flow of the member channels that can actually
@@ -100,7 +132,20 @@ pub fn model_from_flows(
 
     let mut classes = Vec::with_capacity(n_st);
     for (st_idx, station) in net.stations().iter().enumerate() {
-        let servers = station.servers();
+        let servers = match alive_servers {
+            None => station.servers(),
+            Some(alive) => {
+                if alive[st_idx] == 0 && station_flow[st_idx] > 0.0 {
+                    return Err(ModelError::Spec(format!(
+                        "station {st_idx} carries flow {} but has no surviving servers",
+                        station_flow[st_idx]
+                    )));
+                }
+                // Flow-free dead stations keep one phantom server so the
+                // M/G/m algebra stays defined; their λ is zero.
+                alive[st_idx].max(1)
+            }
+        };
         let lambda = station_flow[st_idx] * lambda0 / f64::from(servers);
         let out_total: f64 = station_out[st_idx].iter().map(|&(_, w, _)| w).sum();
         let body = if out_total > 0.0 {
@@ -169,7 +214,22 @@ impl FlowModelSweep {
     ///
     /// As [`model_from_flows`].
     pub fn new(net: &ChannelNetwork, flows: &FlowVector, worm_flits: f64) -> Result<Self> {
-        let model = model_from_flows(net, flows, worm_flits, 1.0)?;
+        Self::new_with_servers(net, flows, worm_flits, None)
+    }
+
+    /// As [`Self::new`] over a degraded fabric: `alive_servers` as in
+    /// [`model_from_flows_with_servers`].
+    ///
+    /// # Errors
+    ///
+    /// As [`model_from_flows_with_servers`].
+    pub fn new_with_servers(
+        net: &ChannelNetwork,
+        flows: &FlowVector,
+        worm_flits: f64,
+        alive_servers: Option<&[u32]>,
+    ) -> Result<Self> {
+        let model = model_from_flows_with_servers(net, flows, worm_flits, 1.0, alive_servers)?;
         let unit_lambdas = model.spec.classes.iter().map(|c| c.lambda).collect();
         Ok(Self {
             model,
@@ -290,7 +350,7 @@ mod tests {
     fn uniform_flows_match_path_enumeration_on_deterministic_routers() {
         // For single-path routers the per-station model and the
         // per-channel enumerated model are the same mathematical object.
-        let cube = Hypercube::new(4);
+        let cube = Hypercube::new(4).unwrap();
         let flows = FlowVector::build(&cube, &DestinationPattern::Uniform).unwrap();
         for lambda0 in [0.0, 0.002, 0.006] {
             let a = model_from_flows(cube.network(), &flows, 16.0, lambda0)
@@ -344,7 +404,7 @@ mod tests {
 
     #[test]
     fn zero_load_latency_is_exact_for_any_pattern() {
-        let mesh = Mesh::new(4, 2);
+        let mesh = Mesh::new(4, 2).unwrap();
         for pattern in [
             DestinationPattern::Uniform,
             DestinationPattern::Tornado,
@@ -403,6 +463,71 @@ mod tests {
         }
         assert!(sweep.latency_at(f64::NAN, &ModelOptions::paper()).is_err());
         assert_eq!(sweep.warm_start().solves(), 5);
+    }
+
+    #[test]
+    fn alive_servers_pristine_counts_reproduce_the_undegraded_model() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let flows = FlowVector::build(&tree, &DestinationPattern::Uniform).unwrap();
+        let net = tree.network();
+        let full: Vec<u32> = net
+            .stations()
+            .iter()
+            .map(wormsim_topology::graph::Station::servers)
+            .collect();
+        for lambda0 in [0.0, 0.001, 0.002] {
+            let base = model_from_flows(net, &flows, 16.0, lambda0)
+                .unwrap()
+                .latency(&ModelOptions::paper())
+                .unwrap();
+            let degraded = model_from_flows_with_servers(net, &flows, 16.0, lambda0, Some(&full))
+                .unwrap()
+                .latency(&ModelOptions::paper())
+                .unwrap();
+            assert_eq!(base.total.to_bits(), degraded.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn losing_a_server_raises_latency_and_losing_all_is_an_error() {
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let flows = FlowVector::build(&tree, &DestinationPattern::Uniform).unwrap();
+        let net = tree.network();
+        let mut alive: Vec<u32> = net
+            .stations()
+            .iter()
+            .map(wormsim_topology::graph::Station::servers)
+            .collect();
+        // Degrade one multi-server up bundle by a single member.
+        let bundle = net
+            .stations()
+            .iter()
+            .position(|st| st.servers() > 1)
+            .expect("BFT-64 has multi-server up bundles");
+        alive[bundle] -= 1;
+        let lambda0 = 0.002;
+        let base = model_from_flows(net, &flows, 16.0, lambda0)
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap();
+        let degraded = model_from_flows_with_servers(net, &flows, 16.0, lambda0, Some(&alive))
+            .unwrap()
+            .latency(&ModelOptions::paper())
+            .unwrap();
+        assert!(
+            degraded.total > base.total,
+            "degraded {} should exceed pristine {}",
+            degraded.total,
+            base.total
+        );
+        // A station that still carries flow but has no surviving servers is
+        // a spec error, not a silent divide-by-zero.
+        alive[bundle] = 0;
+        let dead = model_from_flows_with_servers(net, &flows, 16.0, lambda0, Some(&alive));
+        assert!(dead.is_err());
+        // And a wrong-length vector is rejected up front.
+        let short = vec![1u32; 3];
+        assert!(model_from_flows_with_servers(net, &flows, 16.0, lambda0, Some(&short)).is_err());
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   the fast-forwarding core and the calendar-queue event core side by
 //!   side — including a loaded regime group (`bft64_load0.1_*`), a
 //!   saturating N=1024 point where fast-forwarding finds no idle spans
-//!   and the event core's caches carry the speedup, and the
-//!   observability-overhead A/B point (`obs_overhead`, budget ≤1%).
+//!   and the event core's caches carry the speedup, a faulted group
+//!   (`bft64_load0.1_f*`) pricing the fault-aware router with an empty
+//!   plan and under a 5% link knockout, and the observability-overhead
+//!   A/B point (`obs_overhead`, budget ≤1%).
 //! * `BENCH_model.json` — analytical-model costs: closed-form and
 //!   framework solve times, plus the **deterministic** fixed-point
 //!   iteration counts of a 20-point cyclic framework sweep, cold-started
@@ -26,19 +28,26 @@
 //!
 //! `--quick` shrinks repetitions and drops the largest machine so CI can
 //! smoke the harness on every push.
+//!
+//! The JSON files are only written when an `--out` directory is given
+//! (regenerate the committed baselines with `repro bench-baseline --out .`
+//! from the repo root, release profile, no `--quick`); without it the
+//! run is report-only, so tests and ad-hoc invocations can never clobber
+//! the committed baselines — `tests/bench_hygiene.rs` enforces their
+//! full-mode pedigree.
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::table::{num, Table};
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::Instant;
 use wormsim_core::bft::BftModel;
 use wormsim_core::flows::FlowModelSweep;
 use wormsim_core::framework::{bft_spec, ring_spec, WarmStart};
 use wormsim_core::options::ModelOptions;
+use wormsim_faults::{link_faults, FaultPlan};
 use wormsim_sim::config::ObsConfig;
 use wormsim_sim::config::{EngineKind, LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
-use wormsim_sim::router::BftRouter;
+use wormsim_sim::router::{BftRouter, FaultedBftRouter};
 use wormsim_sim::runner::{
     run_simulation_observed, run_simulation_with_engine, run_simulation_with_lanes_and_engine,
 };
@@ -212,6 +221,57 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                     n,
                     flit_load,
                     lanes,
+                    engine,
+                    median_ns: median,
+                    cycles_run: r.cycles_run,
+                    cycles_skipped: r.cycles_skipped,
+                });
+            }
+        }
+    }
+
+    // ---- Faulted group: the same loaded regime behind the fault-aware
+    // router. The f0 point (empty plan) prices the fault-aware dispatch
+    // itself — it must stay within noise of the pristine bft64_load0.1_l1
+    // point, since an empty plan keeps every original code path. The f5
+    // points (5% link knockout, still fully connected) time actual
+    // degraded routing: restricted up-bundle masks and dead-lane
+    // pre-occupancy. ----
+    let mut fault_points: Vec<SimPoint> = Vec::new();
+    {
+        let n = 64usize;
+        let flit_load = 0.1;
+        let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+        let cfg = bench_cfg(ctx.seed);
+        let traffic = TrafficConfig::from_flit_load(flit_load, 16).expect("valid load");
+        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let plans = [
+            ("f0", FaultPlan::none(tree.network())),
+            (
+                "f5",
+                link_faults(tree.network(), 0.05, 7).expect("valid fraction"),
+            ),
+        ];
+        for (tag, plan) in plans {
+            let router = FaultedBftRouter::new(&tree, plan).expect("plan fits the tree");
+            let engines: &[(EngineKind, &str)] = if tag == "f0" {
+                &[(EngineKind::FastForward, "_ff")]
+            } else {
+                &[(EngineKind::FastForward, "_ff"), (EngineKind::Event, "_ev")]
+            };
+            for &(engine, suffix) in engines {
+                let mut last = None;
+                let median = median_ns(reps, || {
+                    last = Some(run_simulation_with_lanes_and_engine(
+                        &router, &cfg, &traffic, &lc, engine,
+                    ));
+                });
+                let r = last.expect("at least one repetition ran");
+                fault_points.push(SimPoint {
+                    name: format!("bft{n}_load{flit_load}_{tag}{suffix}"),
+                    n,
+                    flit_load,
+                    lanes: 1,
                     engine,
                     median_ns: median,
                     cycles_run: r.cycles_run,
@@ -425,6 +485,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     }
     out.section("Lanes group (N=64, load 0.1, first-free allocator; loaded regime):");
     out.section(lane_tbl.render());
+    let mut fault_tbl = Table::new(vec!["point", "median us", "cycles/s"]);
+    for p in &fault_points {
+        fault_tbl.row(vec![
+            p.name.clone(),
+            num(p.median_ns as f64 / 1e3, 1),
+            format!("{:.2e}", p.cycles_per_sec()),
+        ]);
+    }
+    out.section(
+        "Faulted group (N=64, load 0.1, fault-aware router; f0 = empty plan, \
+         f5 = 5% link knockout):",
+    );
+    out.section(fault_tbl.render());
     out.section(format!(
         "Observability overhead (bft64_load0.1_l1, interleaved medians): plain {:.1} us, \
          observer-disabled {:.1} us → ratio {:.4} (budget ≤ 1.01); counters-only enabled \
@@ -452,9 +525,8 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ));
 
     // ---- Write the JSON baselines. ----
-    let dir = ctx.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     let mut sim_json = String::from("{\n");
-    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v4\",");
+    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v5\",");
     let _ = writeln!(sim_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(sim_json, "  \"repetitions\": {reps},");
     let _ = writeln!(
@@ -465,7 +537,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         json_num(obs_ratio),
     );
     let _ = writeln!(sim_json, "  \"points\": [");
-    let all_points: Vec<&SimPoint> = sim_points.iter().chain(&lane_points).collect();
+    let all_points: Vec<&SimPoint> = sim_points
+        .iter()
+        .chain(&lane_points)
+        .chain(&fault_points)
+        .collect();
     for (idx, p) in all_points.iter().enumerate() {
         let comma = if idx + 1 == all_points.len() { "" } else { "," };
         let _ = writeln!(
@@ -526,17 +602,28 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     );
     model_json.push_str("}\n");
 
-    for (name, body) in [
-        ("BENCH_sim.json", sim_json),
-        ("BENCH_model.json", model_json),
-    ] {
-        let path = dir.join(name);
-        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
-            Ok(()) => out.artifacts.push(path),
-            Err(e) => out
-                .report
-                .push_str(&format!("\n[warn] failed to write {name}: {e}\n")),
+    // Only write when an output directory is configured — an implicit
+    // cwd default would let any `cargo test` / `repro bench-baseline`
+    // invocation from the repo root silently overwrite the *committed*
+    // baselines with a quick-mode run (which is exactly how stale
+    // `"quick": true` files slipped into past commits; the root
+    // `bench_hygiene` test now guards the committed files).
+    if let Some(dir) = &ctx.out_dir {
+        for (name, body) in [
+            ("BENCH_sim.json", sim_json),
+            ("BENCH_model.json", model_json),
+        ] {
+            let path = dir.join(name);
+            match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+                Ok(()) => out.artifacts.push(path),
+                Err(e) => out
+                    .report
+                    .push_str(&format!("\n[warn] failed to write {name}: {e}\n")),
+            }
         }
+    } else {
+        out.report
+            .push_str("\n[note] no --out directory: baselines computed but not written.\n");
     }
     out
 }
@@ -557,7 +644,7 @@ mod tests {
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
         let model = std::fs::read_to_string(dir.join("BENCH_model.json")).unwrap();
-        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v4\""));
+        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v5\""));
         assert!(sim.contains("\"obs_overhead\""), "overhead point present");
         assert!(sim.contains("\"budget\": 1.01"));
         assert!(sim.contains("bft16_load0.001_ff"));
@@ -570,6 +657,14 @@ mod tests {
         assert!(
             sim.contains("bft64_load0.1_l2_ev"),
             "loaded-regime event points present"
+        );
+        assert!(
+            sim.contains("bft64_load0.1_f0_ff"),
+            "empty-plan fault-overhead point present"
+        );
+        assert!(
+            sim.contains("bft64_load0.1_f5_ev"),
+            "degraded-routing fault points present"
         );
         assert!(model.contains("\"ring_sweep\""));
         assert!(model.contains("\"lanes\""), "lanes model group present");

@@ -24,7 +24,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("enumerated-mesh");
     let k = if ctx.quick { 4 } else { 8 };
     let s = 16u32;
-    let mesh = Mesh::new(k, 2);
+    let mesh = Mesh::new(k, 2).unwrap();
     let router = MeshRouter::new(&mesh);
     let cfg = ctx.sim_config();
 

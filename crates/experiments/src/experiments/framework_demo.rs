@@ -24,7 +24,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("framework-demo");
     let dim = if ctx.quick { 6 } else { 8 };
     let s = 16u32;
-    let cube = Hypercube::new(dim);
+    let cube = Hypercube::new(dim).unwrap();
     let router = HypercubeRouter::new(&cube);
     let cfg = ctx.sim_config();
 

@@ -8,6 +8,7 @@ pub mod bursty;
 pub mod channel_audit;
 pub mod enumerated_mesh;
 pub mod extension_mgm;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod framework_demo;
@@ -200,6 +201,11 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "trace",
         trace::run,
         "Obs O1: worm-lifecycle trace (JSONL + Chrome trace_event), per-level usage, solver telemetry",
+    ),
+    (
+        "faults",
+        faults::run,
+        "Robustness R1: seeded link knockouts — degraded model vs sim, latency & saturation vs failure fraction",
     ),
 ];
 

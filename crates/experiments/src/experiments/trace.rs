@@ -130,6 +130,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         (StallCause::LinkBusy, snap.stalls_link_busy),
         (StallCause::NoFreeLane, snap.stalls_no_free_lane),
         (StallCause::FcfsQueued, snap.stalls_fcfs_queued),
+        (StallCause::DeadLink, snap.stalls_dead_link),
     ] {
         let _ = writeln!(stall, "  {:<13} {count}", cause.label(),);
     }

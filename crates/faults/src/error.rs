@@ -1,0 +1,101 @@
+//! Typed errors for fault-plan construction and fault-aware routing.
+
+use std::fmt;
+
+/// Errors from fault-plan validation and degraded-topology construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A knockout fraction was not a finite number in `[0, 1]`.
+    InvalidFraction {
+        /// Which fraction was rejected (`"link"` or `"switch"`).
+        which: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A channel id was outside the network.
+    UnknownChannel(usize),
+    /// A node id was outside the network.
+    UnknownNode(usize),
+    /// The targeted node is a processing element, not a switch.
+    NotASwitch(usize),
+    /// Injection/ejection channels tie a PE to the fabric and are not
+    /// valid knockout targets; kill the attached switch instead.
+    ProtectedChannel(usize),
+    /// The fault plan was built for a different network shape.
+    ShapeMismatch {
+        /// Channel count the plan was built for.
+        plan_channels: usize,
+        /// Channel count of the network it was applied to.
+        net_channels: usize,
+    },
+    /// Fault-aware adaptive routing tracks the up-bundle as a bitmask and
+    /// supports at most 8 parents per switch.
+    TooManyParents(usize),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidFraction { which, value } => {
+                write!(
+                    f,
+                    "{which} failure fraction {value} must be finite in [0, 1]"
+                )
+            }
+            FaultError::UnknownChannel(ch) => write!(f, "channel {ch} does not exist"),
+            FaultError::UnknownNode(n) => write!(f, "node {n} does not exist"),
+            FaultError::NotASwitch(n) => {
+                write!(f, "node {n} is a processing element, not a switch")
+            }
+            FaultError::ProtectedChannel(ch) => write!(
+                f,
+                "channel {ch} is a PE attachment (injection/ejection) and cannot be \
+                 knocked out directly; kill its switch instead"
+            ),
+            FaultError::ShapeMismatch {
+                plan_channels,
+                net_channels,
+            } => write!(
+                f,
+                "fault plan covers {plan_channels} channels but the network has {net_channels}"
+            ),
+            FaultError::TooManyParents(p) => {
+                write!(f, "fault-aware routing supports at most 8 parents, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_distinct() {
+        let msgs = [
+            FaultError::InvalidFraction {
+                which: "link",
+                value: 1.5,
+            }
+            .to_string(),
+            FaultError::UnknownChannel(3).to_string(),
+            FaultError::UnknownNode(4).to_string(),
+            FaultError::NotASwitch(5).to_string(),
+            FaultError::ProtectedChannel(6).to_string(),
+            FaultError::ShapeMismatch {
+                plan_channels: 1,
+                net_channels: 2,
+            }
+            .to_string(),
+            FaultError::TooManyParents(9).to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &msgs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property suite: seeded fault plans are deterministic, honor their
+//! knockout budget, and leave degraded flow vectors mass-conserving on
+//! still-connected fabrics.
+
+use proptest::prelude::*;
+use wormsim_faults::{FaultPlan, FaultSpec, FaultedBft};
+use wormsim_topology::bft::{BftParams, ButterflyFatTree};
+use wormsim_topology::ChannelClass;
+use wormsim_workload::{DestinationPattern, FlowVector};
+
+fn small_bft() -> impl Strategy<Value = BftParams> {
+    (2usize..=4, 1usize..=2, 1u32..=3)
+        .prop_filter_map("valid params", |(c, p, n)| BftParams::new(c, p, n).ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_same_plan(
+        params in small_bft(),
+        fraction in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let tree = ButterflyFatTree::new(params);
+        let net = tree.network();
+        let spec = FaultSpec::links(fraction, seed).unwrap();
+        let a = FaultPlan::build(net, &spec);
+        let b = FaultPlan::build(net, &spec);
+        prop_assert_eq!(&a, &b, "same seed must realize the same plan");
+
+        // The knockout budget is exact: ⌊fraction · fabric links⌋ dead,
+        // injection/ejection channels never touched.
+        let fabric = (0..net.num_channels())
+            .filter(|&i| !matches!(
+                net.channel(wormsim_topology::ChannelId::from(i)).class,
+                ChannelClass::Injection | ChannelClass::Ejection
+            ))
+            .count();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let expect = (fraction * fabric as f64).floor() as usize;
+        prop_assert_eq!(a.dead_channel_count(), expect);
+        for pe in net.processors() {
+            prop_assert!(!a.channel_dead(pe.inject));
+            prop_assert!(!a.channel_dead(pe.eject));
+        }
+
+        // A different seed with a non-empty budget is overwhelmingly
+        // likely to pick a different set; only assert shape, not content.
+        let c = FaultPlan::build(net, &FaultSpec::links(fraction, seed ^ 1).unwrap());
+        prop_assert_eq!(c.dead_channel_count(), expect);
+    }
+
+    #[test]
+    fn degraded_flows_conserve_mass_when_connected(
+        params in small_bft(),
+        fraction in 0.0f64..0.25,
+        seed in any::<u64>(),
+    ) {
+        let tree = ButterflyFatTree::new(params);
+        let n = params.num_processors();
+        prop_assume!(n >= 2);
+        let plan = FaultPlan::build(tree.network(), &FaultSpec::links(fraction, seed).unwrap());
+        let bft = FaultedBft::new(&tree, plan).unwrap();
+        prop_assume!(bft.fully_connected());
+
+        let flows = FlowVector::build(&bft, &DestinationPattern::Uniform).unwrap();
+        let expect = n as f64 * flows.avg_distance();
+        prop_assert!(
+            (flows.sum_unit_flows() - expect).abs() <= 1e-9 * (1.0 + expect),
+            "degraded Σλ {} vs N·D̄ {expect}",
+            flows.sum_unit_flows()
+        );
+        // Per-source conservation: every PE still injects one unit.
+        for pe in 0..n {
+            let inj = tree.network().processors()[pe].inject;
+            prop_assert!((flows.unit_flow(inj) - 1.0).abs() < 1e-12);
+        }
+        // Dead channels carry no flow.
+        for ch in 0..tree.network().num_channels() {
+            let id = wormsim_topology::ChannelId::from(ch);
+            if bft.plan().channel_dead(id) {
+                prop_assert_eq!(flows.unit_flow(id), 0.0, "dead channel {} carries flow", ch);
+            }
+        }
+    }
+}

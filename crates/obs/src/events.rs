@@ -17,6 +17,11 @@ pub enum StallCause {
     /// The worm entered a station queue behind other waiting worms and
     /// must wait its FCFS turn.
     FcfsQueued,
+    /// Every surviving route to the worm's destination runs through a
+    /// failed link or switch: the message is terminally unroutable. The
+    /// engine records one such stall per dropped (or defensively killed)
+    /// message, so this counter equals the run's unroutable count.
+    DeadLink,
 }
 
 impl StallCause {
@@ -26,14 +31,16 @@ impl StallCause {
             StallCause::LinkBusy => "link_busy",
             StallCause::NoFreeLane => "no_free_lane",
             StallCause::FcfsQueued => "fcfs_queued",
+            StallCause::DeadLink => "dead_link",
         }
     }
 
     /// All causes, in the order used by aggregate counters.
-    pub const ALL: [StallCause; 3] = [
+    pub const ALL: [StallCause; 4] = [
         StallCause::LinkBusy,
         StallCause::NoFreeLane,
         StallCause::FcfsQueued,
+        StallCause::DeadLink,
     ];
 
     /// Position of this cause in [`StallCause::ALL`].
@@ -42,6 +49,7 @@ impl StallCause {
             StallCause::LinkBusy => 0,
             StallCause::NoFreeLane => 1,
             StallCause::FcfsQueued => 2,
+            StallCause::DeadLink => 3,
         }
     }
 }

@@ -121,10 +121,11 @@ pub struct SimTrace {
     // Run-wide counters.
     injected: u64,
     delivered: u64,
+    unroutable: u64,
     route_decisions: u64,
     lane_grant_count: u64,
     worm_hops: u64,
-    stalls: [u64; 3],
+    stalls: [u64; 4],
     latency: Histogram,
     // Run-unique worm ids: the engine's worm slab reuses slots, so ids
     // are assigned from a monotone counter at injection.
@@ -148,10 +149,11 @@ impl SimTrace {
             lane_held: vec![0; lanes],
             injected: 0,
             delivered: 0,
+            unroutable: 0,
             route_decisions: 0,
             lane_grant_count: 0,
             worm_hops: 0,
-            stalls: [0; 3],
+            stalls: [0; 4],
             latency: Histogram::new(),
             next_worm_id: 0,
             worm_id: Vec::new(),
@@ -263,6 +265,37 @@ impl SimTrace {
         }
     }
 
+    /// A generated message was dropped before injection: every surviving
+    /// route to its destination runs through failed fabric. Counted both
+    /// as an unroutable message and as a [`StallCause::DeadLink`] stall,
+    /// keeping `stalls_dead_link == unroutable` as a conservation law.
+    /// No worm was allocated, so there is no slab slot and no event.
+    #[inline]
+    pub fn on_unroutable(&mut self, _t: u64) {
+        self.unroutable += 1;
+        self.stalls[StallCause::DeadLink.index()] += 1;
+    }
+
+    /// A worm in flight was defensively killed because its head reached a
+    /// node with no surviving route (impossible for the shipped fault-aware
+    /// routers; kept total for custom `Router` implementations). Its lane
+    /// grants were real, so `hops` (the acquired path length) is added to
+    /// the hop count to keep grant-vs-hop conservation closed, and the
+    /// message is counted exactly like [`SimTrace::on_unroutable`].
+    #[inline]
+    pub fn on_killed(&mut self, slab: usize, t: u64, hops: u64) {
+        self.worm_hops += hops;
+        self.unroutable += 1;
+        self.stalls[StallCause::DeadLink.index()] += 1;
+        if self.events_on {
+            self.sink.push(WormEvent::Stall {
+                t,
+                worm: self.id_of(slab),
+                cause: StallCause::DeadLink,
+            });
+        }
+    }
+
     /// The worm's head reached its destination PE and started draining.
     #[inline]
     pub fn on_drain(&mut self, slab: usize, t: u64) {
@@ -327,12 +360,14 @@ impl SimTrace {
             cycles: cycles_run,
             injected: self.injected,
             delivered: self.delivered,
+            unroutable: self.unroutable,
             route_decisions: self.route_decisions,
             lane_grants: self.lane_grant_count,
             worm_hops: self.worm_hops,
             stalls_link_busy: self.stalls[StallCause::LinkBusy.index()],
             stalls_no_free_lane: self.stalls[StallCause::NoFreeLane.index()],
             stalls_fcfs_queued: self.stalls[StallCause::FcfsQueued.index()],
+            stalls_dead_link: self.stalls[StallCause::DeadLink.index()],
             latency: self.latency,
             channels,
             lanes,
@@ -352,6 +387,10 @@ pub struct SimSnapshot {
     pub injected: u64,
     /// Worms fully delivered.
     pub delivered: u64,
+    /// Messages dropped (or worms defensively killed) because every
+    /// surviving route to their destination runs through failed fabric.
+    /// 0 on any fault-free run.
+    pub unroutable: u64,
     /// Routing decisions made (one per hop request).
     pub route_decisions: u64,
     /// Lane grants issued (one per worm-hop acquisition).
@@ -365,6 +404,10 @@ pub struct SimSnapshot {
     pub stalls_no_free_lane: u64,
     /// Stall observations: worm queued behind others at its station.
     pub stalls_fcfs_queued: u64,
+    /// Stall observations: message terminally unroutable through the
+    /// degraded fabric (one per unroutable message, see
+    /// [`SimSnapshot::unroutable`]).
+    pub stalls_dead_link: u64,
     /// End-to-end delivered-worm latency distribution (all worms,
     /// warmup included — diagnostic, not the measured estimator).
     pub latency: Histogram,
@@ -412,12 +455,21 @@ impl SimSnapshot {
                 self.lane_grants, self.worm_hops
             ));
         }
+        if self.stalls_dead_link != self.unroutable {
+            return Err(format!(
+                "dead-link stalls {} ≠ unroutable messages {}",
+                self.stalls_dead_link, self.unroutable
+            ));
+        }
         Ok(())
     }
 
     /// Total stall observations across all causes.
     pub fn total_stalls(&self) -> u64 {
-        self.stalls_link_busy + self.stalls_no_free_lane + self.stalls_fcfs_queued
+        self.stalls_link_busy
+            + self.stalls_no_free_lane
+            + self.stalls_fcfs_queued
+            + self.stalls_dead_link
     }
 
     /// Mean fraction of cycles channels spent transmitting a flit.
@@ -446,12 +498,14 @@ impl SimSnapshot {
         for (name, v) in [
             ("worms_injected", self.injected),
             ("worms_delivered", self.delivered),
+            ("worms_unroutable", self.unroutable),
             ("route_decisions", self.route_decisions),
             ("lane_grants", self.lane_grants),
             ("worm_hops", self.worm_hops),
             ("stalls_link_busy", self.stalls_link_busy),
             ("stalls_no_free_lane", self.stalls_no_free_lane),
             ("stalls_fcfs_queued", self.stalls_fcfs_queued),
+            ("stalls_dead_link", self.stalls_dead_link),
             ("events_dropped", self.events_dropped),
         ] {
             let id = r.counter(name);
@@ -538,6 +592,44 @@ mod tests {
             .map(|e| e.worm())
             .collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn unroutable_and_killed_keep_conservation_closed() {
+        let cfg = ObsConfig::full();
+        let mut tr = SimTrace::new(1, 1, &cfg);
+        // Two messages dropped before injection...
+        tr.on_unroutable(3);
+        tr.on_unroutable(5);
+        // ...and one injected worm defensively killed after one hop.
+        tr.on_inject(0, 1, 0, 1);
+        tr.on_grant(0, 1, 0, 0);
+        tr.on_release(4, 0, 0, 4);
+        tr.on_killed(0, 4, 1);
+        let snap = tr.finish(10, 0);
+        assert_eq!(snap.unroutable, 3);
+        assert_eq!(snap.stalls_dead_link, 3);
+        assert_eq!(snap.worm_hops, 1); // the killed worm's grant is covered
+        assert_eq!(snap.total_stalls(), 3);
+        snap.check_conservation().unwrap();
+        // The kill left a Stall event with the dead-link cause.
+        assert!(snap.events.iter().any(|e| matches!(
+            e,
+            WormEvent::Stall {
+                cause: StallCause::DeadLink,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dead_link_mismatch_is_caught() {
+        let cfg = ObsConfig::counters_only();
+        let mut tr = SimTrace::new(0, 1, &cfg);
+        tr.on_unroutable(1);
+        let mut snap = tr.finish(1, 0);
+        snap.unroutable = 0; // forge a mismatch
+        assert!(snap.check_conservation().is_err());
     }
 
     #[test]

@@ -107,7 +107,7 @@
 //! message.
 
 use crate::config::{EngineKind, SimConfig, TrafficConfig};
-use crate::router::Router;
+use crate::router::{DegradedRoute, Router};
 use crate::runner::SimResult;
 use crate::stats::{BatchMeans, ClassAudit, Percentiles, Welford};
 use crate::traffic::{Arrival, TrafficGenerator};
@@ -124,6 +124,11 @@ use wormsim_topology::ids::{ChannelId, StationId};
 type WormIdx = u32;
 
 const NO_WORM: u32 = u32::MAX;
+
+/// Sentinel holder for lanes of channels the fault plan killed: occupied
+/// at construction and never released, so no grant path (mask or scan)
+/// can ever hand out a dead channel — faults cost nothing per cycle.
+const DEAD_WORM: u32 = u32::MAX - 1;
 
 /// Lifecycle state of a worm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +171,11 @@ struct Worm {
     request_time: u64,
     /// Whether this message belongs to the measured population.
     measured: bool,
+    /// Allowed-member bitmask of the requested station (bit `k` = member
+    /// position `k`), set per request from the fault-aware route. All-ones
+    /// on every fault-free path; members beyond bit 15 are always allowed
+    /// (only the fat-tree router restricts, and it guards `p ≤ 8`).
+    route_mask: u16,
 }
 
 /// Per-PE source state.
@@ -227,6 +237,8 @@ pub struct Engine<'a, R: Router> {
     audit: ClassAudit,
     generated_total: u64,
     completed_total: u64,
+    unroutable_total: u64,
+    unroutable_in_window: u64,
     generated_in_window: u64,
     completed_in_window: u64,
     completed_measured: u64,
@@ -239,6 +251,12 @@ pub struct Engine<'a, R: Router> {
     // per-cycle shortcuts are active. All modes are bit-exact.
     kind: EngineKind,
     cycles_skipped: u64,
+
+    /// The router carries a non-empty fault plan: injection checks
+    /// routability, requests go through `route_degraded`, and grants
+    /// intersect the worm's allowed-member mask. `false` keeps every one
+    /// of those on the pristine path (same RNG draws, same results).
+    faulted: bool,
 
     // Event-mode acceleration structures (empty/false outside
     // `EngineKind::Event`; all RNG-neutral, see module docs).
@@ -324,15 +342,40 @@ impl<'a, R: Router> Engine<'a, R> {
         let expected_msgs =
             (traffic.message_rate * n_pe as f64 * cfg.measure_cycles as f64).ceil() as u64;
         let lane_slots = net.num_channels() * lanes.lanes() as usize;
+        // Apply the router's fault plan, if any: every lane of a dead
+        // channel is pre-occupied by a sentinel holder that never releases,
+        // so the unmodified grant machinery (free scans and free masks
+        // alike) simply never sees the channel. An empty plan leaves the
+        // engine on its pristine path, bit-for-bit.
+        let mut lane_holder = vec![NO_WORM; lane_slots];
+        let mut lane_table = LaneTable::new(net.num_channels(), lanes);
+        let faulted = match router.fault_plan() {
+            None => false,
+            Some(plan) => {
+                assert_eq!(
+                    plan.num_channels(),
+                    net.num_channels(),
+                    "fault plan shape must match the routed network"
+                );
+                for ch in 0..net.num_channels() {
+                    if plan.channel_dead(ChannelId::from(ch)) {
+                        while let Some(lane) = lane_table.allocate(ch) {
+                            lane_holder[ch * lanes.lanes() as usize + lane as usize] = DEAD_WORM;
+                        }
+                    }
+                }
+                !plan.is_empty()
+            }
+        };
         Self {
             router,
             cfg: *cfg,
             traffic: *traffic,
             rng,
             now: 0,
-            lane_holder: vec![NO_WORM; lane_slots],
+            lane_holder,
             lane_grant_time: vec![0; lane_slots],
-            lane_table: LaneTable::new(net.num_channels(), lanes),
+            lane_table,
             lane_audit: LaneAudit::new(lanes.lanes()),
             slot_used: vec![u64::MAX; net.num_channels()],
             channel_class_idx,
@@ -358,6 +401,8 @@ impl<'a, R: Router> Engine<'a, R> {
             audit: ClassAudit::new(net),
             generated_total: 0,
             completed_total: 0,
+            unroutable_total: 0,
+            unroutable_in_window: 0,
             generated_in_window: 0,
             completed_in_window: 0,
             completed_measured: 0,
@@ -367,6 +412,7 @@ impl<'a, R: Router> Engine<'a, R> {
             max_active_worms: 0,
             kind: EngineKind::FastForward,
             cycles_skipped: 0,
+            faulted,
             route_cache: Vec::new(),
             inject_station: Vec::new(),
             member_pos: Vec::new(),
@@ -411,7 +457,10 @@ impl<'a, R: Router> Engine<'a, R> {
         let net = self.router.network();
         let n_pe = self.sources.len();
         let cache_entries = net.num_nodes() * n_pe;
-        if cache_entries <= ROUTE_CACHE_CAP {
+        // The route cache memoizes stations only; the fault-aware route
+        // also carries a per-(node, dest) member mask, so faulted runs
+        // route uncached (correctness over the constant factor).
+        if cache_entries <= ROUTE_CACHE_CAP && !self.faulted {
             self.route_cache = vec![0; cache_entries];
         }
         self.inject_station = (0..n_pe)
@@ -486,6 +535,7 @@ impl<'a, R: Router> Engine<'a, R> {
             state: WormState::PendingRequest,
             request_time: gen_time,
             measured,
+            route_mask: u16::MAX,
         };
         let idx = if let Some(idx) = self.free_worms.pop() {
             // Slot reuse: the path vector was cleared at finalize and keeps
@@ -512,10 +562,17 @@ impl<'a, R: Router> Engine<'a, R> {
     }
 
     /// Turns the head of a PE's source queue into a worm contending for the
-    /// injection channel.
+    /// injection channel. Under a fault plan, messages whose destination
+    /// the surviving fabric cannot reach are dropped here (counted as
+    /// unroutable, never becoming worms) and the next queued message gets
+    /// its turn — graceful degradation instead of a head-of-line hang.
     fn activate_source(&mut self, pe: usize, into_next_cycle: bool) {
         debug_assert!(!self.sources[pe].worm_waiting);
-        if let Some((dest, gen)) = self.sources[pe].pending.pop_front() {
+        while let Some((dest, gen)) = self.sources[pe].pending.pop_front() {
+            if self.faulted && !self.router.source_can_reach(pe, dest as usize) {
+                self.record_unroutable(gen);
+                continue;
+            }
             let w = self.alloc_worm(pe as u32, dest, gen);
             self.sources[pe].worm_waiting = true;
             if into_next_cycle {
@@ -523,7 +580,90 @@ impl<'a, R: Router> Engine<'a, R> {
             } else {
                 self.pending_requests.push(w);
             }
+            return;
         }
+    }
+
+    /// Accounts one message that can never be delivered through the
+    /// degraded fabric. Window membership follows the generation time,
+    /// like `generated_in_window`, so `SimResult::messages_unroutable`
+    /// is comparable with `messages_measured`.
+    fn record_unroutable(&mut self, gen_time: u64) {
+        self.unroutable_total += 1;
+        if self.in_window(gen_time) {
+            self.unroutable_in_window += 1;
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_unroutable(self.now);
+        }
+    }
+
+    /// Defensively removes a worm whose head reached a node with no
+    /// surviving route. The shipped fault-aware routers make this
+    /// unreachable — admission checks plus monotone route masks keep every
+    /// admitted worm on surviving fabric (proven by
+    /// `admitted_worms_never_strand_under_random_plans`) — but a custom
+    /// [`Router`] could misroute, and the engine must degrade to an
+    /// accounted drop rather than a panic or a wedged station queue.
+    fn kill_worm(&mut self, widx: WormIdx, t: u64) {
+        let (adv, len, gen, measured) = {
+            let w = &self.worms[widx as usize];
+            (
+                w.advancements as usize,
+                w.len_flits as usize,
+                w.gen_time,
+                w.measured,
+            )
+        };
+        // Release every hop the tail had not yet cleared (hop `i` was
+        // already released iff `advancements ≥ len + i`).
+        let path = std::mem::take(&mut self.paths[widx as usize]);
+        for (i, hop) in path.iter().enumerate() {
+            if adv >= len + i {
+                continue;
+            }
+            let slot = self.lane_slot(hop.ch, hop.lane);
+            debug_assert_eq!(self.lane_holder[slot], widx);
+            self.lane_holder[slot] = NO_WORM;
+            self.lane_table.release(hop.ch.index(), hop.lane);
+            if self.use_masks {
+                let (s, pos) = self.member_pos[hop.ch.index()];
+                self.free_mask[s as usize] |= 1 << pos;
+            }
+            let granted_at = self.lane_grant_time[slot];
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_release(t, hop.ch.index(), hop.lane, t - granted_at + 1);
+            }
+            if granted_at >= self.window_start && granted_at < self.window_end {
+                let hold = t - granted_at + 1;
+                self.audit
+                    .record_release(self.channel_class_idx[hop.ch.index()] as usize, hold);
+                self.lane_audit.record_release(hop.lane, hold);
+            }
+            let st = self.router.network().channel(hop.ch).station;
+            self.mark_station_ready(st);
+        }
+        if measured {
+            self.outstanding_measured -= 1;
+        }
+        // Its injection slot is free again; the source may stage the next
+        // message (mirrors the first-hop handover in phase 4 — a killed
+        // worm that never injected still owns the waiting slot).
+        if path.is_empty() {
+            let pe = self.worms[widx as usize].src as usize;
+            self.sources[pe].worm_waiting = false;
+        }
+        self.unroutable_total += 1;
+        if self.in_window(gen) {
+            self.unroutable_in_window += 1;
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_killed(widx as usize, t, path.len() as u64);
+        }
+        self.paths[widx as usize] = path;
+        self.paths[widx as usize].clear();
+        self.worms[widx as usize].state = WormState::Free;
+        self.free_worms.push(widx);
     }
 
     /// Dense index of `(channel, lane)` into the lane-slot arrays.
@@ -816,27 +956,48 @@ impl<'a, R: Router> Engine<'a, R> {
                     .map(|h| self.router.network().channel(h.ch).dst);
                 (head, w.dest as usize, w.src as usize)
             };
-            let station = match head {
-                // Injection request: the source PE's injection channel.
-                None if !self.inject_station.is_empty() => self.inject_station[src],
+            let (station, mask) = match head {
+                // Injection request: the source PE's injection channel
+                // (single member; under faults its aliveness was checked
+                // at admission).
+                None if !self.inject_station.is_empty() => (self.inject_station[src], u16::MAX),
                 None => {
                     let ports = self.router.network().processors()[src];
-                    self.router.network().channel(ports.inject).station
+                    (
+                        self.router.network().channel(ports.inject).station,
+                        u16::MAX,
+                    )
                 }
+                // Switch hop under a fault plan: the degraded route also
+                // carries the allowed-member mask the grant phase must
+                // respect; a dead-end head (impossible for the shipped
+                // routers) degrades to an accounted kill.
+                Some(node) if self.faulted => match self.router.route_degraded(node, dest) {
+                    DegradedRoute::Open(st) => (st, u16::MAX),
+                    DegradedRoute::Restricted(st, m) => {
+                        debug_assert_ne!(m, 0, "restricted route with no allowed member");
+                        (st, m)
+                    }
+                    DegradedRoute::Unreachable => {
+                        self.kill_worm(widx, t);
+                        continue;
+                    }
+                },
                 // Switch hop: route from the head's node (memoized in
                 // event mode — `next_station` is a pure function).
                 Some(node) if !self.route_cache.is_empty() => {
                     let key = node.index() * n_pe + dest;
-                    match self.route_cache[key] {
+                    let st = match self.route_cache[key] {
                         0 => {
                             let st = self.router.next_station(node, dest);
                             self.route_cache[key] = st.index() as u32 + 1;
                             st
                         }
                         c => StationId::from((c - 1) as usize),
-                    }
+                    };
+                    (st, u16::MAX)
                 }
-                Some(node) => self.router.next_station(node, dest),
+                Some(node) => (self.router.next_station(node, dest), u16::MAX),
             };
             if let Some(o) = self.obs.as_deref_mut() {
                 let queued_behind = !self.station_queue[station.index()].is_empty();
@@ -845,6 +1006,7 @@ impl<'a, R: Router> Engine<'a, R> {
             let w = &mut self.worms[widx as usize];
             w.state = WormState::Queued;
             w.request_time = t;
+            w.route_mask = mask;
             self.station_queue[station.index()].push_back(widx);
             self.mark_station_ready(station);
         }
@@ -855,10 +1017,18 @@ impl<'a, R: Router> Engine<'a, R> {
         while i < self.ready_stations.len() {
             let st = self.ready_stations[i];
             let mut exhausted_free = false;
-            loop {
-                if self.station_queue[st.index()].is_empty() {
-                    break;
-                }
+            // FCFS: the queue head's allowed-member mask (all-ones on
+            // every fault-free path) restricts which members it may be
+            // granted; a restricted head whose allowed members are all
+            // busy blocks the queue exactly like an exhausted station
+            // (its allowed members are alive by construction, so a
+            // release re-arms the station — no hang).
+            while let Some(&head_worm) = self.station_queue[st.index()].front() {
+                let wmask = if self.faulted {
+                    self.worms[head_worm as usize].route_mask
+                } else {
+                    u16::MAX
+                };
                 // Collect member channels with a free lane. A channel with
                 // several free lanes still counts once — the random pick is
                 // over physical channels (the paper's up-link rule), the
@@ -868,9 +1038,9 @@ impl<'a, R: Router> Engine<'a, R> {
                     // Event mode: the maintained mask already lists the
                     // free members; popcount + indexed-bit select replays
                     // the reference scan exactly (the `n`-th set bit *is*
-                    // the `n`-th free member in member order, and picks
-                    // stay within the first 8 as below).
-                    let mask = self.free_mask[st.index()];
+                    // the `n`-th free allowed member in member order, and
+                    // picks stay within the first 8 as below).
+                    let mask = self.free_mask[st.index()] & wmask;
                     let n_free = mask.count_ones() as usize;
                     if n_free == 0 {
                         exhausted_free = true;
@@ -885,7 +1055,12 @@ impl<'a, R: Router> Engine<'a, R> {
                 } else {
                     let mut free: [Option<ChannelId>; 8] = [None; 8];
                     let mut n_free = 0usize;
-                    for &ch in members {
+                    for (pos, &ch) in members.iter().enumerate() {
+                        // Members beyond the mask width are always allowed
+                        // (restricting routers guarantee ≤ 16 members).
+                        if pos < 16 && wmask & (1 << pos) == 0 {
+                            continue;
+                        }
                         if self.lane_table.has_free(ch.index()) {
                             if n_free < free.len() {
                                 free[n_free] = Some(ch);
@@ -916,6 +1091,7 @@ impl<'a, R: Router> Engine<'a, R> {
                 let widx = self.station_queue[st.index()]
                     .pop_front()
                     .expect("non-empty");
+                debug_assert_eq!(widx, head_worm, "grant goes to the FCFS head");
                 let slot = self.lane_slot(ch, lane);
                 self.lane_holder[slot] = widx;
                 self.lane_grant_time[slot] = t;
@@ -1055,9 +1231,12 @@ impl<'a, R: Router> Engine<'a, R> {
         self.now += 1;
     }
 
-    /// Total messages generated but not yet fully delivered.
+    /// Total messages generated but not yet fully delivered. Unroutable
+    /// messages were generated but will never deliver — excluding them
+    /// keeps the saturation detector's backlog-growth signal meaningful
+    /// on a partitioned fabric.
     fn backlog(&self) -> u64 {
-        self.generated_total - self.completed_total
+        self.generated_total - self.completed_total - self.unroutable_total
     }
 
     /// Runs warmup, measurement and drain; returns the aggregated result.
@@ -1150,6 +1329,7 @@ impl<'a, R: Router> Engine<'a, R> {
             messages_measured: self.generated_in_window,
             messages_completed: self.completed_measured,
             messages_incomplete: incomplete,
+            messages_unroutable: self.unroutable_in_window,
             delivered_flit_load,
             saturated,
             backlog_growth,
@@ -1203,6 +1383,13 @@ impl<'a, R: Router> Engine<'a, R> {
         let lanes = self.lane_table.lanes() as usize;
         for (slot, &holder) in self.lane_holder.iter().enumerate() {
             let (ci, lane) = (slot / lanes, (slot % lanes) as u16);
+            if holder == DEAD_WORM {
+                // Fault-killed lane: permanently occupied by the sentinel.
+                if self.lane_table.is_free(ci, lane) {
+                    return Err(format!("dead channel {ci} lane {lane} free in lane table"));
+                }
+                continue;
+            }
             if holder != NO_WORM {
                 let w = &self.worms[holder as usize];
                 if w.state == WormState::Free {

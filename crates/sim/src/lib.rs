@@ -39,7 +39,10 @@
 //!   wheel + overflow heap) for pending arrival times.
 //! * [`router`] — per-topology routing logic behind one trait
 //!   ([`router::Router`]): butterfly fat-tree, hypercube (e-cube),
-//!   k-ary n-mesh (dimension order).
+//!   k-ary n-mesh (dimension order) — each with a fault-aware variant
+//!   ([`router::FaultedBftRouter`] and friends) that routes around a
+//!   `wormsim_faults::FaultPlan`, reports unroutable messages instead of
+//!   wedging, and is bit-for-bit the pristine router under an empty plan.
 //! * [`traffic`] — Poisson or MMPP-modulated sources on a continuous
 //!   clock, merged through a binary heap so per-cycle cost scales with
 //!   arrivals, not PEs; destinations sampled from the workload's pattern.
@@ -86,6 +89,10 @@ pub mod stats;
 pub mod traffic;
 
 pub use config::{EngineKind, SimConfig, TrafficConfig};
+pub use router::{
+    BftRouter, DegradedRoute, FaultedBftRouter, FaultedHypercubeRouter, FaultedMeshRouter,
+    HypercubeRouter, MeshRouter, Router,
+};
 pub use runner::{
     run_simulation, run_simulation_observed, run_simulation_with_engine, run_simulation_with_lanes,
     run_simulation_with_lanes_and_engine, SimResult,

@@ -7,11 +7,26 @@
 //! the engine picks a random free member on grant (the paper's adaptive
 //! up-link rule).
 
+use wormsim_faults::{DegradedChoice, FaultError, FaultPlan, FaultedBft};
 use wormsim_topology::bft::{ButterflyFatTree, RouteChoice};
 use wormsim_topology::graph::ChannelNetwork;
 use wormsim_topology::hypercube::Hypercube;
-use wormsim_topology::ids::{NodeId, StationId};
+use wormsim_topology::ids::{ChannelId, NodeId, StationId};
 use wormsim_topology::mesh::Mesh;
+
+/// A fault-aware routing decision (see [`Router::route_degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedRoute {
+    /// Request this station; every member channel may be granted.
+    Open(StationId),
+    /// Request this station, but only members whose bit is set in the
+    /// mask (bit `k` = member position `k` in the station's channel list)
+    /// may be granted — the others are dead or lead into dead fabric.
+    /// The mask is never 0 (that case is [`DegradedRoute::Unreachable`]).
+    Restricted(StationId, u16),
+    /// No surviving route from this node to the destination.
+    Unreachable,
+}
 
 /// Topology-specific routing decisions over a shared channel network.
 pub trait Router: Sync {
@@ -25,6 +40,45 @@ pub trait Router: Sync {
 
     /// Short topology label for reports.
     fn label(&self) -> String;
+
+    /// Fault-aware counterpart of [`Router::next_station`], consulted by
+    /// the engine only when [`Router::fault_plan`] reports a non-empty
+    /// plan. The default (for fault-oblivious routers) opens the whole
+    /// station.
+    fn route_degraded(&self, node: NodeId, dest: usize) -> DegradedRoute {
+        DegradedRoute::Open(self.next_station(node, dest))
+    }
+
+    /// Whether a message from processor `src` can reach processor `dest`
+    /// at all through the surviving fabric. Consulted at injection time
+    /// (again only under a non-empty plan): messages whose every route is
+    /// dead are counted as unroutable instead of becoming worms.
+    fn source_can_reach(&self, src: usize, dest: usize) -> bool {
+        let _ = (src, dest);
+        true
+    }
+
+    /// The fault plan this router routes around, if any. `None` (the
+    /// default) and an empty plan are equivalent: the engine runs its
+    /// pristine path, bit-for-bit identical to a fault-unaware router.
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        None
+    }
+}
+
+/// Label suffix for a faulted router: empty for an empty plan (so a
+/// no-fault wrapper is label-identical to the wrapped router, which the
+/// differential harness relies on), else a compact knockout count.
+fn fault_suffix(plan: &FaultPlan) -> String {
+    if plan.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "+faults(l={},s={})",
+            plan.dead_channel_count(),
+            plan.dead_switch_count()
+        )
+    }
 }
 
 /// Butterfly fat-tree routing: up through the `p`-server bundle while the
@@ -141,6 +195,243 @@ impl Router for MeshRouter<'_> {
     }
 }
 
+/// Butterfly fat-tree routing around a fault plan: adaptive up bundles
+/// restricted to surviving parents that can still reach the destination,
+/// descents taken only when fully alive (see [`wormsim_faults::FaultedBft`]
+/// for the reachability computation). With an empty plan this router is
+/// bit-for-bit interchangeable with [`BftRouter`] — same label, same
+/// stations, same RNG draws.
+#[derive(Debug, Clone)]
+pub struct FaultedBftRouter<'a> {
+    bft: FaultedBft<'a>,
+}
+
+impl<'a> FaultedBftRouter<'a> {
+    /// Applies `plan` to `tree` and precomputes degraded reachability.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultedBft::new`]: a plan built for a different network, or
+    /// `p > 8` parent ports (the member mask is a bitmask).
+    pub fn new(tree: &'a ButterflyFatTree, plan: FaultPlan) -> Result<Self, FaultError> {
+        Ok(Self {
+            bft: FaultedBft::new(tree, plan)?,
+        })
+    }
+
+    /// The fault-aware tree (reachability queries, flow routing).
+    #[must_use]
+    pub fn bft(&self) -> &FaultedBft<'a> {
+        &self.bft
+    }
+}
+
+impl Router for FaultedBftRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.bft.tree().network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        // Pristine routing: the engine consults this path only when the
+        // plan is empty (otherwise it routes through `route_degraded`).
+        match self.bft.tree().route(node, dest) {
+            RouteChoice::Down(ch) => self.bft.tree().network().channel(ch).station,
+            RouteChoice::Up(st) => st,
+        }
+    }
+
+    fn label(&self) -> String {
+        let p = self.bft.tree().params();
+        format!(
+            "bft(c={},p={},N={}){}",
+            p.children(),
+            p.parents(),
+            p.num_processors(),
+            fault_suffix(self.bft.plan())
+        )
+    }
+
+    fn route_degraded(&self, node: NodeId, dest: usize) -> DegradedRoute {
+        match self.bft.route(node, dest) {
+            DegradedChoice::Down(ch) => {
+                DegradedRoute::Open(self.bft.tree().network().channel(ch).station)
+            }
+            DegradedChoice::Up { station, mask } => DegradedRoute::Restricted(station, mask),
+            DegradedChoice::Unreachable => DegradedRoute::Unreachable,
+        }
+    }
+
+    fn source_can_reach(&self, src: usize, dest: usize) -> bool {
+        self.bft.source_ok(src, dest)
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        Some(self.bft.plan())
+    }
+}
+
+/// Hypercube e-cube routing under a fault plan. E-cube paths are unique,
+/// so there is nothing to route *around*: a dead channel on the pair's
+/// path makes the pair unroutable (reported at injection time), and the
+/// degraded route degenerates to alive-or-unreachable.
+#[derive(Debug, Clone)]
+pub struct FaultedHypercubeRouter<'a> {
+    cube: &'a Hypercube,
+    plan: FaultPlan,
+}
+
+impl<'a> FaultedHypercubeRouter<'a> {
+    /// Applies `plan` to `cube`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::ShapeMismatch`] when the plan was built for a
+    /// different network.
+    pub fn new(cube: &'a Hypercube, plan: FaultPlan) -> Result<Self, FaultError> {
+        plan.check_shape(cube.network())?;
+        Ok(Self { cube, plan })
+    }
+
+    /// Whether the unique e-cube path (injection and ejection included)
+    /// is fully alive.
+    fn path_alive(&self, src: usize, dest: usize) -> bool {
+        let net = self.cube.network();
+        if self.plan.channel_dead(net.processors()[src].inject)
+            || self.plan.channel_dead(net.processors()[dest].eject)
+        {
+            return false;
+        }
+        let mut node = net.channel(net.processors()[src].inject).dst;
+        while let Some(ch) = self.cube.route(node, dest) {
+            if self.plan.channel_dead(ch) {
+                return false;
+            }
+            node = net.channel(ch).dst;
+        }
+        true
+    }
+}
+
+impl Router for FaultedHypercubeRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.cube.network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        HypercubeRouter::new(self.cube).next_station(node, dest)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "hypercube(d={}){}",
+            self.cube.dim(),
+            fault_suffix(&self.plan)
+        )
+    }
+
+    fn route_degraded(&self, node: NodeId, dest: usize) -> DegradedRoute {
+        let net = self.cube.network();
+        let ch: ChannelId = match self.cube.route(node, dest) {
+            Some(ch) => ch,
+            None => net.processors()[self.cube.switch_address(node)].eject,
+        };
+        if self.plan.channel_dead(ch) {
+            DegradedRoute::Unreachable
+        } else {
+            DegradedRoute::Open(net.channel(ch).station)
+        }
+    }
+
+    fn source_can_reach(&self, src: usize, dest: usize) -> bool {
+        self.path_alive(src, dest)
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        Some(&self.plan)
+    }
+}
+
+/// k-ary n-mesh dimension-order routing under a fault plan. Like the
+/// hypercube, dimension-order paths are unique: the plan decides which
+/// pairs survive, not which way worms go.
+#[derive(Debug, Clone)]
+pub struct FaultedMeshRouter<'a> {
+    mesh: &'a Mesh,
+    plan: FaultPlan,
+}
+
+impl<'a> FaultedMeshRouter<'a> {
+    /// Applies `plan` to `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::ShapeMismatch`] when the plan was built for a
+    /// different network.
+    pub fn new(mesh: &'a Mesh, plan: FaultPlan) -> Result<Self, FaultError> {
+        plan.check_shape(mesh.network())?;
+        Ok(Self { mesh, plan })
+    }
+
+    /// Whether the unique dimension-order path (injection and ejection
+    /// included) is fully alive.
+    fn path_alive(&self, src: usize, dest: usize) -> bool {
+        let net = self.mesh.network();
+        if self.plan.channel_dead(net.processors()[src].inject)
+            || self.plan.channel_dead(net.processors()[dest].eject)
+        {
+            return false;
+        }
+        let mut node = net.channel(net.processors()[src].inject).dst;
+        while let Some(ch) = self.mesh.route(node, dest) {
+            if self.plan.channel_dead(ch) {
+                return false;
+            }
+            node = net.channel(ch).dst;
+        }
+        true
+    }
+}
+
+impl Router for FaultedMeshRouter<'_> {
+    fn network(&self) -> &ChannelNetwork {
+        self.mesh.network()
+    }
+
+    fn next_station(&self, node: NodeId, dest: usize) -> StationId {
+        MeshRouter::new(self.mesh).next_station(node, dest)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "mesh(k={},n={}){}",
+            self.mesh.radix(),
+            self.mesh.dims(),
+            fault_suffix(&self.plan)
+        )
+    }
+
+    fn route_degraded(&self, node: NodeId, dest: usize) -> DegradedRoute {
+        let net = self.mesh.network();
+        let ch: ChannelId = match self.mesh.route(node, dest) {
+            Some(ch) => ch,
+            None => net.processors()[self.mesh.switch_address(node)].eject,
+        };
+        if self.plan.channel_dead(ch) {
+            DegradedRoute::Unreachable
+        } else {
+            DegradedRoute::Open(net.channel(ch).station)
+        }
+    }
+
+    fn source_can_reach(&self, src: usize, dest: usize) -> bool {
+        self.path_alive(src, dest)
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        Some(&self.plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,7 +474,7 @@ mod tests {
 
     #[test]
     fn hypercube_router_reaches_destination() {
-        let cube = Hypercube::new(4);
+        let cube = Hypercube::new(4).unwrap();
         let router = HypercubeRouter::new(&cube);
         let net = router.network();
         let mut node = net.channel(net.processors()[0b0000].inject).dst;
@@ -205,7 +496,7 @@ mod tests {
 
     #[test]
     fn mesh_router_reaches_destination() {
-        let mesh = Mesh::new(4, 2);
+        let mesh = Mesh::new(4, 2).unwrap();
         let router = MeshRouter::new(&mesh);
         let net = router.network();
         let (src, dest) = (0usize, 15usize);

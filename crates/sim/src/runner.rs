@@ -48,6 +48,12 @@ pub struct SimResult {
     pub messages_completed: u64,
     /// And how many did not (non-zero ⇒ saturated).
     pub messages_incomplete: u64,
+    /// Messages generated inside the window that were dropped because
+    /// every surviving route to their destination runs through failed
+    /// fabric (non-zero only under a fault plan that partitions pairs).
+    /// Unroutable messages never become worms and are excluded from the
+    /// backlog the saturation detector watches.
+    pub messages_unroutable: u64,
     /// Delivered throughput of measured messages, flits/cycle/PE.
     pub delivered_flit_load: f64,
     /// Saturation flag: backlog grew materially or messages failed to drain.

@@ -121,13 +121,13 @@ proptest! {
         };
         let traffic = TrafficConfig::from_flit_load(load, 8).unwrap();
 
-        let cube = Hypercube::new(dim);
+        let cube = Hypercube::new(dim).unwrap();
         let router = HypercubeRouter::new(&cube);
         let mut engine = Engine::new(&router, &cfg, &traffic);
         engine.step_many(2_000);
         engine.check_invariants().map_err(TestCaseError::fail)?;
 
-        let mesh = Mesh::new(3, 2);
+        let mesh = Mesh::new(3, 2).unwrap();
         let router = MeshRouter::new(&mesh);
         let mut engine = Engine::new(&router, &cfg, &traffic);
         engine.step_many(2_000);

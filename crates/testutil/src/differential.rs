@@ -67,6 +67,10 @@ pub fn assert_sim_results_identical(a: &SimResult, b: &SimResult, label: &str) {
         a.messages_incomplete, b.messages_incomplete,
         "{label}: incomplete"
     );
+    assert_eq!(
+        a.messages_unroutable, b.messages_unroutable,
+        "{label}: unroutable"
+    );
     f(a.delivered_flit_load, b.delivered_flit_load, "delivered");
     assert_eq!(a.saturated, b.saturated, "{label}: saturated");
     assert_eq!(a.backlog_growth, b.backlog_growth, "{label}: backlog");

@@ -11,6 +11,7 @@
 
 use crate::graph::{ChannelClass, ChannelNetwork, NodeKind, ProcessorPorts};
 use crate::ids::{ChannelId, NodeId};
+use std::fmt;
 
 /// A `d`-dimensional binary hypercube with `2^d` processors.
 #[derive(Debug, Clone)]
@@ -24,18 +25,35 @@ pub struct Hypercube {
     switch_node: Vec<NodeId>,
 }
 
+/// Why a [`Hypercube`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HypercubeError {
+    /// The dimension must be in `1..=20`.
+    BadDimension,
+}
+
+impl fmt::Display for HypercubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypercubeError::BadDimension => write!(f, "hypercube dimension must be in 1..=20"),
+        }
+    }
+}
+
+impl std::error::Error for HypercubeError {}
+
 impl Hypercube {
     /// Builds a hypercube of dimension `dim` (`1..=20`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `dim` is 0 or the network would be absurdly large.
-    #[must_use]
-    pub fn new(dim: u32) -> Self {
-        assert!(
-            (1..=20).contains(&dim),
-            "hypercube dimension must be in 1..=20"
-        );
+    /// [`HypercubeError::BadDimension`] when `dim` is 0 or larger than 20
+    /// (the network would be absurdly large).
+    pub fn new(dim: u32) -> Result<Self, HypercubeError> {
+        if !(1..=20).contains(&dim) {
+            return Err(HypercubeError::BadDimension);
+        }
         let n = 1usize << dim;
         let mut network = ChannelNetwork::empty();
         for x in 0..n {
@@ -72,12 +90,12 @@ impl Hypercube {
             }
         }
         debug_assert_eq!(network.validate(), Ok(()));
-        Self {
+        Ok(Self {
             dim,
             network,
             neighbor_channel,
             switch_node,
-        }
+        })
     }
 
     /// Dimension `d`.
@@ -153,7 +171,7 @@ mod tests {
 
     #[test]
     fn shape_and_validation() {
-        let h = Hypercube::new(4);
+        let h = Hypercube::new(4).unwrap();
         assert_eq!(h.num_processors(), 16);
         // Channels: 16 inject + 16 eject + 16·4 dimension links.
         assert_eq!(h.network().num_channels(), 32 + 64);
@@ -162,7 +180,7 @@ mod tests {
 
     #[test]
     fn ecube_routes_by_lowest_bit() {
-        let h = Hypercube::new(3);
+        let h = Hypercube::new(3).unwrap();
         // From 0b000 to 0b110: first hop flips bit 1 (lowest differing).
         let ch = h.route(h.switch(0), 6).unwrap();
         assert_eq!(h.switch_address(h.network().channel(ch).dst), 0b010);
@@ -172,7 +190,7 @@ mod tests {
 
     #[test]
     fn ecube_path_length_is_hamming_distance() {
-        let h = Hypercube::new(4);
+        let h = Hypercube::new(4).unwrap();
         for (s, d) in [(0usize, 15usize), (3, 12), (7, 7), (5, 10)] {
             let mut cur = h.switch(s);
             let mut hops = 0;
@@ -188,14 +206,24 @@ mod tests {
 
     #[test]
     fn average_distance_matches_bfs() {
-        let h = Hypercube::new(3);
+        let h = Hypercube::new(3).unwrap();
         let avg = distance::average_processor_distance(h.network());
         assert!((avg - h.average_distance()).abs() < 1e-12);
     }
 
     #[test]
+    fn degenerate_dimensions_are_rejected_not_panicked() {
+        assert_eq!(Hypercube::new(0).unwrap_err(), HypercubeError::BadDimension);
+        assert_eq!(
+            Hypercube::new(21).unwrap_err(),
+            HypercubeError::BadDimension
+        );
+        assert!(Hypercube::new(1).is_ok());
+    }
+
+    #[test]
     fn diameter_is_dim_plus_two() {
-        let h = Hypercube::new(3);
+        let h = Hypercube::new(3).unwrap();
         assert_eq!(distance::processor_diameter(h.network()), 3 + 2);
     }
 }

@@ -50,7 +50,9 @@ pub mod mesh;
 pub mod render;
 
 pub use graph::{ChannelClass, ChannelNetwork};
+pub use hypercube::HypercubeError;
 pub use ids::{ChannelId, NodeId, StationId};
+pub use mesh::MeshError;
 
 #[cfg(test)]
 mod crate_tests {

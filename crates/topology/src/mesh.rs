@@ -13,6 +13,31 @@
 
 use crate::graph::{ChannelClass, ChannelNetwork, NodeKind, ProcessorPorts};
 use crate::ids::{ChannelId, NodeId};
+use std::fmt;
+
+/// Why a [`Mesh`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// The radix `k` must be at least 2.
+    RadixTooSmall,
+    /// The dimension count must be in `1..=8`.
+    BadDimensions,
+    /// `kⁿ` would exceed the supported node count.
+    TooLarge,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::RadixTooSmall => write!(f, "mesh radix must be >= 2"),
+            MeshError::BadDimensions => write!(f, "mesh dimensions must be in 1..=8"),
+            MeshError::TooLarge => write!(f, "mesh too large (node count would overflow)"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
 
 /// A k-ary n-mesh with `kⁿ` processors.
 #[derive(Debug, Clone)]
@@ -30,15 +55,23 @@ pub struct Mesh {
 impl Mesh {
     /// Builds a `radix`-ary `dims`-mesh.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on degenerate parameters or absurd sizes.
-    #[must_use]
-    pub fn new(radix: usize, dims: u32) -> Self {
-        assert!(radix >= 2, "mesh radix must be >= 2");
-        assert!((1..=8).contains(&dims), "mesh dimensions must be in 1..=8");
-        let n = radix.checked_pow(dims).expect("mesh too large");
-        assert!(n <= 1 << 24, "mesh too large");
+    /// [`MeshError::RadixTooSmall`] when `radix < 2`,
+    /// [`MeshError::BadDimensions`] when `dims` is outside `1..=8`, and
+    /// [`MeshError::TooLarge`] when `kⁿ` would overflow the supported
+    /// node count.
+    pub fn new(radix: usize, dims: u32) -> Result<Self, MeshError> {
+        if radix < 2 {
+            return Err(MeshError::RadixTooSmall);
+        }
+        if !(1..=8).contains(&dims) {
+            return Err(MeshError::BadDimensions);
+        }
+        let n = radix.checked_pow(dims).ok_or(MeshError::TooLarge)?;
+        if n > 1 << 24 {
+            return Err(MeshError::TooLarge);
+        }
         let mut network = ChannelNetwork::empty();
         for x in 0..n {
             let id = network.add_node(NodeKind::Processor { index: x });
@@ -86,14 +119,14 @@ impl Mesh {
             stride *= radix;
         }
         debug_assert_eq!(network.validate(), Ok(()));
-        Self {
+        Ok(Self {
             radix,
             dims,
             network,
             plus_channel,
             minus_channel,
             switch_node,
-        }
+        })
     }
 
     /// The radix `k`.
@@ -202,7 +235,7 @@ mod tests {
 
     #[test]
     fn shape_and_validation() {
-        let m = Mesh::new(3, 2);
+        let m = Mesh::new(3, 2).unwrap();
         assert_eq!(m.num_processors(), 9);
         // Channels: 9·2 PE links + 2 dims · 2 dirs · (3−1)·3 links = 18 + 24.
         assert_eq!(m.network().num_channels(), 18 + 24);
@@ -211,7 +244,7 @@ mod tests {
 
     #[test]
     fn dor_routes_dimension_zero_first() {
-        let m = Mesh::new(4, 2);
+        let m = Mesh::new(4, 2).unwrap();
         // From (0,0)=0 to (3,2)=3+2·4=11: first hops go +x.
         let ch = m.route(m.switch(0), 11).unwrap();
         assert_eq!(m.switch_address(m.network().channel(ch).dst), 1);
@@ -223,7 +256,7 @@ mod tests {
 
     #[test]
     fn dor_path_length_is_manhattan() {
-        let m = Mesh::new(4, 2);
+        let m = Mesh::new(4, 2).unwrap();
         for (s, d) in [(0usize, 15usize), (5, 10), (12, 3), (7, 7)] {
             let mut cur = m.switch(s);
             let mut hops = 0;
@@ -237,9 +270,18 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_parameters_are_rejected_not_panicked() {
+        assert_eq!(Mesh::new(1, 2).unwrap_err(), MeshError::RadixTooSmall);
+        assert_eq!(Mesh::new(4, 0).unwrap_err(), MeshError::BadDimensions);
+        assert_eq!(Mesh::new(4, 9).unwrap_err(), MeshError::BadDimensions);
+        assert_eq!(Mesh::new(1 << 13, 2).unwrap_err(), MeshError::TooLarge);
+        assert!(Mesh::new(2, 1).is_ok());
+    }
+
+    #[test]
     fn average_distance_matches_bfs() {
         for (k, n) in [(3usize, 2u32), (4, 2), (2, 3)] {
-            let m = Mesh::new(k, n);
+            let m = Mesh::new(k, n).unwrap();
             let avg = distance::average_processor_distance(m.network());
             assert!(
                 (avg - m.average_distance()).abs() < 1e-12,

@@ -14,6 +14,14 @@ pub enum WorkloadError {
     /// Flow propagation failed: the router looped, ejected at the wrong
     /// switch, or the network is malformed.
     Routing(String),
+    /// The pattern demands a source→destination pair the (possibly
+    /// degraded) topology can no longer route.
+    Disconnected {
+        /// Sending processor.
+        src: usize,
+        /// Unreachable destination processor.
+        dest: usize,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -22,6 +30,10 @@ impl fmt::Display for WorkloadError {
             WorkloadError::InvalidParameter(msg) => write!(f, "invalid workload parameter: {msg}"),
             WorkloadError::Pattern(msg) => write!(f, "invalid destination pattern: {msg}"),
             WorkloadError::Routing(msg) => write!(f, "flow routing failed: {msg}"),
+            WorkloadError::Disconnected { src, dest } => write!(
+                f,
+                "network is disconnected: no surviving route from processor {src} to {dest}"
+            ),
         }
     }
 }
@@ -37,8 +49,10 @@ mod tests {
         let a = WorkloadError::InvalidParameter("rate".into()).to_string();
         let b = WorkloadError::Pattern("target".into()).to_string();
         let c = WorkloadError::Routing("loop".into()).to_string();
+        let d = WorkloadError::Disconnected { src: 3, dest: 9 }.to_string();
         assert!(a.contains("parameter") && a.contains("rate"));
         assert!(b.contains("pattern") && b.contains("target"));
         assert!(c.contains("routing") && c.contains("loop"));
+        assert!(d.contains("disconnected") && d.contains('3') && d.contains('9'));
     }
 }

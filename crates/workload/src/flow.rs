@@ -52,6 +52,16 @@ pub trait FlowRouting {
     /// The hop a worm headed for processor `dest` takes from switch
     /// `node`.
     fn flow_hop(&self, node: NodeId, dest: usize) -> FlowHop<'_>;
+
+    /// Whether a message from `src` can reach `dest` at all. Pristine
+    /// topologies are fully connected (the default); fault-degraded
+    /// routers override this so [`FlowVector::build`] reports partition
+    /// as a typed [`WorkloadError::Disconnected`] instead of failing
+    /// mid-propagation.
+    fn reachable(&self, src: usize, dest: usize) -> bool {
+        let _ = (src, dest);
+        true
+    }
 }
 
 impl FlowRouting for ButterflyFatTree {
@@ -136,7 +146,8 @@ impl FlowVector {
     ///
     /// [`WorkloadError::Pattern`] when the pattern does not fit the
     /// machine, [`WorkloadError::Routing`] on routing loops or misrouted
-    /// ejections.
+    /// ejections, [`WorkloadError::Disconnected`] when the pattern
+    /// demands a pair the (degraded) topology can no longer route.
     pub fn build<R: FlowRouting + ?Sized>(
         routing: &R,
         pattern: &DestinationPattern,
@@ -162,6 +173,9 @@ impl FlowVector {
                 let pair = pattern.dest_prob(src, dst, n_pe);
                 if pair == 0.0 {
                     continue;
+                }
+                if !routing.reachable(src, dst) {
+                    return Err(WorkloadError::Disconnected { src, dest: dst });
                 }
                 let inject = net.processors()[src].inject;
                 unit_flows[inject.index()] += pair;
@@ -433,8 +447,8 @@ mod tests {
     #[test]
     fn flow_conservation_for_every_pattern() {
         let tree = bft(64);
-        let mesh = Mesh::new(4, 2);
-        let cube = Hypercube::new(4);
+        let mesh = Mesh::new(4, 2).unwrap();
+        let cube = Hypercube::new(4).unwrap();
         let mut patterns = DestinationPattern::all_basic();
         patterns.push(DestinationPattern::Transpose); // 64 and 16 are square
         for p in &patterns {
@@ -521,7 +535,7 @@ mod tests {
 
     #[test]
     fn permutation_flows_are_sparse() {
-        let mesh = Mesh::new(4, 2);
+        let mesh = Mesh::new(4, 2).unwrap();
         let flows = FlowVector::build(&mesh, &DestinationPattern::NearestNeighbor).unwrap();
         // Every PE sends exactly one unit; injections all carry 1.
         for pe in 0..16 {

@@ -60,7 +60,7 @@ proptest! {
         dims in 1u32..=2,
         fraction in 0.0f64..1.0,
     ) {
-        let mesh = Mesh::new(radix, dims);
+        let mesh = Mesh::new(radix, dims).unwrap();
         let n = mesh.num_processors();
         prop_assume!(n >= 2);
         let pat = DestinationPattern::HotSpot { fraction, target: n - 1 };

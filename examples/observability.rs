@@ -53,8 +53,11 @@ fn main() {
         100.0 * snap.avg_channel_stall_fraction()
     );
     println!(
-        "  stalls: link-busy {}, no-free-lane {}, fcfs-queued {}",
-        snap.stalls_link_busy, snap.stalls_no_free_lane, snap.stalls_fcfs_queued
+        "  stalls: link-busy {}, no-free-lane {}, fcfs-queued {}, dead-link {}",
+        snap.stalls_link_busy,
+        snap.stalls_no_free_lane,
+        snap.stalls_fcfs_queued,
+        snap.stalls_dead_link
     );
     println!(
         "  delivered latency: mean {:.1} cycles, p99 ≤ {} cycles",

@@ -26,6 +26,10 @@
 //! * [`lanes`] — virtual-channel (multi-lane) channels: validated lane
 //!   configs, deterministic allocation policies, and occupancy statistics,
 //!   shared by the simulator and the multi-lane model extension.
+//! * [`faults`] — seeded fault injection: deterministic link/switch
+//!   knockout plans, fault-aware degraded routing for every topology, and
+//!   graceful degradation contracts (typed disconnection errors, unroutable
+//!   accounting — never a panic or a hang).
 //! * [`obs`] — zero-cost observability: worm-lifecycle event tracing,
 //!   per-channel/per-lane usage accounting, solver convergence telemetry,
 //!   and JSONL / Chrome `trace_event` exporters. Disabled (the default)
@@ -111,6 +115,7 @@
 
 pub use wormsim_core as model;
 pub use wormsim_experiments as experiments;
+pub use wormsim_faults as faults;
 pub use wormsim_lanes as lanes;
 pub use wormsim_obs as obs;
 pub use wormsim_queueing as queueing;
@@ -122,11 +127,14 @@ pub use wormsim_workload as workload;
 pub mod prelude {
     pub use wormsim_core::bft::{BftModel, ChannelAudit, LatencyBreakdown};
     pub use wormsim_core::enumerate::{enumerate_deterministic, EnumeratedModel};
-    pub use wormsim_core::flows::{model_from_flows, workload_latency, FlowModelSweep};
+    pub use wormsim_core::flows::{
+        model_from_flows, model_from_flows_with_servers, workload_latency, FlowModelSweep,
+    };
     pub use wormsim_core::framework::{bft_spec_with_rates, ring_spec, BftLevelRates, WarmStart};
     pub use wormsim_core::options::{ModelOptions, ScvMode};
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
+    pub use wormsim_faults::{DegradedChoice, FaultError, FaultPlan, FaultSpec, FaultedBft};
     pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
     pub use wormsim_obs::{
         ModelTelemetry, ObsConfig, SimSnapshot, SolverTrace, StallCause, StationBreakdown,
@@ -134,6 +142,9 @@ pub mod prelude {
     };
     pub use wormsim_queueing::{QueueingError, ServiceMoments};
     pub use wormsim_sim::config::{EngineKind, SimConfig, TrafficConfig, TrafficPattern};
+    pub use wormsim_sim::router::{
+        DegradedRoute, FaultedBftRouter, FaultedHypercubeRouter, FaultedMeshRouter,
+    };
     pub use wormsim_sim::runner::{
         find_saturation, replicate, replicate_with_engine, run_simulation, run_simulation_observed,
         run_simulation_with_engine, run_simulation_with_fast_forward, run_simulation_with_lanes,

@@ -1,0 +1,80 @@
+//! Hygiene guard for the committed bench baselines.
+//!
+//! `BENCH_sim.json` / `BENCH_model.json` are regression anchors: CI and
+//! future sessions compare fresh release-mode runs against them. A baseline
+//! regenerated with `--quick` (or in a debug build that then fails the
+//! schema bump) silently poisons every later comparison — this has slipped
+//! through review twice. The guard pins the two properties a valid
+//! committed baseline must have:
+//!
+//! * `"quick": false` — full statistical effort, release profile;
+//! * the current schema string — so a code-side schema bump forces the
+//!   committed file to be regenerated in the same PR.
+//!
+//! Regenerate with:
+//! `cargo run --release -p wormsim-experiments --bin repro -- bench-baseline --out .`
+
+use std::path::Path;
+
+/// Current schema literals — keep in sync with `bench_baseline.rs`.
+const SIM_SCHEMA: &str = "wormsim-bench-sim/v5";
+const MODEL_SCHEMA: &str = "wormsim-bench-model/v2";
+
+fn read_baseline(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed baseline {} unreadable: {e}", path.display()))
+}
+
+fn assert_full_mode(name: &str, body: &str, schema: &str) {
+    assert!(
+        body.contains(&format!("\"schema\": \"{schema}\"")),
+        "{name} carries a stale schema (want {schema}); regenerate it with \
+         `cargo run --release -p wormsim-experiments --bin repro -- bench-baseline --out .`"
+    );
+    assert!(
+        body.contains("\"quick\": false"),
+        "{name} was generated with --quick; committed baselines must be \
+         full-effort release runs \
+         (`cargo run --release -p wormsim-experiments --bin repro -- bench-baseline --out .`)"
+    );
+    assert!(
+        !body.contains("\"quick\": true"),
+        "{name} claims quick mode; regenerate without --quick"
+    );
+}
+
+#[test]
+fn committed_sim_baseline_is_full_mode_and_current_schema() {
+    assert_full_mode(
+        "BENCH_sim.json",
+        &read_baseline("BENCH_sim.json"),
+        SIM_SCHEMA,
+    );
+}
+
+#[test]
+fn committed_model_baseline_is_full_mode_and_current_schema() {
+    assert_full_mode(
+        "BENCH_model.json",
+        &read_baseline("BENCH_model.json"),
+        MODEL_SCHEMA,
+    );
+}
+
+#[test]
+fn sim_baseline_carries_the_faulted_group() {
+    // Schema v5 added the faulted operating points; a v5 file without them
+    // would mean the regeneration ran against stale code.
+    let body = read_baseline("BENCH_sim.json");
+    for point in [
+        "bft64_load0.1_f0_ff",
+        "bft64_load0.1_f5_ff",
+        "bft64_load0.1_f5_ev",
+    ] {
+        assert!(
+            body.contains(point),
+            "BENCH_sim.json (v5) is missing faulted point {point}"
+        );
+    }
+}

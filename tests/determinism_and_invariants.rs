@@ -30,6 +30,7 @@ fn fingerprint(r: &SimResult) -> String {
         messages_measured,
         messages_completed,
         messages_incomplete,
+        messages_unroutable,
         delivered_flit_load,
         saturated,
         backlog_growth,
@@ -45,7 +46,7 @@ fn fingerprint(r: &SimResult) -> String {
     use std::fmt::Write as _;
     let _ = write!(
         s,
-        "{};{};{};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{};{};{};{:x};{};{};{};{};{};{};{}",
+        "{};{};{};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{:x};{};{};{};{};{:x};{};{};{};{};{};{};{}",
         topology,
         num_processors,
         worm_flits,
@@ -60,6 +61,7 @@ fn fingerprint(r: &SimResult) -> String {
         messages_measured,
         messages_completed,
         messages_incomplete,
+        messages_unroutable,
         delivered_flit_load.to_bits(),
         saturated,
         backlog_growth,
@@ -109,7 +111,7 @@ fn fingerprint(r: &SimResult) -> String {
         Some(o) => {
             let _ = write!(
                 s,
-                ";obs={}:{}:{}:{}:{}:{}:{}:{}:{}",
+                ";obs={}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
                 o.injected,
                 o.delivered,
                 o.route_decisions,
@@ -118,6 +120,8 @@ fn fingerprint(r: &SimResult) -> String {
                 o.stalls_link_busy,
                 o.stalls_no_free_lane,
                 o.stalls_fcfs_queued,
+                o.stalls_dead_link,
+                o.unroutable,
                 o.events.len(),
             );
             let busy: u64 = o.channels.iter().map(|c| c.busy_cycles).sum();

@@ -122,7 +122,7 @@ proptest! {
                 assert_engine_equivalence(&router, &cfg, &traffic, &lc, &OPTIMIZED, &label);
             }
             Topo::Cube { dim } => {
-                let cube = Hypercube::new(dim);
+                let cube = Hypercube::new(dim).unwrap();
                 if traffic.pattern.validate(cube.network().num_processors()).is_err() {
                     return Ok(());
                 }
@@ -130,7 +130,7 @@ proptest! {
                 assert_engine_equivalence(&router, &cfg, &traffic, &lc, &OPTIMIZED, &label);
             }
             Topo::Mesh { k, n } => {
-                let mesh = Mesh::new(k, n);
+                let mesh = Mesh::new(k, n).unwrap();
                 if traffic.pattern.validate(mesh.network().num_processors()).is_err() {
                     return Ok(());
                 }

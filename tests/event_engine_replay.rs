@@ -69,12 +69,12 @@ fn event_engine_replays_the_six_pinned_regression_configs() {
         "bft64_mmpp",
     );
 
-    let cube = Hypercube::new(4);
+    let cube = Hypercube::new(4).unwrap();
     let rc = HypercubeRouter::new(&cube);
     let tc = TrafficConfig::from_flit_load(0.05, 16).unwrap();
     assert_engine_equivalence(&rc, &pin_cfg(19), &tc, &single, &OPTIMIZED, "cube4_uniform");
 
-    let mesh = Mesh::new(4, 2);
+    let mesh = Mesh::new(4, 2).unwrap();
     let rm = MeshRouter::new(&mesh);
     let tm = TrafficConfig::from_flit_load(0.05, 8).unwrap();
     assert_engine_equivalence(

@@ -160,14 +160,14 @@ fn single_lane_engine_reproduces_the_pre_lanes_engine_bit_for_bit() {
         &pins[2],
         &run_simulation_with_lanes(&router, &pin_cfg(13), &t_mmpp, &single),
     );
-    let cube = Hypercube::new(4);
+    let cube = Hypercube::new(4).unwrap();
     let rc = HypercubeRouter::new(&cube);
     let tc = TrafficConfig::from_flit_load(0.05, 16).unwrap();
     check(
         &pins[3],
         &run_simulation_with_lanes(&rc, &pin_cfg(19), &tc, &single),
     );
-    let mesh = Mesh::new(4, 2);
+    let mesh = Mesh::new(4, 2).unwrap();
     let rm = MeshRouter::new(&mesh);
     let tm = TrafficConfig::from_flit_load(0.05, 8).unwrap();
     check(

@@ -107,10 +107,10 @@ fn three_distance_representations_agree() {
 fn hypercube_and_mesh_distances_agree_with_bfs() {
     use wormsim::topology::hypercube::Hypercube;
     use wormsim::topology::mesh::Mesh;
-    let cube = Hypercube::new(4);
+    let cube = Hypercube::new(4).unwrap();
     let bfs = distance::average_processor_distance(cube.network());
     assert!((bfs - cube.average_distance()).abs() < 1e-12);
-    let mesh = Mesh::new(3, 2);
+    let mesh = Mesh::new(3, 2).unwrap();
     let bfs = distance::average_processor_distance(mesh.network());
     assert!((bfs - mesh.average_distance()).abs() < 1e-12);
 }

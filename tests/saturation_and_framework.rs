@@ -47,7 +47,7 @@ fn framework_bft_equals_closed_form_cross_crate() {
 fn hypercube_framework_model_tracks_hypercube_simulation() {
     // The §2 framework instantiated on a genuinely different topology must
     // still track its simulator (the paper's "other networks" claim).
-    let cube = Hypercube::new(6);
+    let cube = Hypercube::new(6).unwrap();
     let router = HypercubeRouter::new(&cube);
     let cfg = SimConfig::quick().with_seed(37);
     for load in [0.02f64, 0.05] {
@@ -79,7 +79,7 @@ fn hypercube_framework_model_tracks_hypercube_simulation() {
 fn mesh_simulation_has_sane_zero_load_latency() {
     // No analytical mesh model (documented in DESIGN.md); validate the
     // mesh router against its exact zero-load latency instead.
-    let mesh = Mesh::new(4, 2);
+    let mesh = Mesh::new(4, 2).unwrap();
     let router = MeshRouter::new(&mesh);
     let cfg = SimConfig::quick().with_seed(41);
     let r = run_simulation(&router, &cfg, &TrafficConfig::new(0.0002, 16).unwrap());

@@ -29,9 +29,9 @@ fn flow_conservation_holds_for_every_pattern_and_topology() {
     // different code paths.
     let bft16 = ButterflyFatTree::new(BftParams::paper(16).unwrap());
     let bft64 = ButterflyFatTree::new(BftParams::paper(64).unwrap());
-    let mesh = Mesh::new(4, 2);
-    let mesh3 = Mesh::new(3, 2);
-    let cube = Hypercube::new(3);
+    let mesh = Mesh::new(4, 2).unwrap();
+    let mesh3 = Mesh::new(3, 2).unwrap();
+    let cube = Hypercube::new(3).unwrap();
     let cases: Vec<(&str, &dyn FlowRouting)> = vec![
         ("bft16", &bft16),
         ("bft64", &bft64),
