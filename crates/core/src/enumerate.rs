@@ -67,6 +67,36 @@ impl EnumeratedModel {
         self.breakdown_from(&sol, options)
     }
 
+    /// Saturation-aware [`Self::latency_warm`]: total over every load,
+    /// returning a typed [`SolveOutcome`] instead of erroring on
+    /// saturation or iteration failure (see
+    /// [`crate::framework::NetworkSpec::solve_outcome`]).
+    ///
+    /// # Errors
+    ///
+    /// Genuine usage errors only (malformed spec, invalid options).
+    pub fn latency_outcome_warm(
+        &self,
+        options: &ModelOptions,
+        warm: &mut crate::framework::WarmStart,
+    ) -> Result<wormsim_guard::SolveOutcome<LatencyBreakdown>> {
+        match self.spec.solve_outcome_warm(options, warm)? {
+            wormsim_guard::SolveOutcome::Converged(sol) => Ok(
+                wormsim_guard::SolveOutcome::Converged(self.breakdown_from(&sol, options)?),
+            ),
+            wormsim_guard::SolveOutcome::Saturated { knee_estimate } => {
+                Ok(wormsim_guard::SolveOutcome::Saturated { knee_estimate })
+            }
+            wormsim_guard::SolveOutcome::NoConvergence {
+                iterations,
+                residual,
+            } => Ok(wormsim_guard::SolveOutcome::NoConvergence {
+                iterations,
+                residual,
+            }),
+        }
+    }
+
     fn breakdown_from(
         &self,
         sol: &crate::framework::Solution,

@@ -166,7 +166,14 @@ pub fn model_from_flows_with_servers(
                 service_time: worm_flits,
             }
         };
-        let lead = station.channels.first().expect("stations are non-empty");
+        let lead = match station.channels.first() {
+            Some(lead) => lead,
+            None => {
+                return Err(ModelError::Spec(format!(
+                    "station {st_idx} has no member channels"
+                )))
+            }
+        };
         classes.push(ClassSpec {
             name: format!("{} st{st_idx}", net.channel(*lead).class),
             lambda,
@@ -257,6 +264,50 @@ impl FlowModelSweep {
             class.lambda = unit * lambda0;
         }
         self.model.latency_warm(options, &mut self.warm)
+    }
+
+    /// Saturation-aware [`Self::latency_at`], total over every load:
+    /// sub-knee loads return `Converged(latency)`, past-knee loads return
+    /// `Saturated` *as data* (after the full escalation ladder has tried
+    /// to rescue the solve) — the sweep records the point and continues
+    /// instead of dying.
+    ///
+    /// # Errors
+    ///
+    /// Genuine usage errors only: an invalid `lambda0`, malformed
+    /// options.
+    pub fn outcome_at(
+        &mut self,
+        lambda0: f64,
+        options: &crate::options::ModelOptions,
+    ) -> Result<wormsim_guard::SolveOutcome<LatencyBreakdown>> {
+        if !(lambda0.is_finite() && lambda0 >= 0.0) {
+            return Err(ModelError::Spec(format!("invalid message rate {lambda0}")));
+        }
+        for (class, unit) in self.model.spec.classes.iter_mut().zip(&self.unit_lambdas) {
+            class.lambda = unit * lambda0;
+        }
+        self.model.latency_outcome_warm(options, &mut self.warm)
+    }
+
+    /// Brackets this workload's saturation knee in per-PE message rate
+    /// `λ₀` (worms/cycle/PE): the spec is restored to unit rates, so
+    /// [`crate::framework::NetworkSpec::find_knee`]'s rate multiplier
+    /// *is* `λ₀`. The returned [`wormsim_guard::Knee::knee`] is the
+    /// largest rate proven feasible.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::framework::NetworkSpec::find_knee`].
+    pub fn find_knee(
+        &mut self,
+        options: &crate::options::ModelOptions,
+        cfg: &wormsim_guard::KneeConfig,
+    ) -> Result<wormsim_guard::Knee> {
+        for (class, unit) in self.model.spec.classes.iter_mut().zip(&self.unit_lambdas) {
+            class.lambda = *unit;
+        }
+        self.model.spec.find_knee(options, cfg)
     }
 
     /// The model as last rescaled (mainly for inspection in tests).
@@ -528,6 +579,61 @@ mod tests {
         // And a wrong-length vector is rejected up front.
         let short = vec![1u32; 3];
         assert!(model_from_flows_with_servers(net, &flows, 16.0, lambda0, Some(&short)).is_err());
+    }
+
+    #[test]
+    fn sweep_outcomes_are_total_and_knee_brackets_the_transition() {
+        // Uniform BFT-64: bracket the λ₀ knee, then sweep 0..2×knee
+        // through the outcome API — every point must yield a typed
+        // outcome (no panic, no Err), converged below the knee and
+        // saturated above `first_infeasible`.
+        let tree = ButterflyFatTree::new(BftParams::paper(64).unwrap());
+        let flows = FlowVector::build(&tree, &DestinationPattern::Uniform).unwrap();
+        let mut sweep = FlowModelSweep::new(tree.network(), &flows, 16.0).unwrap();
+        let opts = ModelOptions::paper();
+        let cfg = wormsim_guard::KneeConfig {
+            initial: 1e-4,
+            max: 1.0,
+            rel_tolerance: 1e-3,
+            max_probes: 200,
+        };
+        let knee = sweep.find_knee(&opts, &cfg).unwrap();
+        assert!(knee.knee > 0.0 && knee.first_infeasible < 1.0);
+        for i in 0..=20 {
+            let lambda0 = 2.0 * knee.knee * f64::from(i) / 20.0;
+            let outcome = sweep.outcome_at(lambda0, &opts).unwrap();
+            if lambda0 < knee.knee {
+                assert!(
+                    outcome.is_converged(),
+                    "λ0={lambda0} below knee {} must converge, got {}",
+                    knee.knee,
+                    outcome.label()
+                );
+                let total = outcome.converged().unwrap().total;
+                assert!(total.is_finite() && total > 0.0);
+            }
+            if lambda0 > knee.first_infeasible {
+                assert!(
+                    outcome.is_saturated(),
+                    "λ0={lambda0} past {} must saturate, got {}",
+                    knee.first_infeasible,
+                    outcome.label()
+                );
+            }
+        }
+        // Converged outcomes agree bit-for-bit with the erroring API on
+        // a fresh sweep (same warm-start history).
+        let mut a = FlowModelSweep::new(tree.network(), &flows, 16.0).unwrap();
+        let mut b = FlowModelSweep::new(tree.network(), &flows, 16.0).unwrap();
+        for lambda0 in [0.0005, 0.001, 0.002] {
+            let via_outcome = a.outcome_at(lambda0, &opts).unwrap();
+            let via_err = b.latency_at(lambda0, &opts).unwrap();
+            assert_eq!(
+                via_outcome.converged().unwrap().total.to_bits(),
+                via_err.total.to_bits()
+            );
+        }
+        assert!(a.outcome_at(f64::NAN, &opts).is_err());
     }
 
     #[test]

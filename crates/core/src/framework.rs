@@ -36,11 +36,12 @@
 use crate::error::ModelError;
 use crate::options::ModelOptions;
 use crate::Result;
-use wormsim_obs::{ModelTelemetry, SolverTrace, StationBreakdown};
+use wormsim_guard::{bracket_knee, escalate, Knee, KneeConfig, LadderOutcome, Rung, SolveOutcome};
+use wormsim_obs::{LadderSample, ModelTelemetry, OutcomeKind, SolverTrace, StationBreakdown};
 use wormsim_queueing::solver::{
     fixed_point_accelerated_traced, fixed_point_traced, AccelerationConfig, FixedPointConfig,
 };
-use wormsim_queueing::{mg1, mgm};
+use wormsim_queueing::{mg1, mgm, QueueingError};
 
 /// Reusable warm-start state for solving a *family* of related specs — a
 /// load sweep, a saturation bisection, a β sweep — whose solutions vary
@@ -184,6 +185,50 @@ pub struct Solution {
     pub waiting_times: Vec<f64>,
     /// Fixed-point iterations used (0 when the class graph was a DAG).
     pub iterations: usize,
+}
+
+/// How one solve attempt runs its cyclic fixed point — the knob the
+/// escalation ladder turns between rungs.
+#[derive(Debug, Clone, Copy)]
+struct SolveProfile {
+    /// Damping factor θ of the Picard step `x ← (1−θ)x + θf(x)`.
+    damping: f64,
+    /// Use the Aitken-accelerated adaptive-damping solver.
+    accelerated: bool,
+    /// Ignore any warm-start guess and seed from `x̄ = s/f`.
+    cold_seed: bool,
+}
+
+impl SolveProfile {
+    /// The profile for one [`Rung`] of the escalation ladder.
+    ///
+    /// * `Plain` — the historical configuration: θ = 0.5, accelerated iff
+    ///   warm-started (identical to [`NetworkSpec::solve`] /
+    ///   [`NetworkSpec::solve_warm`]).
+    /// * `Damped` — θ = 0.1 plain iteration: slow, but contracts where
+    ///   the θ = 0.5 map oscillates.
+    /// * `AcceleratedRestart` — Aitken Δ² from a cold seed, able to land
+    ///   on weakly-repelling fixed points and to escape a poisoned warm
+    ///   guess.
+    fn for_rung(rung: Rung, warm_started: bool) -> Self {
+        match rung {
+            Rung::Plain => SolveProfile {
+                damping: 0.5,
+                accelerated: warm_started,
+                cold_seed: false,
+            },
+            Rung::Damped => SolveProfile {
+                damping: 0.1,
+                accelerated: false,
+                cold_seed: false,
+            },
+            Rung::AcceleratedRestart => SolveProfile {
+                damping: 0.5,
+                accelerated: true,
+                cold_seed: true,
+            },
+        }
+    }
 }
 
 impl NetworkSpec {
@@ -564,11 +609,218 @@ impl NetworkSpec {
         self.solve_inner(options, Some(warm), None)
     }
 
+    /// Saturation-aware solve, total over load ∈ [0, ∞): never errors on
+    /// saturation or iteration failure, returning a typed
+    /// [`SolveOutcome`] instead. A failed attempt is retried through the
+    /// escalation ladder (plain → heavy damping → accelerated restart)
+    /// before the point is declared `Saturated` (station `ρ ≥ 1` or
+    /// detected divergence — definitive) or `NoConvergence` (budget
+    /// expired at every rung — report, don't guess).
+    ///
+    /// # Errors
+    ///
+    /// Only genuine usage errors: malformed specs, invalid options. The
+    /// load being too high is *data* ([`SolveOutcome::Saturated`]), not
+    /// an error.
+    pub fn solve_outcome(&self, options: &ModelOptions) -> Result<SolveOutcome<Solution>> {
+        self.solve_outcome_inner(options, None, None)
+    }
+
+    /// [`Self::solve_outcome`] with warm-started sweep state: the sweep
+    /// entry point that degrades gracefully. A non-converged point
+    /// leaves `warm` untouched, so the next sweep point still seeds from
+    /// the last convergent one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_outcome`].
+    pub fn solve_outcome_warm(
+        &self,
+        options: &ModelOptions,
+        warm: &mut WarmStart,
+    ) -> Result<SolveOutcome<Solution>> {
+        self.solve_outcome_inner(options, Some(warm), None)
+    }
+
+    /// [`Self::solve_outcome`] with telemetry: the solver trace of the
+    /// *final* ladder attempt, one [`LadderSample`] per rung tried, and
+    /// the outcome classification land in `telemetry`; the station
+    /// breakdown is filled when the solve converged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_outcome`]. On error the telemetry holds the
+    /// ladder attempts and trace accumulated before the failure.
+    pub fn solve_outcome_traced(
+        &self,
+        options: &ModelOptions,
+        telemetry: &mut ModelTelemetry,
+    ) -> Result<SolveOutcome<Solution>> {
+        self.solve_outcome_inner(options, None, Some(telemetry))
+    }
+
+    fn solve_outcome_inner(
+        &self,
+        options: &ModelOptions,
+        mut warm: Option<&mut WarmStart>,
+        mut telemetry: Option<&mut ModelTelemetry>,
+    ) -> Result<SolveOutcome<Solution>> {
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.reset();
+        }
+        let warm_started = warm.is_some();
+        let mut ladder: Vec<LadderSample> = Vec::new();
+        let out = escalate(
+            |rung| {
+                let profile = SolveProfile::for_rung(rung, warm_started);
+                // Each attempt overwrites the trace, leaving the decisive
+                // attempt's trace in the telemetry.
+                let mut trace = telemetry.as_deref_mut().map(|t| {
+                    t.solver = SolverTrace::new();
+                    &mut t.solver
+                });
+                let res = self.solve_profiled(options, warm.as_deref_mut(), trace.take(), profile);
+                ladder.push(LadderSample {
+                    rung: rung.label().to_string(),
+                    succeeded: res.is_ok(),
+                    detail: match &res {
+                        Ok(_) => "converged".to_string(),
+                        Err(e) => e.to_string(),
+                    },
+                });
+                res
+            },
+            // Iteration failures and mid-solve domain excursions are
+            // worth a stronger rung; `ρ ≥ 1` and spec errors are not.
+            |e| matches!(e, ModelError::NoConvergence { .. }) || e.is_domain_excursion(),
+        );
+        let saturated = (
+            SolveOutcome::Saturated {
+                knee_estimate: None,
+            },
+            OutcomeKind::Saturated,
+        );
+        let (outcome, kind) = match out {
+            LadderOutcome::Solved { value, .. } => {
+                (SolveOutcome::Converged(value), OutcomeKind::Converged)
+            }
+            LadderOutcome::Aborted { error, .. } if error.is_saturation() => saturated,
+            LadderOutcome::Aborted { error, .. } => {
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.ladder = ladder;
+                }
+                return Err(error);
+            }
+            LadderOutcome::Exhausted { last_error, .. } => match last_error {
+                // Divergence surviving the whole ladder is the fixed
+                // point running away — past the knee. Likewise a domain
+                // excursion (negative/non-finite iterate) on a validated
+                // spec that not even the restart rung avoided.
+                ModelError::NoConvergence { diverged: true, .. } => saturated,
+                e if e.is_domain_excursion() => saturated,
+                ModelError::NoConvergence {
+                    iterations,
+                    residual,
+                    ..
+                } => (
+                    SolveOutcome::NoConvergence {
+                        iterations,
+                        residual,
+                    },
+                    OutcomeKind::NoConvergence,
+                ),
+                // The retry policy admits nothing else; stay total
+                // regardless.
+                e => {
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.ladder = ladder;
+                    }
+                    return Err(e);
+                }
+            },
+        };
+        if let Some(t) = telemetry {
+            t.ladder = ladder;
+            t.outcome = Some(kind);
+            if let SolveOutcome::Converged(sol) = &outcome {
+                t.stations = self.station_breakdown(sol, options)?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Brackets the saturation knee of this spec as a **multiplier on
+    /// its configured arrival rates**: `find_knee` probes copies of the
+    /// spec with every `lambda` scaled by `t`, growing then bisecting on
+    /// the smallest `t` whose solve no longer converges (per the full
+    /// escalation ladder). Probes share one [`WarmStart`], so the
+    /// bisection rides the previous feasible point's solution.
+    ///
+    /// For a spec built at unit rate (e.g.
+    /// [`crate::flows::FlowModelSweep`]'s), the multiplier *is* the
+    /// per-PE worm rate `λ₀`. The returned [`Knee::knee`] is the largest
+    /// multiplier proven feasible — always safe to solve at.
+    ///
+    /// # Errors
+    ///
+    /// Spec/usage errors as [`Self::solve_outcome`];
+    /// [`ModelError::Knee`] when the spec is infeasible at
+    /// `cfg.initial` or still feasible at `cfg.max` (e.g. a DAG model
+    /// with no cyclic saturation inside the probed range).
+    pub fn find_knee(&self, options: &ModelOptions, cfg: &KneeConfig) -> Result<Knee> {
+        self.validate()?;
+        let mut scaled = self.clone();
+        let base: Vec<f64> = self.classes.iter().map(|c| c.lambda).collect();
+        let mut warm = WarmStart::new();
+        let mut usage_err: Option<ModelError> = None;
+        let bracket = bracket_knee(cfg, |t| {
+            for (class, b) in scaled.classes.iter_mut().zip(&base) {
+                class.lambda = b * t;
+            }
+            match scaled.solve_outcome_warm(options, &mut warm) {
+                Ok(outcome) => outcome.is_converged(),
+                Err(e) => {
+                    // A usage error aborts the probe sequence; surface
+                    // the first one instead of a misleading knee error.
+                    usage_err.get_or_insert(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = usage_err {
+            return Err(e);
+        }
+        bracket.map_err(ModelError::Knee)
+    }
+
     fn solve_inner(
         &self,
         options: &ModelOptions,
         warm: Option<&mut WarmStart>,
         trace: Option<&mut SolverTrace>,
+    ) -> Result<Solution> {
+        // The historical profile: standard damping, accelerated iff a
+        // warm start is threaded through. Bit-for-bit the pre-ladder
+        // behaviour.
+        let accelerated = warm.is_some();
+        self.solve_profiled(
+            options,
+            warm,
+            trace,
+            SolveProfile {
+                damping: 0.5,
+                accelerated,
+                cold_seed: false,
+            },
+        )
+    }
+
+    fn solve_profiled(
+        &self,
+        options: &ModelOptions,
+        warm: Option<&mut WarmStart>,
+        trace: Option<&mut SolverTrace>,
+        profile: SolveProfile,
     ) -> Result<Solution> {
         self.validate()?;
         if options.lanes == 0 {
@@ -578,13 +830,15 @@ impl NetworkSpec {
         }
         let n = self.classes.len();
         // Seed from the previous sweep point when its spec had the same
-        // shape; fall back to the cold start `x̄ = s/f` everywhere.
+        // shape; fall back to the cold start `x̄ = s/f` everywhere. A
+        // restart rung forces the cold seed (a poisoned warm guess can be
+        // exactly what kept the earlier rungs from converging).
         let seed: Vec<f64> = match &warm {
-            Some(w) => match &w.guess {
+            Some(w) if !profile.cold_seed => match &w.guess {
                 Some(g) if g.len() == n => g.clone(),
                 _ => vec![self.worm_flits; n],
             },
-            None => vec![self.worm_flits; n],
+            _ => vec![self.worm_flits; n],
         };
         let mut x = seed;
         let iterations;
@@ -597,7 +851,7 @@ impl NetworkSpec {
             let cfg = FixedPointConfig {
                 tolerance: 1e-12,
                 max_iterations: 20_000,
-                damping: 0.5,
+                damping: profile.damping,
             };
             let mut deferred: Result<()> = Ok(());
             let map = |cur: &[f64], next: &mut [f64]| {
@@ -606,7 +860,7 @@ impl NetworkSpec {
                         Ok(v) => *slot = v,
                         Err(e) => {
                             deferred = Err(e.clone());
-                            return Err(wormsim_queueing::QueueingError::Saturated {
+                            return Err(QueueingError::Saturated {
                                 utilization: f64::INFINITY,
                             });
                         }
@@ -614,7 +868,7 @@ impl NetworkSpec {
                 }
                 Ok(())
             };
-            let outcome = if warm.is_some() {
+            let outcome = if profile.accelerated {
                 fixed_point_accelerated_traced(&x, cfg, AccelerationConfig::default(), map, trace)
             } else {
                 fixed_point_traced(&x, cfg, map, trace)
@@ -626,7 +880,25 @@ impl NetworkSpec {
                 }
                 Err(e) => {
                     deferred?;
-                    return Err(ModelError::Spec(format!("fixed point failed: {e}")));
+                    return Err(match e {
+                        QueueingError::NoConvergence {
+                            iterations,
+                            residual,
+                        } => ModelError::NoConvergence {
+                            iterations,
+                            residual,
+                            diverged: false,
+                        },
+                        QueueingError::Diverged {
+                            iterations,
+                            residual,
+                        } => ModelError::NoConvergence {
+                            iterations,
+                            residual,
+                            diverged: true,
+                        },
+                        other => ModelError::Spec(format!("fixed point failed: {other}")),
+                    });
                 }
             }
         }
@@ -1454,6 +1726,139 @@ mod tests {
                 assert!(["mid", "eject", "inject"].contains(&class.as_str()));
             }
             other => panic!("expected queueing error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn solve_outcome_is_total_across_the_load_axis() {
+        let opts = ModelOptions::paper();
+        // Below the knee: converged, same values as the plain solve.
+        let spec = ring_spec(8, 16.0, 0.002);
+        let outcome = spec.solve_outcome(&opts).unwrap();
+        let plain = spec.solve(&opts).unwrap();
+        match &outcome {
+            SolveOutcome::Converged(sol) => {
+                for (a, b) in sol.service_times.iter().zip(&plain.service_times) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "outcome path perturbed the solve");
+                }
+            }
+            other => panic!("sub-knee load must converge, got {other:?}"),
+        }
+        // Far past the knee: Saturated, not an error and not a panic.
+        let hot = ring_spec(8, 16.0, 0.5);
+        assert!(hot.solve_outcome(&opts).unwrap().is_saturated());
+        // A genuine usage error is still an error.
+        let mut bad = ring_spec(8, 16.0, 0.002);
+        bad.classes[1].lambda = f64::NAN;
+        assert!(bad.solve_outcome(&opts).is_err());
+    }
+
+    #[test]
+    fn solve_outcome_traced_records_ladder_and_outcome() {
+        let opts = ModelOptions::paper();
+        let mut tel = ModelTelemetry::default();
+
+        let ok = ring_spec(8, 16.0, 0.002)
+            .solve_outcome_traced(&opts, &mut tel)
+            .unwrap();
+        assert!(ok.is_converged());
+        assert_eq!(tel.outcome, Some(wormsim_obs::OutcomeKind::Converged));
+        assert_eq!(
+            tel.ladder.len(),
+            1,
+            "plain rung must suffice: {:?}",
+            tel.ladder
+        );
+        assert_eq!(tel.ladder[0].rung, "plain");
+        assert!(tel.ladder[0].succeeded);
+        assert!(!tel.stations.is_empty());
+        assert!(tel.solver.converged);
+
+        let sat = ring_spec(8, 16.0, 0.5)
+            .solve_outcome_traced(&opts, &mut tel)
+            .unwrap();
+        assert!(sat.is_saturated());
+        assert_eq!(tel.outcome, Some(wormsim_obs::OutcomeKind::Saturated));
+        assert!(!tel.ladder.is_empty());
+        assert!(tel.ladder.iter().all(|a| !a.succeeded));
+        assert!(tel.stations.is_empty(), "no breakdown without a solution");
+    }
+
+    #[test]
+    fn solve_outcome_warm_leaves_state_usable_past_a_saturated_point() {
+        let opts = ModelOptions::paper();
+        let mut warm = WarmStart::new();
+        assert!(ring_spec(8, 16.0, 0.002)
+            .solve_outcome_warm(&opts, &mut warm)
+            .unwrap()
+            .is_converged());
+        let seeded = warm.last_values().unwrap().to_vec();
+        assert!(ring_spec(8, 16.0, 0.5)
+            .solve_outcome_warm(&opts, &mut warm)
+            .unwrap()
+            .is_saturated());
+        assert_eq!(
+            warm.last_values().unwrap(),
+            seeded.as_slice(),
+            "a saturated point must not poison the warm start"
+        );
+        assert!(ring_spec(8, 16.0, 0.0021)
+            .solve_outcome_warm(&opts, &mut warm)
+            .unwrap()
+            .is_converged());
+    }
+
+    #[test]
+    fn find_knee_brackets_the_ring_saturation() {
+        // Unit-rate ring: the knee multiplier is λ₀ itself. The ring-8
+        // knee sits near λ₀ ≈ 0.004 (ρ_ring = λ₀·D·x̄ with x̄ ≥ 16).
+        let spec = ring_spec(8, 16.0, 1.0);
+        let cfg = KneeConfig {
+            initial: 1e-4,
+            max: 1.0,
+            rel_tolerance: 1e-3,
+            max_probes: 200,
+        };
+        let knee = spec.find_knee(&ModelOptions::paper(), &cfg).unwrap();
+        // Feasible side must actually solve; infeasible side must not.
+        assert!(ring_spec(8, 16.0, knee.knee)
+            .solve_outcome(&ModelOptions::paper())
+            .unwrap()
+            .is_converged());
+        assert!(!ring_spec(8, 16.0, knee.first_infeasible)
+            .solve_outcome(&ModelOptions::paper())
+            .unwrap()
+            .is_converged());
+        // Loose physical sanity: ρ < 1 needs λ₀ < 1/(D·s) = 1/64.
+        assert!(knee.knee > 1e-3 && knee.first_infeasible < 1.0 / 64.0);
+        assert!(knee.rel_width() <= 1e-3 + 1e-12);
+    }
+
+    #[test]
+    fn find_knee_reports_open_brackets_as_typed_errors() {
+        // An idle-rate spec scaled up to `max` that never saturates
+        // within range: max far below the knee.
+        let spec = ring_spec(8, 16.0, 1.0);
+        let cfg = KneeConfig {
+            initial: 1e-5,
+            max: 1e-4,
+            rel_tolerance: 1e-2,
+            max_probes: 50,
+        };
+        match spec.find_knee(&ModelOptions::paper(), &cfg) {
+            Err(ModelError::Knee(wormsim_guard::KneeError::NoKneeBelowMax { .. })) => {}
+            other => panic!("expected NoKneeBelowMax, got {other:?}"),
+        }
+        // Floor already infeasible.
+        let cfg = KneeConfig {
+            initial: 0.5,
+            max: 2.0,
+            rel_tolerance: 1e-2,
+            max_probes: 50,
+        };
+        match spec.find_knee(&ModelOptions::paper(), &cfg) {
+            Err(ModelError::Knee(wormsim_guard::KneeError::InfeasibleAtFloor { .. })) => {}
+            other => panic!("expected InfeasibleAtFloor, got {other:?}"),
         }
     }
 }

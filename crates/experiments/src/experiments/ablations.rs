@@ -13,6 +13,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_core::options::ModelOptions;
@@ -46,11 +47,15 @@ fn variants() -> Vec<Variant> {
     ]
 }
 
-fn run_ablation(ctx: &ExperimentContext, name: &str, intro: &str) -> ExperimentOutput {
+fn run_ablation(
+    ctx: &ExperimentContext,
+    name: &str,
+    intro: &str,
+) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new(name);
     let n = if ctx.quick { 256 } else { 1024 };
     let s = 32u32;
-    let params = BftParams::paper(n).expect("power of 4");
+    let params = BftParams::paper(n)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
@@ -133,12 +138,15 @@ fn run_ablation(ctx: &ExperimentContext, name: &str, intro: &str) -> ExperimentO
     }
     out.section(summary.render());
     ctx.write_csv(&csv, &format!("{name}.csv"), &mut out);
-    out
+    Ok(out)
 }
 
 /// A1: up-link bundles as independent single-server queues.
-#[must_use]
-pub fn run_servers(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run_servers(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     run_ablation(
         ctx,
         "ablation-servers",
@@ -150,8 +158,11 @@ pub fn run_servers(ctx: &ExperimentContext) -> ExperimentOutput {
 }
 
 /// A2: blocking-probability correction disabled.
-#[must_use]
-pub fn run_blocking(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run_blocking(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     run_ablation(
         ctx,
         "ablation-blocking",
@@ -169,7 +180,7 @@ mod tests {
     #[test]
     fn paper_variant_beats_ablations_on_average() {
         let ctx = ExperimentContext::quick();
-        let out = run_servers(&ctx);
+        let out = run_servers(&ctx).unwrap();
         // Extract the summary means: paper must be first and smallest.
         let lines: Vec<&str> = out
             .report

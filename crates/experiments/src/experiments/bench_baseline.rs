@@ -12,13 +12,20 @@
 //!   saturating N=1024 point where fast-forwarding finds no idle spans
 //!   and the event core's caches carry the speedup, a faulted group
 //!   (`bft64_load0.1_f*`) pricing the fault-aware router with an empty
-//!   plan and under a 5% link knockout, and the observability-overhead
-//!   A/B point (`obs_overhead`, budget ≤1%).
+//!   plan and under a 5% link knockout plus a deliberately past-knee
+//!   point (`bft64_pastknee_f5_ff`) proving saturated runs complete and
+//!   get recorded, and the observability-overhead A/B point
+//!   (`obs_overhead`, budget ≤1%).
 //! * `BENCH_model.json` — analytical-model costs: closed-form and
 //!   framework solve times, plus the **deterministic** fixed-point
 //!   iteration counts of a 20-point cyclic framework sweep, cold-started
 //!   vs warm-started (the iteration reduction is machine-independent and
 //!   belongs in version control as a hard regression anchor).
+//!
+//! Model anchor loads are **knee-derived**: half the bracketed saturation
+//! knee ([`wormsim_core::framework::NetworkSpec::find_knee`]) at each
+//! machine size, so every anchor sits safely below its own knee at every
+//! `N` — no hand-tuned, mode-dependent load constants.
 //!
 //! The JSON is hand-rolled (no serde in this offline workspace): flat
 //! objects, stable key order, one point per line — diffable across PRs so
@@ -37,6 +44,7 @@
 //! full-mode pedigree.
 
 use super::{ExperimentContext, ExperimentOutput};
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -45,6 +53,7 @@ use wormsim_core::flows::FlowModelSweep;
 use wormsim_core::framework::{bft_spec, ring_spec, WarmStart};
 use wormsim_core::options::ModelOptions;
 use wormsim_faults::{link_faults, FaultPlan};
+use wormsim_guard::KneeConfig;
 use wormsim_sim::config::ObsConfig;
 use wormsim_sim::config::{EngineKind, LaneAllocatorKind, LaneConfig, SimConfig, TrafficConfig};
 use wormsim_sim::router::{BftRouter, FaultedBftRouter};
@@ -108,6 +117,18 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// The single-lane model's bracketed saturation knee at `params`, in
+/// flits/cycle/PE. Bisection over warm-started probes — deterministic,
+/// so knee-derived anchor loads reproduce exactly across machines.
+fn model_knee_flit_load(params: BftParams, worm_flits: f64) -> Result<f64, ExperimentError> {
+    // Reference rate such that the default multiplier range [1e-3, 64]
+    // spans flit loads well past every machine's knee.
+    let reference_lambda0 = 2.5e-4;
+    let spec = bft_spec(&params, worm_flits, reference_lambda0);
+    let knee = spec.find_knee(&ModelOptions::paper(), &KneeConfig::default())?;
+    Ok(knee.knee * reference_lambda0 * worm_flits)
+}
+
 struct SimPoint {
     name: String,
     n: usize,
@@ -142,11 +163,16 @@ fn bench_cfg(seed: u64) -> SimConfig {
 }
 
 /// Runs the experiment.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building topologies,
+/// fault plans, traffic configs, or bracketing the anchor knees.
 #[allow(clippy::too_many_lines)]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("bench-baseline");
     let reps = if ctx.quick { 3 } else { 15 };
+    let no_rep = || ExperimentError::Invalid("no benchmark repetition ran".into());
 
     // ---- Simulator set: (N, flit load) across the idle→busy spectrum,
     // each point on all three cores. The (1024, 0.05) point is saturating:
@@ -170,16 +196,16 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ];
     let mut sim_points: Vec<SimPoint> = Vec::new();
     for &(n, flit_load) in &grid {
-        let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+        let tree = ButterflyFatTree::new(BftParams::paper(n)?);
         let router = BftRouter::new(&tree);
         let cfg = bench_cfg(ctx.seed);
-        let traffic = TrafficConfig::from_flit_load(flit_load, 16).expect("valid load");
+        let traffic = TrafficConfig::from_flit_load(flit_load, 16)?;
         for (engine, suffix) in ENGINES {
             let mut last = None;
             let median = median_ns(reps, || {
                 last = Some(run_simulation_with_engine(&router, &cfg, &traffic, engine));
             });
-            let r = last.expect("at least one repetition ran");
+            let r = last.ok_or_else(no_rep)?;
             sim_points.push(SimPoint {
                 name: format!("bft{n}_load{flit_load}_{suffix}"),
                 n,
@@ -202,12 +228,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     {
         let n = 64usize;
         let flit_load = 0.1;
-        let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+        let tree = ButterflyFatTree::new(BftParams::paper(n)?);
         let router = BftRouter::new(&tree);
         let cfg = bench_cfg(ctx.seed);
-        let traffic = TrafficConfig::from_flit_load(flit_load, 16).expect("valid load");
+        let traffic = TrafficConfig::from_flit_load(flit_load, 16)?;
         for lanes in [1u32, 2, 4] {
-            let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+            let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree)?;
             for (engine, suffix) in [(EngineKind::FastForward, ""), (EngineKind::Event, "_ev")] {
                 let mut last = None;
                 let median = median_ns(reps, || {
@@ -215,7 +241,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                         &router, &cfg, &traffic, &lc, engine,
                     ));
                 });
-                let r = last.expect("at least one repetition ran");
+                let r = last.ok_or_else(no_rep)?;
                 lane_points.push(SimPoint {
                     name: format!("bft{n}_load{flit_load}_l{lanes}{suffix}"),
                     n,
@@ -236,24 +262,25 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // point, since an empty plan keeps every original code path. The f5
     // points (5% link knockout, still fully connected) time actual
     // degraded routing: restricted up-bundle masks and dead-lane
-    // pre-occupancy. ----
+    // pre-occupancy. The group closes with a deliberately past-knee f5
+    // point (1.5× the bracketed pristine model knee): the run saturates
+    // by construction and must still complete within the drain cap and
+    // be recorded — the totality the guard layer promises, priced. ----
+    let knee64 = model_knee_flit_load(BftParams::paper(64)?, 16.0)?;
     let mut fault_points: Vec<SimPoint> = Vec::new();
     {
         let n = 64usize;
         let flit_load = 0.1;
-        let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+        let tree = ButterflyFatTree::new(BftParams::paper(n)?);
         let cfg = bench_cfg(ctx.seed);
-        let traffic = TrafficConfig::from_flit_load(flit_load, 16).expect("valid load");
-        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let traffic = TrafficConfig::from_flit_load(flit_load, 16)?;
+        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree)?;
         let plans = [
             ("f0", FaultPlan::none(tree.network())),
-            (
-                "f5",
-                link_faults(tree.network(), 0.05, 7).expect("valid fraction"),
-            ),
+            ("f5", link_faults(tree.network(), 0.05, 7)?),
         ];
         for (tag, plan) in plans {
-            let router = FaultedBftRouter::new(&tree, plan).expect("plan fits the tree");
+            let router = FaultedBftRouter::new(&tree, plan)?;
             let engines: &[(EngineKind, &str)] = if tag == "f0" {
                 &[(EngineKind::FastForward, "_ff")]
             } else {
@@ -266,13 +293,38 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                         &router, &cfg, &traffic, &lc, engine,
                     ));
                 });
-                let r = last.expect("at least one repetition ran");
+                let r = last.ok_or_else(no_rep)?;
                 fault_points.push(SimPoint {
                     name: format!("bft{n}_load{flit_load}_{tag}{suffix}"),
                     n,
                     flit_load,
                     lanes: 1,
                     engine,
+                    median_ns: median,
+                    cycles_run: r.cycles_run,
+                    cycles_skipped: r.cycles_skipped,
+                });
+            }
+            if tag == "f5" {
+                let past_knee = 1.5 * knee64;
+                let past_traffic = TrafficConfig::from_flit_load(past_knee, 16)?;
+                let mut last = None;
+                let median = median_ns(reps, || {
+                    last = Some(run_simulation_with_lanes_and_engine(
+                        &router,
+                        &cfg,
+                        &past_traffic,
+                        &lc,
+                        EngineKind::FastForward,
+                    ));
+                });
+                let r = last.ok_or_else(no_rep)?;
+                fault_points.push(SimPoint {
+                    name: "bft64_pastknee_f5_ff".to_string(),
+                    n,
+                    flit_load: past_knee,
+                    lanes: 1,
+                    engine: EngineKind::FastForward,
                     median_ns: median,
                     cycles_run: r.cycles_run,
                     cycles_skipped: r.cycles_skipped,
@@ -288,11 +340,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // release mode; this block is the committed evidence). A counters-only
     // enabled point is recorded for information. ----
     let (obs_plain_ns, obs_disabled_ns, obs_enabled_ns) = {
-        let tree = ButterflyFatTree::new(BftParams::paper(64).expect("power of 4"));
+        let tree = ButterflyFatTree::new(BftParams::paper(64)?);
         let router = BftRouter::new(&tree);
         let cfg = bench_cfg(ctx.seed);
-        let traffic = TrafficConfig::from_flit_load(0.1, 16).expect("valid load");
-        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let traffic = TrafficConfig::from_flit_load(0.1, 16)?;
+        let lc = LaneConfig::new(1, LaneAllocatorKind::FirstFree)?;
         let obs_reps = if ctx.quick { 5 } else { 31 };
         let disabled = ObsConfig::disabled();
         let (plain, off) = interleaved_median_ns(
@@ -341,16 +393,33 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     };
     let obs_ratio = obs_disabled_ns as f64 / obs_plain_ns.max(1) as f64;
 
-    // ---- Model set: solve costs + deterministic iteration counts. ----
+    // ---- Model set: solve costs + deterministic iteration counts.
+    // Anchor loads are half the bracketed knee at each N — safely below
+    // saturation at every machine size, no per-mode constants. ----
     let model_reps = reps * 4;
-    let params = BftParams::paper(if ctx.quick { 256 } else { 1024 }).expect("power of 4");
+    let params = BftParams::paper(if ctx.quick { 256 } else { 1024 })?;
+    let closed_anchor = 0.5 * model_knee_flit_load(params, 32.0)?;
     let closed = BftModel::new(params, 32.0);
+    // Each timed solve is validated once up front so the timing closures
+    // can consume the Result without panicking.
+    let _ = closed.latency_at_flit_load(closed_anchor)?;
     let closed_ns = median_ns(model_reps, || {
-        std::hint::black_box(closed.latency_at_flit_load(0.02).expect("stable").total);
+        std::hint::black_box(
+            closed
+                .latency_at_flit_load(closed_anchor)
+                .map(|l| l.total)
+                .unwrap_or(f64::NAN),
+        );
     });
+    let framework_lambda0 = closed_anchor / 32.0;
+    let _ = bft_spec(&params, 32.0, framework_lambda0).latency(&ModelOptions::paper())?;
     let framework_ns = median_ns(model_reps, || {
-        let spec = bft_spec(&params, 32.0, 0.001);
-        std::hint::black_box(spec.latency(&ModelOptions::paper()).expect("stable").total);
+        let spec = bft_spec(&params, 32.0, framework_lambda0);
+        std::hint::black_box(
+            spec.latency(&ModelOptions::paper())
+                .map(|l| l.total)
+                .unwrap_or(f64::NAN),
+        );
     });
 
     // 20-point monotone load sweep on the cyclic ring exemplar: cold
@@ -358,21 +427,21 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // are exact integers, identical on every machine.
     let sweep_loads: Vec<f64> = (1..=20).map(|i| 0.0001 * f64::from(i)).collect();
     let opts = ModelOptions::paper();
+    let _ = ring_spec(16, 16.0, 0.002).solve(&opts)?;
     let mut cold_iters = 0usize;
     let cold_ns = median_ns(reps, || {
         cold_iters = 0;
         for &l in &sweep_loads {
-            let sol = ring_spec(16, 16.0, l).solve(&opts).expect("below knee");
-            cold_iters += sol.iterations;
+            if let Ok(sol) = ring_spec(16, 16.0, l).solve(&opts) {
+                cold_iters += sol.iterations;
+            }
         }
     });
     let mut warm_iters = 0usize;
     let warm_ns = median_ns(reps, || {
         let mut warm = WarmStart::new();
         for &l in &sweep_loads {
-            ring_spec(16, 16.0, l)
-                .solve_warm(&opts, &mut warm)
-                .expect("below knee");
+            let _ = ring_spec(16, 16.0, l).solve_warm(&opts, &mut warm);
         }
         warm_iters = warm.total_iterations();
     });
@@ -380,12 +449,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // Lane model: multi-lane solve cost plus deterministic latency anchors
     // (exact same floating-point values on every machine — the committed
-    // baseline pins the lane model's numbers, not just its speed).
-    let lane_model_params =
-        BftParams::paper(if ctx.quick { 64 } else { 1024 }).expect("power of 4");
-    // N=1024 saturates the single-lane model at 0.04 flits/cycle/PE, so the
-    // full profile anchors at a load below its knee.
-    let lane_model_load = if ctx.quick { 0.04 } else { 0.02 };
+    // baseline pins the lane model's numbers, not just its speed). The
+    // anchor is half the single-lane knee, which lower-bounds every L.
+    let lane_model_params = BftParams::paper(if ctx.quick { 64 } else { 1024 })?;
+    let lane_model_load = 0.5 * model_knee_flit_load(lane_model_params, 16.0)?;
     let mut lane_solve_ns = Vec::new();
     let mut lane_latency = Vec::new();
     for lanes in [1u32, 2, 4] {
@@ -394,38 +461,43 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             16.0,
             ModelOptions::paper().with_lanes(lanes),
         );
+        let anchor = model.latency_at_flit_load(lane_model_load)?;
         let ns = median_ns(model_reps, || {
             std::hint::black_box(
                 model
                     .latency_at_flit_load(lane_model_load)
-                    .expect("below the knee")
-                    .total,
+                    .map(|l| l.total)
+                    .unwrap_or(f64::NAN),
             );
         });
         lane_solve_ns.push(ns);
-        lane_latency.push(
-            model
-                .latency_at_flit_load(lane_model_load)
-                .expect("below the knee")
-                .total,
-        );
+        lane_latency.push(anchor.total);
     }
 
     // Workload model sweep: rebuild-per-point vs build-once + rescale.
-    let tree64 = ButterflyFatTree::new(BftParams::paper(64).expect("power of 4"));
-    let flows = FlowVector::build(&tree64, &DestinationPattern::hot_spot()).expect("flows");
+    let tree64 = ButterflyFatTree::new(BftParams::paper(64)?);
+    let flows = FlowVector::build(&tree64, &DestinationPattern::hot_spot())?;
     let flow_loads = [0.0002, 0.0005, 0.0008, 0.0011, 0.0014];
+    let _ = wormsim_core::flows::model_from_flows(tree64.network(), &flows, 16.0, 0.0014)?
+        .latency(&opts)?;
     let rebuild_ns = median_ns(reps, || {
         for &l in &flow_loads {
-            let m = wormsim_core::flows::model_from_flows(tree64.network(), &flows, 16.0, l)
-                .expect("builds");
-            std::hint::black_box(m.latency(&opts).expect("stable").total);
+            if let Ok(m) = wormsim_core::flows::model_from_flows(tree64.network(), &flows, 16.0, l)
+            {
+                std::hint::black_box(m.latency(&opts).map(|x| x.total).unwrap_or(f64::NAN));
+            }
         }
     });
     let sweep_ns = median_ns(reps, || {
-        let mut sweep = FlowModelSweep::new(tree64.network(), &flows, 16.0).expect("builds");
-        for &l in &flow_loads {
-            std::hint::black_box(sweep.latency_at(l, &opts).expect("stable").total);
+        if let Ok(mut sweep) = FlowModelSweep::new(tree64.network(), &flows, 16.0) {
+            for &l in &flow_loads {
+                std::hint::black_box(
+                    sweep
+                        .latency_at(l, &opts)
+                        .map(|x| x.total)
+                        .unwrap_or(f64::NAN),
+                );
+            }
         }
     });
 
@@ -493,10 +565,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             format!("{:.2e}", p.cycles_per_sec()),
         ]);
     }
-    out.section(
+    out.section(format!(
         "Faulted group (N=64, load 0.1, fault-aware router; f0 = empty plan, \
-         f5 = 5% link knockout):",
-    );
+         f5 = 5% link knockout; past-knee point at {:.4} flits/cycle/PE = 1.5× \
+         the bracketed pristine knee {knee64:.4}):",
+        1.5 * knee64,
+    ));
     out.section(fault_tbl.render());
     out.section(format!(
         "Observability overhead (bft64_load0.1_l1, interleaved medians): plain {:.1} us, \
@@ -508,13 +582,15 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         obs_enabled_ns as f64 / 1e3,
     ));
     out.section(format!(
-        "Model: closed-form latency {:.1} us, framework solve {:.1} us (N={}).\n\
+        "Model: closed-form latency {:.1} us, framework solve {:.1} us (N={}, \
+         knee-derived anchor load {:.4}).\n\
          Ring sweep (20 points): cold {} iterations / {:.1} us, warm {} iterations / {:.1} us \
          → {:.1}% fewer iterations.\n\
          Hot-spot flow sweep (5 points, N=64): rebuild {:.1} us, warm rescale {:.1} us.",
         closed_ns as f64 / 1e3,
         framework_ns as f64 / 1e3,
         params.num_processors(),
+        closed_anchor,
         cold_iters,
         cold_ns as f64 / 1e3,
         warm_iters,
@@ -526,7 +602,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // ---- Write the JSON baselines. ----
     let mut sim_json = String::from("{\n");
-    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v5\",");
+    let _ = writeln!(sim_json, "  \"schema\": \"wormsim-bench-sim/v6\",");
     let _ = writeln!(sim_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(sim_json, "  \"repetitions\": {reps},");
     let _ = writeln!(
@@ -564,12 +640,18 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     sim_json.push_str("}\n");
 
     let mut model_json = String::from("{\n");
-    let _ = writeln!(model_json, "  \"schema\": \"wormsim-bench-model/v2\",");
+    let _ = writeln!(model_json, "  \"schema\": \"wormsim-bench-model/v3\",");
     let _ = writeln!(model_json, "  \"quick\": {},", ctx.quick);
     let _ = writeln!(model_json, "  \"repetitions\": {reps},");
     let _ = writeln!(
         model_json,
         "  \"closed_form_latency_ns\": {closed_ns},\n  \"framework_solve_ns\": {framework_ns},"
+    );
+    let _ = writeln!(
+        model_json,
+        "  \"anchor\": {{\"n\": {}, \"flit_load\": {}}},",
+        params.num_processors(),
+        json_num(closed_anchor),
     );
     let _ = writeln!(
         model_json,
@@ -589,10 +671,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // printed precision); solve times are snapshots like the rest.
     let _ = writeln!(
         model_json,
-        "  \"lanes\": {{\"n\": {}, \"flit_load\": {lane_model_load}, \
+        "  \"lanes\": {{\"n\": {}, \"flit_load\": {}, \
          \"l1_solve_ns\": {}, \"l2_solve_ns\": {}, \"l4_solve_ns\": {}, \
          \"l1_latency\": {}, \"l2_latency\": {}, \"l4_latency\": {}}}",
         lane_model_params.num_processors(),
+        json_num(lane_model_load),
         lane_solve_ns[0],
         lane_solve_ns[1],
         lane_solve_ns[2],
@@ -625,7 +708,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         out.report
             .push_str("\n[note] no --out directory: baselines computed but not written.\n");
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -640,11 +723,11 @@ mod tests {
             out_dir: Some(dir.clone()),
             seed: 7,
         };
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         let sim = std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap();
         let model = std::fs::read_to_string(dir.join("BENCH_model.json")).unwrap();
-        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v5\""));
+        assert!(sim.contains("\"schema\": \"wormsim-bench-sim/v6\""));
         assert!(sim.contains("\"obs_overhead\""), "overhead point present");
         assert!(sim.contains("\"budget\": 1.01"));
         assert!(sim.contains("bft16_load0.001_ff"));
@@ -666,7 +749,13 @@ mod tests {
             sim.contains("bft64_load0.1_f5_ev"),
             "degraded-routing fault points present"
         );
+        assert!(
+            sim.contains("bft64_pastknee_f5_ff"),
+            "past-knee fault point present"
+        );
+        assert!(model.contains("\"schema\": \"wormsim-bench-model/v3\""));
         assert!(model.contains("\"ring_sweep\""));
+        assert!(model.contains("\"anchor\""), "knee-derived anchor recorded");
         assert!(model.contains("\"lanes\""), "lanes model group present");
         assert!(model.contains("l4_latency"));
         // The iteration counts in the report are deterministic: warm must
@@ -690,6 +779,20 @@ mod tests {
             "warm start below the 30% sweep target: {reduction}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn knee_derived_anchor_sits_below_the_model_knee() {
+        let params = BftParams::paper(64).unwrap();
+        let knee = model_knee_flit_load(params, 16.0).unwrap();
+        assert!(knee > 0.0 && knee < 1.0, "implausible knee {knee}");
+        // Half the knee must solve cleanly on every lane count (L=1 has
+        // the smallest knee, so it lower-bounds the rest).
+        for lanes in [1u32, 2, 4] {
+            let model =
+                BftModel::with_options(params, 16.0, ModelOptions::paper().with_lanes(lanes));
+            model.latency_at_flit_load(0.5 * knee).unwrap();
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_queueing::gg1;
@@ -25,25 +26,25 @@ use wormsim_sim::runner::run_simulation;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology,
+/// traffic shapes, or the baseline model point.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("bursty");
     let n_procs = 64;
     let s = 16u32;
     let flit_load = 0.06; // comfortably below the uniform knee (~0.18)
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
     let model = BftModel::new(params, f64::from(s));
     let lambda0 = flit_load / f64::from(s);
 
-    let poisson_model = model
-        .latency_at_message_rate(lambda0)
-        .expect("stable Poisson point");
-    let audit = model
-        .audit_at_message_rate(lambda0)
-        .expect("stable Poisson point");
+    let poisson_model = model.latency_at_message_rate(lambda0)?;
+    let audit = model.audit_at_message_rate(lambda0)?;
     let x01 = audit.x_up[0];
     let w01 = audit.w_up[0];
     let scv01 = model.options().scv.scv(x01, f64::from(s));
@@ -95,7 +96,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         let arrival = if ptm <= 1.0 {
             ArrivalProcess::Poisson
         } else {
-            ArrivalProcess::Mmpp(MmppProfile::new(ptm, duty, on_cycles).expect("valid burst shape"))
+            ArrivalProcess::Mmpp(MmppProfile::new(ptm, duty, on_cycles)?)
         };
         let iod = arrival.index_of_dispersion(lambda0);
         // Burst-corrected prediction: swap the injection queue's M/G/1 wait
@@ -104,9 +105,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         // fed raw by the bursty process — dominates the correction.
         let w01_burst = gg1::waiting_time_or_inf(lambda0, x01, scv01, iod);
         let burst_model = poisson_model.total - w01 + w01_burst;
-        let traffic = TrafficConfig::from_flit_load(flit_load, s)
-            .expect("valid load")
-            .with_arrival(arrival);
+        let traffic = TrafficConfig::from_flit_load(flit_load, s)?.with_arrival(arrival);
         let r = run_simulation(&router, &cfg, &traffic);
         tbl.row(vec![
             num(ptm, 1),
@@ -148,7 +147,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          source queue recovers much of the gap at moderate burstiness. Longer bursts at \
          the same peak ratio disperse counts further and hurt more.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -158,7 +157,7 @@ mod tests {
     #[test]
     fn quick_bursty_runs_and_shows_burst_penalty() {
         let ctx = ExperimentContext::quick();
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert!(out.report.contains("peak/mean"));
         assert!(out.report.contains("stable"));
         // The report must contain both the Poisson row and a bursty row.

@@ -11,6 +11,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::config::TrafficConfig;
@@ -20,17 +21,23 @@ use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 use wormsim_topology::graph::ChannelClass;
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology
+/// or solving the model, and reports a saturated audit point (a fixed,
+/// deliberately sub-knee operating point) as
+/// [`ExperimentError::Invalid`].
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("channel-audit");
     let n_procs = if ctx.quick { 64 } else { 256 };
     let s = 32u32;
     let flit_load = 0.02;
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
-    let traffic = TrafficConfig::from_flit_load(flit_load, s).unwrap();
+    let traffic = TrafficConfig::from_flit_load(flit_load, s)?;
 
     out.section(format!(
         "Channel-level audit: butterfly fat-tree N={n_procs}, worms of {s} flits, \
@@ -39,14 +46,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ));
 
     let model = BftModel::new(params, f64::from(s));
-    let audit = model
-        .audit_at_message_rate(traffic.message_rate)
-        .expect("operating point must be below saturation");
+    let audit = model.audit_at_message_rate(traffic.message_rate)?;
     let sim = run_simulation(&router, &cfg, &traffic);
-    assert!(
-        !sim.saturated,
-        "audit operating point saturated in simulation"
-    );
+    if sim.saturated {
+        return Err(ExperimentError::Invalid(format!(
+            "audit operating point {flit_load} saturated in simulation"
+        )));
+    }
 
     let mut tbl = Table::new(vec![
         "class",
@@ -91,7 +97,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     }
 
     for (class, m_lambda, m_x) in entries {
-        let stats = sim.class(class).expect("class measured");
+        let stats = sim.class(class).ok_or_else(|| {
+            ExperimentError::Invalid(format!("class {class} missing from sim audit"))
+        })?;
         let lam_err = 100.0 * (m_lambda - stats.lambda) / stats.lambda.max(1e-12);
         let x_err = 100.0 * (m_x - stats.mean_service) / stats.mean_service.max(1e-12);
         tbl.row(vec![
@@ -124,7 +132,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          exact flow conservation); x̄ errors expose the queueing \
          approximations, growing slightly with level as waits accumulate.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -133,7 +141,7 @@ mod tests {
 
     #[test]
     fn quick_audit_rates_are_exact_within_noise() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("<0,1>"));
         assert!(out.report.contains("Injection wait"));
     }

@@ -10,6 +10,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::enumerate::enumerate_deterministic;
 use wormsim_core::options::ModelOptions;
@@ -19,12 +20,16 @@ use wormsim_sim::runner::run_simulation;
 use wormsim_topology::mesh::Mesh;
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology,
+/// the traffic, or the enumerated model.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("enumerated-mesh");
     let k = if ctx.quick { 4 } else { 8 };
     let s = 16u32;
-    let mesh = Mesh::new(k, 2).unwrap();
+    let mesh = Mesh::new(k, 2)?;
     let router = MeshRouter::new(&mesh);
     let cfg = ctx.sim_config();
 
@@ -53,14 +58,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
-        let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
+        let traffic = TrafficConfig::from_flit_load(load, s)?;
         let model = enumerate_deterministic(
             mesh.network(),
             |node, dest| mesh.route(node, dest),
             f64::from(s),
             traffic.message_rate,
-        )
-        .expect("mesh routes enumerate");
+        )?;
         let model_l = model.latency(&ModelOptions::paper()).map(|l| l.total);
         let sim = run_simulation(&router, &cfg, &traffic);
         match (model_l, sim.saturated) {
@@ -101,14 +105,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // Positional asymmetry: corner vs center injection under load.
     let load = loads[loads.len() - 2];
-    let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
+    let traffic = TrafficConfig::from_flit_load(load, s)?;
     let model = enumerate_deterministic(
         mesh.network(),
         |node, dest| mesh.route(node, dest),
         f64::from(s),
         traffic.message_rate,
-    )
-    .expect("mesh routes enumerate");
+    )?;
     if let Ok(per_src) = model.per_source_injection(&ModelOptions::paper()) {
         let corner = per_src[0];
         let center_idx = (k / 2) * k + k / 2;
@@ -122,7 +125,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         ));
     }
     ctx.write_csv(&csv, "enumerated_mesh.csv", &mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -131,7 +134,7 @@ mod tests {
 
     #[test]
     fn quick_enumerated_mesh_tracks_simulation() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("mesh"));
         assert!(out.report.contains("stable"), "report:\n{}", out.report);
         assert!(out.report.contains("Positional asymmetry"));

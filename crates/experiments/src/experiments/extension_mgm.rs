@@ -10,6 +10,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::router::BftRouter;
@@ -17,8 +18,11 @@ use wormsim_sim::runner::sweep_flit_loads;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("extension-mgm");
     let levels = if ctx.quick { 3 } else { 4 };
     let s = 32u32;
@@ -49,7 +53,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ]);
 
     for p in [1usize, 2, 4] {
-        let params = BftParams::new(4, p, levels).expect("valid parameters");
+        let params = BftParams::new(4, p, levels)?;
         let tree = ButterflyFatTree::new(params);
         let router = BftRouter::new(&tree);
         let model = BftModel::new(params, f64::from(s));
@@ -109,7 +113,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          load grows with p as the up-link bundles pool bandwidth (M/G/1 vs \
          M/G/2 vs M/G/4).",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -118,7 +122,7 @@ mod tests {
 
     #[test]
     fn quick_extension_covers_all_p() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         for p in ["1", "2", "4"] {
             assert!(
                 out.report.lines().any(|l| l.trim_start().starts_with(p)),

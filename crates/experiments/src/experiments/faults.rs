@@ -20,11 +20,13 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_core::flows::FlowModelSweep;
 use wormsim_core::options::ModelOptions;
 use wormsim_faults::{link_faults, FaultPlan, FaultedBft};
+use wormsim_guard::KneeConfig;
 use wormsim_sim::config::TrafficConfig;
 use wormsim_sim::router::FaultedBftRouter;
 use wormsim_sim::runner::{find_saturation, run_simulation};
@@ -34,33 +36,41 @@ use wormsim_workload::{DestinationPattern, FlowVector};
 /// First seed (scanning from `base`) whose `fraction` knockout keeps the
 /// tree fully connected, with the realized plan. Returns the number of
 /// rejected seeds alongside.
-fn connected_plan(tree: &ButterflyFatTree, fraction: f64, base: u64) -> (FaultPlan, u64, usize) {
+pub(crate) fn connected_plan(
+    tree: &ButterflyFatTree,
+    fraction: f64,
+    base: u64,
+) -> Result<(FaultPlan, u64, usize), ExperimentError> {
     for offset in 0..256u64 {
         let seed = base.wrapping_add(offset);
-        let plan = link_faults(tree.network(), fraction, seed).expect("valid fraction");
-        let bft = FaultedBft::new(tree, plan.clone()).expect("plan fits the tree");
+        let plan = link_faults(tree.network(), fraction, seed)?;
+        let bft = FaultedBft::new(tree, plan.clone())?;
         if bft.fully_connected() {
             // Every earlier offset was rejected, so the count is `offset`.
-            return (plan, seed, usize::try_from(offset).expect("small offset"));
+            return Ok((plan, seed, offset as usize));
         }
     }
-    unreachable!("a connected {fraction} knockout exists within 256 seeds");
+    Err(ExperimentError::Invalid(format!(
+        "no connected {fraction} knockout found within 256 seeds"
+    )))
 }
 
 /// Runs the experiment.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building topologies,
+/// fault plans, or degraded models.
 #[allow(clippy::too_many_lines)]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("faults");
     let n_procs = 64usize;
     let s = 16u32;
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let cfg = ctx.sim_config();
 
-    let pristine_knee = BftModel::new(params, f64::from(s))
-        .saturation_flit_load()
-        .expect("pristine saturation brackets");
+    let pristine_knee = BftModel::new(params, f64::from(s)).saturation_flit_load()?;
     let fractions: &[f64] = if ctx.quick {
         &[0.0, 0.05, 0.10]
     } else {
@@ -107,7 +117,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ]);
     let mut plans: Vec<(f64, FaultPlan, u64)> = Vec::new();
     for &frac in fractions {
-        let (plan, seed, rejected) = connected_plan(&tree, frac, ctx.seed);
+        let (plan, seed, rejected) = connected_plan(&tree, frac, ctx.seed)?;
         if rejected > 0 {
             out.section(format!(
                 "[note] fraction {frac}: skipped {rejected} disconnecting seed(s), \
@@ -133,29 +143,23 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         "model_knee",
     ]);
     for (frac, plan, seed) in &plans {
-        let bft = FaultedBft::new(&tree, plan.clone()).expect("plan fits the tree");
-        let flows =
-            FlowVector::build(&bft, &DestinationPattern::Uniform).expect("connected fabric");
+        let bft = FaultedBft::new(&tree, plan.clone())?;
+        let flows = FlowVector::build(&bft, &DestinationPattern::Uniform)?;
         let alive = plan.alive_servers(tree.network());
         let mut model =
-            FlowModelSweep::new_with_servers(tree.network(), &flows, f64::from(s), Some(&alive))
-                .expect("degraded spec builds");
-        let router = FaultedBftRouter::new(&tree, plan.clone()).expect("plan fits the tree");
+            FlowModelSweep::new_with_servers(tree.network(), &flows, f64::from(s), Some(&alive))?;
+        let router = FaultedBftRouter::new(&tree, plan.clone())?;
 
-        // The degraded model's knee on the load grid: the last grid point
-        // the fixed point still converges at. Latency loads scale to it.
-        let mut model_knee = 0.0f64;
-        let mut probe = step;
-        while probe <= 1.5 * pristine_knee {
-            if model
-                .latency_at(probe / f64::from(s), &ModelOptions::paper())
-                .is_err()
-            {
-                break;
-            }
-            model_knee = probe;
-            probe += step;
-        }
+        // The degraded model's own knee, bracketed by the guard layer
+        // (bisection over warm-started probes) instead of the old
+        // grid scan. `find_knee` works in λ₀, so convert to flit load.
+        let knee_cfg = KneeConfig {
+            initial: step / f64::from(s),
+            max: 1.5 * pristine_knee / f64::from(s),
+            rel_tolerance: 5e-3,
+            max_probes: 200,
+        };
+        let model_knee = model.find_knee(&ModelOptions::paper(), &knee_cfg)?.knee * f64::from(s);
         let (last_stable, first_sat) = find_saturation(
             &router,
             &cfg,
@@ -186,7 +190,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             let model_l = model
                 .latency_at(lambda0, &ModelOptions::paper())
                 .map(|l| l.total);
-            let traffic = TrafficConfig::from_flit_load(load, s).expect("valid load");
+            let traffic = TrafficConfig::from_flit_load(load, s)?;
             let r = run_simulation(&router, &cfg, &traffic);
             let (model_txt, err_txt, err_pct) = match (&model_l, r.saturated) {
                 (Ok(m), false) => {
@@ -226,7 +230,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     out.section("== saturation throughput vs failure fraction ==");
     out.section(tbl2.render());
     ctx.write_csv(&csv2, "faults_saturation_vs_fraction.csv", &mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -241,7 +245,7 @@ mod tests {
             out_dir: Some(dir.clone()),
             seed: 7,
         };
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         let latency = std::fs::read_to_string(dir.join("faults_latency_vs_fraction.csv")).unwrap();
         // Every sub-knee point on a connected fabric: no drops, model

@@ -6,15 +6,19 @@
 //! (c) GraphViz DOT written as an artifact for graphical rendering.
 
 use super::{ExperimentContext, ExperimentOutput};
+use crate::error::ExperimentError;
 use crate::table::Table;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 use wormsim_topology::render;
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("fig2");
-    let params = BftParams::paper(64).expect("64 is a power of 4");
+    let params = BftParams::paper(64)?;
     let tree = ButterflyFatTree::new(params);
 
     out.section("Figure 2 — butterfly fat-tree with 64 processors (c=4, p=2, n=3).");
@@ -63,7 +67,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                 .push_str(&format!("[warn] DOT write failed: {e}\n")),
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -72,7 +76,7 @@ mod tests {
 
     #[test]
     fn report_contains_the_paper_counts() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("16")); // level-1 switches
         assert!(out.report.contains("28 switches"));
         assert!(out.report.contains("[root]"));

@@ -10,6 +10,7 @@
 use super::{ExperimentContext, ExperimentOutput};
 use crate::ascii_plot::{plot, Series};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::router::BftRouter;
@@ -20,11 +21,14 @@ use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 pub const WORM_LENGTHS: [u32; 3] = [16, 32, 64];
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("fig3");
     let n_procs = if ctx.quick { 256 } else { 1024 };
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
@@ -68,8 +72,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         let mut model_pts = Vec::new();
         let mut sim_pts = Vec::new();
         // Dense model curve (cheap) for the plot.
+        let max_sim_load = sim_loads.iter().fold(0.0_f64, |a, &b| a.max(b));
         let mut dense = 0.0005;
-        while dense < *sim_loads.last().expect("non-empty") * 1.05 {
+        while dense < max_sim_load * 1.05 {
             if let Ok(l) = model.latency_at_flit_load(dense) {
                 model_pts.push((dense, l.total));
             }
@@ -125,7 +130,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         ));
         all_series.push(Series::new(
             format!("sim {s}-flit"),
-            char::from_u32('a' as u32 + si as u32).expect("ascii"),
+            (b'a' + si as u8) as char,
             sim_pts,
         ));
     }
@@ -143,7 +148,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          zero load at s + D - 1, model hugging simulation until the knee, \
          divergence only close to saturation.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -153,7 +158,7 @@ mod tests {
     #[test]
     fn quick_fig3_reproduces_the_shape() {
         let ctx = ExperimentContext::quick();
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert!(out.report.contains("worms of 16 flits"));
         assert!(out.report.contains("worms of 64 flits"));
         assert!(out.report.contains("legend:"));

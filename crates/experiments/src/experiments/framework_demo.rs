@@ -10,6 +10,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::hypercube as cube_model;
 use wormsim_core::options::ModelOptions;
@@ -19,12 +20,16 @@ use wormsim_sim::runner::run_simulation;
 use wormsim_topology::hypercube::Hypercube;
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology
+/// or the traffic.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("framework-demo");
     let dim = if ctx.quick { 6 } else { 8 };
     let s = 16u32;
-    let cube = Hypercube::new(dim).unwrap();
+    let cube = Hypercube::new(dim)?;
     let router = HypercubeRouter::new(&cube);
     let cfg = ctx.sim_config();
 
@@ -52,7 +57,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut csv = Csv::new(&["flit_load", "model_latency", "sim_latency", "rel_err_pct"]);
 
     for &load in &loads {
-        let traffic = TrafficConfig::from_flit_load(load, s).unwrap();
+        let traffic = TrafficConfig::from_flit_load(load, s)?;
         let model_l = cube_model::latency_at_message_rate(
             dim,
             f64::from(s),
@@ -104,7 +109,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         ));
     }
     ctx.write_csv(&csv, "framework_demo_hypercube.csv", &mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -113,7 +118,7 @@ mod tests {
 
     #[test]
     fn quick_demo_tracks_simulation() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("hypercube"));
         assert!(out.report.contains("stable"), "report:\n{}", out.report);
     }

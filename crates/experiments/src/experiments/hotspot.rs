@@ -13,6 +13,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_core::flows::{model_from_flows, FlowModelSweep};
@@ -31,12 +32,16 @@ fn hot_knee_flit_load(unit_eject: f64) -> f64 {
 }
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology,
+/// flows, traffic, or models.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("hotspot");
     let n_procs = if ctx.quick { 64 } else { 256 };
     let s = 16u32;
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
@@ -45,16 +50,14 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let DestinationPattern::HotSpot { fraction: beta, .. } = pattern else {
         unreachable!("hot_spot() is a HotSpot pattern")
     };
-    let flows = FlowVector::build(&tree, &pattern).expect("hot-spot flows");
+    let flows = FlowVector::build(&tree, &pattern)?;
     let uniform_model = BftModel::new(params, f64::from(s));
     let unit_eject = flows.unit_flow(tree.network().processors()[0].eject);
     // The hot ejector receives λ₀·unit_eject worms/cycle of s flits each
     // and drains one flit per cycle, so it saturates at flit load
     // λ₀·s = 1/unit_eject.
     let knee = hot_knee_flit_load(unit_eject);
-    let uniform_knee = uniform_model
-        .saturation_flit_load()
-        .expect("uniform saturation brackets");
+    let uniform_knee = uniform_model.saturation_flit_load()?;
 
     out.section(format!(
         "Hot-spot workload — butterfly fat-tree N={n_procs}, s={s} flits, β={beta} to PE 0.\n\
@@ -74,14 +77,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     };
     let loads: Vec<f64> = fractions.iter().map(|f| f * knee).collect();
 
-    let base = TrafficConfig::from_flit_load(loads[0], s)
-        .expect("valid load")
-        .with_pattern(pattern);
+    let base = TrafficConfig::from_flit_load(loads[0], s)?.with_pattern(pattern);
     let results = sweep_traffic(&router, &cfg, &base, &loads);
     // One model build for the whole sweep; per point only the class rates
     // rescale and the solver warm-starts from the previous load.
-    let mut hot_model =
-        FlowModelSweep::new(tree.network(), &flows, f64::from(s)).expect("spec builds");
+    let mut hot_model = FlowModelSweep::new(tree.network(), &flows, f64::from(s))?;
 
     let mut tbl = Table::new(vec![
         "load (flits/cyc/PE)",
@@ -163,16 +163,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             fraction: beta,
             target: 0,
         };
-        let f = FlowVector::build(&tree, &pat).expect("flows");
+        let f = FlowVector::build(&tree, &pat)?;
         let lambda0 = sweep_load / f64::from(s);
         let util = f.unit_flow(tree.network().processors()[0].eject) * lambda0 * f64::from(s);
-        let model_l = model_from_flows(tree.network(), &f, f64::from(s), lambda0)
-            .expect("spec builds")
+        let model_l = model_from_flows(tree.network(), &f, f64::from(s), lambda0)?
             .latency(&ModelOptions::paper())
             .map(|l| l.total);
-        let traffic = TrafficConfig::from_flit_load(sweep_load, s)
-            .expect("valid load")
-            .with_pattern(pat);
+        let traffic = TrafficConfig::from_flit_load(sweep_load, s)?.with_pattern(pat);
         let r = wormsim_sim::runner::run_simulation(&router, &cfg, &traffic);
         tbl2.row(vec![
             num(beta, 4),
@@ -202,7 +199,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          raising β drives the hot ejector's utilization — and with it the latency — up \
          until saturation, at a total load far below the uniform knee.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -212,7 +209,7 @@ mod tests {
     #[test]
     fn quick_hotspot_runs_and_reports() {
         let ctx = ExperimentContext::quick();
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert!(out.report.contains("β sweep"));
         assert!(out.report.contains("hot model L"));
         assert!(out.report.contains("stable"), "report:\n{}", out.report);

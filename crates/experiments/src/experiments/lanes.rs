@@ -16,6 +16,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_core::options::ModelOptions;
@@ -29,20 +30,22 @@ use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 const LANE_COUNTS: [u32; 3] = [1, 2, 4];
 
 /// Runs the experiment.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology,
+/// lane configurations, traffic, or models.
 #[allow(clippy::too_many_lines)]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("lanes");
     let n_procs = if ctx.quick { 64 } else { 256 };
     let s = 16u32;
-    let params = BftParams::paper(n_procs).expect("power of 4");
+    let params = BftParams::paper(n_procs)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let cfg = ctx.sim_config();
 
-    let knee = BftModel::new(params, f64::from(s))
-        .saturation_flit_load()
-        .expect("uniform saturation brackets");
+    let knee = BftModel::new(params, f64::from(s)).saturation_flit_load()?;
 
     out.section(format!(
         "Virtual-channel lanes — butterfly fat-tree N={n_procs}, s={s} flits, \
@@ -79,9 +82,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         "rel_err_pct",
         "sim_saturated",
     ]);
-    let base = TrafficConfig::from_flit_load(loads[0], s).expect("valid load");
+    let base = TrafficConfig::from_flit_load(loads[0], s)?;
     for &lanes in &LANE_COUNTS {
-        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree)?;
         let model = BftModel::with_options(
             params,
             f64::from(s),
@@ -126,10 +129,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // ---- Section 2: past-knee capacity shift. ----
     let past_knee = 1.15 * knee;
-    let traffic = TrafficConfig::from_flit_load(past_knee, s).expect("valid load");
+    let traffic = TrafficConfig::from_flit_load(past_knee, s)?;
     let mut tbl2 = Table::new(vec!["L", "sim L", "delivered", "state"]);
     for &lanes in &LANE_COUNTS {
-        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+        let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree)?;
         let r = run_simulation_with_lanes(&router, &cfg, &traffic, &lc);
         tbl2.row(vec![
             lanes.to_string(),
@@ -154,26 +157,20 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         "sim_saturated",
     ]);
     let workloads: [(&str, TrafficConfig); 3] = [
-        (
-            "uniform",
-            TrafficConfig::from_flit_load(wl_load, s).expect("valid"),
-        ),
+        ("uniform", TrafficConfig::from_flit_load(wl_load, s)?),
         (
             "hotspot",
-            TrafficConfig::from_flit_load(wl_load, s)
-                .expect("valid")
-                .with_pattern(DestinationPattern::hot_spot()),
+            TrafficConfig::from_flit_load(wl_load, s)?.with_pattern(DestinationPattern::hot_spot()),
         ),
         (
             "bursty",
-            TrafficConfig::from_flit_load(wl_load, s)
-                .expect("valid")
+            TrafficConfig::from_flit_load(wl_load, s)?
                 .with_arrival(ArrivalProcess::Mmpp(MmppProfile::default_bursty())),
         ),
     ];
     for (name, traffic) in &workloads {
         for &lanes in &LANE_COUNTS {
-            let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+            let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree)?;
             let r = run_simulation_with_lanes(&router, &cfg, traffic, &lc);
             tbl3.row(vec![
                 (*name).to_string(),
@@ -199,7 +196,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     // ---- Section 4: allocator policies and per-lane occupancy at L=4. ----
     let alloc_load = 0.6 * knee;
-    let traffic = TrafficConfig::from_flit_load(alloc_load, s).expect("valid load");
+    let traffic = TrafficConfig::from_flit_load(alloc_load, s)?;
     let mut tbl4 = Table::new(vec![
         "allocator",
         "sim L",
@@ -213,7 +210,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         LaneAllocatorKind::RoundRobin,
         LaneAllocatorKind::LeastOccupied,
     ] {
-        let lc = LaneConfig::new(4, kind).expect("valid lanes");
+        let lc = LaneConfig::new(4, kind)?;
         let r = run_simulation_with_lanes(&router, &cfg, &traffic, &lc);
         let mut row = vec![format!("{kind:?}"), num(r.avg_latency, 2)];
         for l in &r.lane_stats {
@@ -234,7 +231,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          allocator table shows first-free concentrating worms on low lanes while \
          round-robin and least-occupied spread them evenly.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -244,7 +241,7 @@ mod tests {
     #[test]
     fn quick_lanes_experiment_runs_and_reports() {
         let ctx = ExperimentContext::quick();
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert!(out.report.contains("model vs simulation"), "{}", out.report);
         assert!(out.report.contains("past the single-lane knee"));
         assert!(out.report.contains("RoundRobin"));

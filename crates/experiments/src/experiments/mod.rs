@@ -1,5 +1,6 @@
 //! Experiment registry: one module per reproduced figure/table.
 
+use crate::error::ExperimentError;
 use std::path::PathBuf;
 
 pub mod ablations;
@@ -13,6 +14,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod framework_demo;
 pub mod hotspot;
+pub mod knee;
 pub mod lanes;
 pub mod scaling;
 pub mod tail_latency;
@@ -117,8 +119,9 @@ impl ExperimentOutput {
     }
 }
 
-/// Experiment function type.
-pub type ExperimentFn = fn(&ExperimentContext) -> ExperimentOutput;
+/// Experiment function type: every runner is total over its inputs and
+/// reports failures as a typed [`ExperimentError`] instead of panicking.
+pub type ExperimentFn = fn(&ExperimentContext) -> Result<ExperimentOutput, ExperimentError>;
 
 /// The registry: `(id, runner, description)`.
 pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
@@ -207,27 +210,36 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         faults::run,
         "Robustness R1: seeded link knockouts — degraded model vs sim, latency & saturation vs failure fraction",
     ),
+    (
+        "knee",
+        knee::run,
+        "Robustness R2: bracketed saturation knees vs N, lanes and failure fraction, validated against sim throughput",
+    ),
 ];
 
 /// Runs an experiment by id.
 ///
 /// # Errors
 ///
-/// Returns the list of known ids when `name` is unknown.
-pub fn run_by_name(name: &str, ctx: &ExperimentContext) -> Result<ExperimentOutput, String> {
+/// [`ExperimentError::UnknownExperiment`] (listing the known ids) when
+/// `name` is not registered; otherwise whatever the runner reports.
+pub fn run_by_name(
+    name: &str,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentOutput, ExperimentError> {
     for (id, f, _) in EXPERIMENTS {
         if *id == name {
-            return Ok(f(ctx));
+            return f(ctx);
         }
     }
-    Err(format!(
-        "unknown experiment {name:?}; known: {}",
-        EXPERIMENTS
+    Err(ExperimentError::UnknownExperiment {
+        name: name.to_string(),
+        known: EXPERIMENTS
             .iter()
             .map(|(id, _, _)| *id)
             .collect::<Vec<_>>()
-            .join(", ")
-    ))
+            .join(", "),
+    })
 }
 
 #[cfg(test)]
@@ -249,7 +261,8 @@ mod tests {
     #[test]
     fn unknown_name_lists_alternatives() {
         let err = run_by_name("nope", &ExperimentContext::quick()).unwrap_err();
-        assert!(err.contains("fig3"));
+        assert!(matches!(err, ExperimentError::UnknownExperiment { .. }));
+        assert!(err.to_string().contains("fig3"));
     }
 
     #[test]

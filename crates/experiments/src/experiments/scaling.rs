@@ -4,6 +4,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::router::BftRouter;
@@ -11,8 +12,11 @@ use wormsim_sim::runner::sweep_flit_loads;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("scaling");
     let sizes: &[usize] = if ctx.quick {
         &[16, 64, 256]
@@ -39,7 +43,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut worst_err: f64 = 0.0;
 
     for &n in sizes {
-        let params = BftParams::paper(n).expect("power of 4");
+        let params = BftParams::paper(n)?;
         let tree = ButterflyFatTree::new(params);
         let router = BftRouter::new(&tree);
         let model = BftModel::new(params, f64::from(s));
@@ -85,7 +89,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          (the paper reports close agreement over a wide range of load)."
     ));
     ctx.write_csv(&csv, "scaling_accuracy.csv", &mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -94,7 +98,7 @@ mod tests {
 
     #[test]
     fn quick_scaling_runs_and_reports_errors() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("Worst relative model error"));
         assert!(out.report.contains("256"));
     }

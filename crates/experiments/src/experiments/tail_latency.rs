@@ -9,6 +9,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::router::BftRouter;
@@ -16,12 +17,15 @@ use wormsim_sim::runner::sweep_flit_loads;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("tail-latency");
     let n = if ctx.quick { 256 } else { 1024 };
     let s = 32u32;
-    let params = BftParams::paper(n).expect("power of 4");
+    let params = BftParams::paper(n)?;
     let tree = ButterflyFatTree::new(params);
     let router = BftRouter::new(&tree);
     let model = BftModel::new(params, f64::from(s));
@@ -94,7 +98,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          by the tail long before the mean moves. The analytical model (a \
          mean-value analysis) cannot see this; the simulator can.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -103,7 +107,7 @@ mod tests {
 
     #[test]
     fn quick_tail_latency_shows_widening_tail() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("p99"), "report:\n{}", out.report);
         // Extract the p99/p50 column and confirm it is non-decreasing.
         let ratios: Vec<f64> = out

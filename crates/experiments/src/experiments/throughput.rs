@@ -8,6 +8,7 @@
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::csv::Csv;
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use wormsim_core::bft::BftModel;
 use wormsim_sim::router::BftRouter;
@@ -15,8 +16,11 @@ use wormsim_sim::runner::find_saturation;
 use wormsim_topology::bft::{BftParams, ButterflyFatTree};
 
 /// Runs the experiment.
-#[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("throughput");
     let sizes: &[usize] = if ctx.quick {
         &[16, 64]
@@ -48,7 +52,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     ]);
 
     for &n in sizes {
-        let params = BftParams::paper(n).expect("power of 4");
+        let params = BftParams::paper(n)?;
         let tree = ButterflyFatTree::new(params);
         let router = BftRouter::new(&tree);
         for &s in worms {
@@ -99,7 +103,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
          agreement means the analytical knee falls inside or adjacent to the \
          bracket, mirroring the paper's 'accurate predictions on throughput'.",
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -108,7 +112,7 @@ mod tests {
 
     #[test]
     fn quick_throughput_knee_is_near_the_sim_bracket() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.report.contains("model knee"));
         // Every row must land inside the simulator's stability bracket or
         // within 25% of it (the model is mildly conservative at small N).

@@ -17,6 +17,7 @@
 //! per-station breakdown table is rendered from the same solve.
 
 use super::{ExperimentContext, ExperimentOutput};
+use crate::error::ExperimentError;
 use crate::table::{num, Table};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -45,20 +46,24 @@ fn trace_cfg(ctx: &ExperimentContext) -> SimConfig {
 }
 
 /// Runs the experiment.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any [`ExperimentError`] raised while building the topology
+/// or traffic, or when the observer snapshot is missing.
 #[allow(clippy::too_many_lines)]
-pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput, ExperimentError> {
     let mut out = ExperimentOutput::new("trace");
     let n = 64usize;
     let flit_load = 0.1;
     let worm_flits = 16u32;
     let lanes = 2u32;
 
-    let tree = ButterflyFatTree::new(BftParams::paper(n).expect("power of 4"));
+    let tree = ButterflyFatTree::new(BftParams::paper(n)?);
     let router = BftRouter::new(&tree);
     let cfg = trace_cfg(ctx);
-    let traffic = TrafficConfig::from_flit_load(flit_load, worm_flits).expect("valid load");
-    let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree).expect("valid lanes");
+    let traffic = TrafficConfig::from_flit_load(flit_load, worm_flits)?;
+    let lc = LaneConfig::new(lanes, LaneAllocatorKind::FirstFree)?;
     let result = run_simulation_observed(
         &router,
         &cfg,
@@ -67,7 +72,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         EngineKind::FastForward,
         &ObsConfig::full(),
     );
-    let snap = result.obs.as_ref().expect("observer was enabled");
+    let snap = result.obs.as_ref().ok_or_else(|| {
+        ExperimentError::Invalid("observer snapshot missing from an observed run".into())
+    })?;
 
     out.section(format!(
         "Observed run: BFT N={n}, load {flit_load} flits/cycle/PE, s={worm_flits}, L={lanes} \
@@ -199,11 +206,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     // ---- Per-station breakdown of the fat-tree spec at this run's
     // operating point (same lanes as the simulation). ----
     let lambda0 = flit_load / f64::from(worm_flits);
-    let spec = bft_spec(
-        &BftParams::paper(n).expect("power of 4"),
-        f64::from(worm_flits),
-        lambda0,
-    );
+    let spec = bft_spec(&BftParams::paper(n)?, f64::from(worm_flits), lambda0);
     let mut bft_tel = ModelTelemetry::default();
     match spec.solve_traced(&opts.with_lanes(lanes), &mut bft_tel) {
         Ok(_) => {
@@ -267,7 +270,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             );
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -283,7 +286,7 @@ mod tests {
             out_dir: Some(dir.clone()),
             seed: 11,
         };
-        let out = run(&ctx);
+        let out = run(&ctx).unwrap();
         assert_eq!(out.artifacts.len(), 2, "report:\n{}", out.report);
         assert!(out.report.contains("Conservation"));
         assert!(!out.report.contains("[warn]"), "report:\n{}", out.report);
@@ -314,7 +317,7 @@ mod tests {
 
     #[test]
     fn trace_without_out_dir_still_reports() {
-        let out = run(&ExperimentContext::quick());
+        let out = run(&ExperimentContext::quick()).unwrap();
         assert!(out.artifacts.is_empty());
         assert!(out.report.contains("Per-level channel usage"));
     }

@@ -124,6 +124,9 @@ impl FaultPlan {
     /// spec's splitmix64 stream. Deterministic: the same spec and network
     /// shape always produce the same plan.
     #[must_use]
+    // Both expects guard selections filtered above to exactly the node and
+    // channel kinds the kill calls accept — construction-local invariants.
+    #[allow(clippy::expect_used)]
     pub fn build(net: &ChannelNetwork, spec: &FaultSpec) -> Self {
         let mut plan = Self::none(net);
         let mut rng = spec.seed();

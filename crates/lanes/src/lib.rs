@@ -26,6 +26,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 use std::fmt;
 
@@ -219,6 +223,9 @@ impl LaneTable {
 
     /// Allocates a lane on channel `ch` according to the policy, or `None`
     /// when every lane is busy. Never draws randomness.
+    // Both expects scan a mask already proven non-zero by the early return
+    // above — a local invariant on the per-worm hot path.
+    #[allow(clippy::expect_used)]
     pub fn allocate(&mut self, ch: usize) -> Option<u16> {
         let mask = self.free[ch];
         if mask == 0 {

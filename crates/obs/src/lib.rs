@@ -28,6 +28,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod events;
 pub mod export;
@@ -37,5 +41,8 @@ pub mod sim;
 
 pub use events::{EventSink, StallCause, WormEvent};
 pub use metrics::{Histogram, Registry};
-pub use model::{AitkenStep, IterationSample, ModelTelemetry, SolverTrace, StationBreakdown};
+pub use model::{
+    AitkenStep, IterationSample, LadderSample, ModelTelemetry, OutcomeKind, SolverTrace,
+    StationBreakdown,
+};
 pub use sim::{ChannelUsage, LaneUsage, ObsConfig, SimSnapshot, SimTrace};

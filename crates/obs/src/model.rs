@@ -131,14 +131,72 @@ pub struct StationBreakdown {
     pub inbound_blocking: f64,
 }
 
+/// The saturation-aware classification of a solve, mirrored into
+/// telemetry so exporters can tag traces without depending on the
+/// solving layer (which sits *above* this crate in the dependency
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// The fixed point converged.
+    Converged,
+    /// The load is at or past the saturation knee.
+    Saturated,
+    /// The iteration budget expired without a saturation diagnosis.
+    NoConvergence,
+}
+
+impl OutcomeKind {
+    /// Stable snake_case label used by renderers and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeKind::Converged => "converged",
+            OutcomeKind::Saturated => "saturated",
+            OutcomeKind::NoConvergence => "no_convergence",
+        }
+    }
+}
+
+/// One attempt of the escalation ladder (plain → damped →
+/// accelerated-with-restart) a saturation-aware solve climbed through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderSample {
+    /// Rung label (`"plain"`, `"damped"`, `"accel_restart"`).
+    pub rung: String,
+    /// Whether this rung produced a converged solution.
+    pub succeeded: bool,
+    /// Short description of the attempt's result: `"converged"` or the
+    /// error's display text.
+    pub detail: String,
+}
+
 /// Everything the framework can tell about one solve: the solver's
 /// convergence trace plus the per-station breakdown of the solution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelTelemetry {
-    /// Fixed-point convergence trace (empty for DAG networks).
+    /// Fixed-point convergence trace (empty for DAG networks). When the
+    /// escalation ladder ran, this is the trace of the *final* attempt.
     pub solver: SolverTrace,
     /// Per-class breakdown rows, in spec order.
     pub stations: Vec<StationBreakdown>,
+    /// Saturation-aware outcome classification, filled by the
+    /// outcome-returning solve entry points (`None` for the plain
+    /// error-returning ones).
+    pub outcome: Option<OutcomeKind>,
+    /// Escalation-ladder attempts in order, one entry per rung tried
+    /// (empty when the plain error-returning entry points ran).
+    pub ladder: Vec<LadderSample>,
+}
+
+impl ModelTelemetry {
+    /// Clears every field back to the default state, so a telemetry
+    /// value can be reused across solves without stale data leaking
+    /// between them.
+    pub fn reset(&mut self) {
+        self.solver = SolverTrace::new();
+        self.stations.clear();
+        self.outcome = None;
+        self.ladder.clear();
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +225,26 @@ mod tests {
         assert_eq!(AitkenStep::Accepted.label(), "accepted");
         assert_eq!(AitkenStep::Rejected.label(), "rejected");
         assert_eq!(AitkenStep::NotAttempted.label(), "-");
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(OutcomeKind::Converged.label(), "converged");
+        assert_eq!(OutcomeKind::Saturated.label(), "saturated");
+        assert_eq!(OutcomeKind::NoConvergence.label(), "no_convergence");
+    }
+
+    #[test]
+    fn telemetry_reset_clears_every_field() {
+        let mut tel = ModelTelemetry::default();
+        tel.solver.record(1, 0.5, 0.5, AitkenStep::NotAttempted);
+        tel.outcome = Some(OutcomeKind::Saturated);
+        tel.ladder.push(LadderSample {
+            rung: "plain".into(),
+            succeeded: false,
+            detail: "diverged".into(),
+        });
+        tel.reset();
+        assert_eq!(tel, ModelTelemetry::default());
     }
 }

@@ -41,6 +41,7 @@ impl ServiceMoments {
     /// Panics if `mean` is not finite and positive; use [`Self::new`] for
     /// fallible construction.
     #[must_use]
+    #[allow(clippy::expect_used)] // documented-panic convenience constructor
     pub fn deterministic(mean: f64) -> Self {
         Self::new(mean, 0.0).expect("deterministic service time must be positive and finite")
     }
@@ -52,6 +53,7 @@ impl ServiceMoments {
     /// Panics if `mean` is not finite and positive; use [`Self::new`] for
     /// fallible construction.
     #[must_use]
+    #[allow(clippy::expect_used)] // documented-panic convenience constructor
     pub fn exponential(mean: f64) -> Self {
         Self::new(mean, 1.0).expect("exponential service time must be positive and finite")
     }

@@ -43,6 +43,26 @@ pub enum QueueingError {
         /// Residual `|x_{k+1} − x_k|` (∞-norm) at the last iteration.
         residual: f64,
     },
+    /// A fixed-point iteration was detected *diverging*: its residual grew
+    /// monotonically past the watchdog threshold, or an iterate went
+    /// non-finite. Unlike [`NoConvergence`](Self::NoConvergence) (budget
+    /// exhausted while possibly still contracting), this is an early exit —
+    /// the map is moving away from any fixed point, the signature of a
+    /// load past the saturation knee.
+    Diverged {
+        /// Number of iterations performed before the watchdog fired.
+        iterations: usize,
+        /// Residual at detection (infinite when an iterate went
+        /// non-finite).
+        residual: f64,
+    },
+    /// A formula produced a non-finite (or negative) result from inputs
+    /// that passed validation — numerical overflow in an intermediate,
+    /// typically at extreme loads just below a stability boundary.
+    Numerical {
+        /// The offending computed value.
+        value: f64,
+    },
     /// A root-bracketing search was given an interval that does not bracket
     /// a sign change.
     BracketError {
@@ -89,6 +109,18 @@ impl fmt::Display for QueueingError {
             } => {
                 write!(f, "fixed point did not converge after {iterations} iterations (residual {residual:e})")
             }
+            QueueingError::Diverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "fixed point diverged after {iterations} iterations (residual {residual:e})"
+                )
+            }
+            QueueingError::Numerical { value } => {
+                write!(f, "computation produced non-finite value {value}")
+            }
             QueueingError::BracketError { lo, hi } => {
                 write!(f, "interval [{lo}, {hi}] does not bracket a root")
             }
@@ -122,6 +154,17 @@ pub(crate) fn check_scv(scv: f64) -> crate::Result<()> {
     Ok(())
 }
 
+/// Output-domain guard: a mean waiting time must come out finite and
+/// non-negative. Catches numerical overflow that validated inputs can
+/// still produce just below a stability boundary, returning a typed error
+/// instead of letting `inf`/`NaN` leak into downstream fixed points.
+pub(crate) fn check_wait(w: f64) -> crate::Result<f64> {
+    if !w.is_finite() || w < 0.0 {
+        return Err(QueueingError::Numerical { value: w });
+    }
+    Ok(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +194,14 @@ mod tests {
                 },
                 "converge",
             ),
+            (
+                QueueingError::Diverged {
+                    iterations: 40,
+                    residual: 1e9,
+                },
+                "diverged",
+            ),
+            (QueueingError::Numerical { value: f64::NAN }, "non-finite"),
             (QueueingError::BracketError { lo: 0.0, hi: 1.0 }, "bracket"),
         ];
         for (err, needle) in cases {
@@ -180,6 +231,18 @@ mod tests {
         assert!(check_service_time(f64::NAN).is_err());
         assert!(check_scv(-1e-12).is_err());
         assert!(check_scv(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn wait_guard_passes_finite_and_traps_garbage() {
+        assert_eq!(check_wait(0.0).unwrap(), 0.0);
+        assert_eq!(check_wait(12.5).unwrap(), 12.5);
+        assert!(matches!(
+            check_wait(f64::NAN),
+            Err(QueueingError::Numerical { .. })
+        ));
+        assert!(check_wait(f64::INFINITY).is_err());
+        assert!(check_wait(-1.0).is_err());
     }
 
     #[test]

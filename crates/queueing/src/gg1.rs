@@ -43,7 +43,7 @@ pub fn waiting_time(
         return Err(QueueingError::InvalidScv { scv: scv_arrival });
     }
     let w_mg1 = mg1::waiting_time(lambda, mean_service, scv_service)?;
-    Ok(w_mg1 * (scv_arrival + scv_service) / (1.0 + scv_service))
+    crate::error::check_wait(w_mg1 * (scv_arrival + scv_service) / (1.0 + scv_service))
 }
 
 /// Like [`waiting_time`] but maps saturation to `f64::INFINITY` (invalid

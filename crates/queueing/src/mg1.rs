@@ -13,7 +13,7 @@
 //! channel (paper Eqs. 17, 19 and 24).
 
 use crate::distribution::ServiceMoments;
-use crate::error::{check_rate, check_scv, check_service_time};
+use crate::error::{check_rate, check_scv, check_service_time, check_wait};
 use crate::{QueueingError, Result};
 
 /// Per-server utilization `ρ = λ·x̄` of a single-server station.
@@ -34,6 +34,8 @@ pub fn utilization(lambda: f64, mean_service: f64) -> f64 {
 /// # Errors
 ///
 /// * [`QueueingError::Saturated`] when `ρ = λ·x̄ ≥ 1`.
+/// * [`QueueingError::Numerical`] when the formula overflows to a
+///   non-finite wait (possible from huge validated inputs).
 /// * Validation errors on non-finite or negative inputs.
 pub fn waiting_time(lambda: f64, mean_service: f64, scv: f64) -> Result<f64> {
     check_rate(lambda)?;
@@ -43,7 +45,7 @@ pub fn waiting_time(lambda: f64, mean_service: f64, scv: f64) -> Result<f64> {
     if rho >= 1.0 {
         return Err(QueueingError::Saturated { utilization: rho });
     }
-    Ok(rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho)))
+    check_wait(rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho)))
 }
 
 /// Like [`waiting_time`] but maps saturation to `f64::INFINITY`.

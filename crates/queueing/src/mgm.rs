@@ -22,7 +22,7 @@
 //! Pollaczek–Khinchine and at `m = 2` to Hokstad's form, so a single entry
 //! point ([`waiting_time`]) serves every channel multiplicity in the model.
 
-use crate::error::{check_rate, check_scv, check_service_time};
+use crate::error::{check_rate, check_scv, check_service_time, check_wait};
 #[cfg(test)]
 use crate::mg1;
 use crate::{mmm, QueueingError, Result};
@@ -48,7 +48,7 @@ pub fn hokstad_mg2_waiting_time(lambda: f64, mean_service: f64, scv: f64) -> Res
     }
     let num = lambda * lambda * mean_service.powi(3);
     let den = 2.0 * (4.0 - lambda * lambda * mean_service * mean_service);
-    Ok(num / den * (1.0 + scv))
+    check_wait(num / den * (1.0 + scv))
 }
 
 /// General M/G/m mean waiting time via the Lee–Longton style scaling of the
@@ -69,7 +69,7 @@ pub fn hokstad_mg2_waiting_time(lambda: f64, mean_service: f64, scv: f64) -> Res
 pub fn waiting_time(servers: u32, lambda: f64, mean_service: f64, scv: f64) -> Result<f64> {
     check_scv(scv)?;
     let w_mmm = mmm::waiting_time(servers, lambda, mean_service)?;
-    Ok(w_mmm * (1.0 + scv) / 2.0)
+    check_wait(w_mmm * (1.0 + scv) / 2.0)
 }
 
 /// Like [`waiting_time`] but maps saturation to `f64::INFINITY` and other

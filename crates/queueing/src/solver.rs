@@ -28,6 +28,63 @@
 use crate::{QueueingError, Result};
 use wormsim_obs::{AitkenStep, SolverTrace};
 
+/// Divergence watchdog: after this many *consecutive* iterations of
+/// residual growth, with the residual grown by [`DIVERGENCE_GROWTH`] over
+/// its starting value, the iteration is declared diverging and aborted
+/// with [`QueueingError::Diverged`] instead of burning the rest of its
+/// budget. Contractions (even noisy ones near saturation) never sustain
+/// monotone growth this long at this magnitude, so the early exit cannot
+/// change any converging solve's outcome.
+const DIVERGENCE_STREAK: usize = 40;
+/// Minimum residual growth factor (relative to the first iteration's
+/// residual) for the watchdog to fire.
+const DIVERGENCE_GROWTH: f64 = 1e6;
+
+/// Watchdog state shared by the plain and accelerated loops.
+#[derive(Debug, Clone, Copy)]
+struct DivergenceWatch {
+    first_residual: f64,
+    prev_residual: f64,
+    streak: usize,
+}
+
+impl DivergenceWatch {
+    fn new() -> Self {
+        Self {
+            first_residual: f64::NAN,
+            prev_residual: f64::NAN,
+            streak: 0,
+        }
+    }
+
+    /// Feeds one iteration's residual; returns `true` when divergence is
+    /// established (monotone growth streak past the threshold) or the
+    /// residual went non-finite.
+    fn observe(&mut self, residual: f64) -> bool {
+        if !residual.is_finite() {
+            return true;
+        }
+        if self.first_residual.is_nan() {
+            self.first_residual = residual;
+        }
+        if residual > self.prev_residual {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        self.prev_residual = residual;
+        self.streak >= DIVERGENCE_STREAK
+            && residual > DIVERGENCE_GROWTH * self.first_residual.max(f64::MIN_POSITIVE)
+    }
+
+    /// Resets the growth streak (after an accepted extrapolation jump the
+    /// previous residual sequence no longer describes the iterate path).
+    fn reset_streak(&mut self) {
+        self.streak = 0;
+        self.prev_residual = f64::NAN;
+    }
+}
+
 /// Configuration for the damped fixed-point iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct FixedPointConfig {
@@ -87,8 +144,12 @@ where
 ///
 /// # Errors
 ///
-/// As [`fixed_point`]. On [`QueueingError::NoConvergence`] the trace is
-/// finished with `converged = false`; a map error leaves it unfinished.
+/// As [`fixed_point`]. Additionally [`QueueingError::Diverged`] when the
+/// divergence watchdog fires (sustained monotone residual growth, or a
+/// non-finite iterate) — the signature of a load past the saturation
+/// knee. On [`QueueingError::NoConvergence`] or
+/// [`QueueingError::Diverged`] the trace is finished with
+/// `converged = false`; a map error leaves it unfinished.
 pub fn fixed_point_traced<F>(
     initial: &[f64],
     config: FixedPointConfig,
@@ -101,6 +162,7 @@ where
     let theta = config.damping.clamp(f64::MIN_POSITIVE, 1.0);
     let mut x = initial.to_vec();
     let mut fx = vec![0.0; x.len()];
+    let mut watch = DivergenceWatch::new();
     for iteration in 1..=config.max_iterations {
         f(&x, &mut fx)?;
         if let Some(tr) = trace.as_deref_mut() {
@@ -122,6 +184,15 @@ where
             }
             return Ok(FixedPointOutcome {
                 values: x,
+                iterations: iteration,
+                residual,
+            });
+        }
+        if watch.observe(residual) {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.finish(false, residual);
+            }
+            return Err(QueueingError::Diverged {
                 iterations: iteration,
                 residual,
             });
@@ -218,9 +289,13 @@ where
 ///
 /// # Errors
 ///
-/// As [`fixed_point_accelerated`]; the trace is finished with
-/// `converged = false` on [`QueueingError::NoConvergence`] and left
-/// unfinished on a map error.
+/// As [`fixed_point_accelerated`], plus [`QueueingError::Diverged`] from
+/// the divergence watchdog (sustained monotone growth of the raw
+/// residual — the accelerated loop gets its Aitken chances first, since
+/// the watchdog streak is far longer than the extrapolation period); the
+/// trace is finished with `converged = false` on
+/// [`QueueingError::NoConvergence`] or [`QueueingError::Diverged`] and
+/// left unfinished on a map error.
 pub fn fixed_point_accelerated_traced<F>(
     initial: &[f64],
     config: FixedPointConfig,
@@ -242,6 +317,7 @@ where
     let mut prev_raw = f64::INFINITY;
     let mut evals = 0usize;
     let mut since_aitken = 0usize;
+    let mut watch = DivergenceWatch::new();
     // After an accepted extrapolation `fx` already holds `F(x)` from the
     // verification evaluation — don't pay for it twice.
     let mut fx_is_current = false;
@@ -273,6 +349,15 @@ where
                 values: x,
                 iterations: evals,
                 residual: theta * raw,
+            });
+        }
+        if watch.observe(raw) {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.finish(false, raw);
+            }
+            return Err(QueueingError::Diverged {
+                iterations: evals,
+                residual: raw,
             });
         }
         x2.copy_from_slice(&x1);
@@ -344,6 +429,7 @@ where
                             // `fx` is already `F(x)` for the new `x`.
                             history = 0;
                             fx_is_current = true;
+                            watch.reset_streak();
                         }
                     }
                     // The extrapolation left the map's stable region
@@ -478,10 +564,36 @@ mod tests {
     }
 
     #[test]
-    fn fixed_point_reports_nonconvergence() {
-        // x = 2x + 1 diverges.
+    fn fixed_point_reports_divergence_early() {
+        // x = 2x + 1 diverges; the watchdog (40-iteration monotone growth
+        // streak past 1e6×) must fire before the 10_000-iteration budget
+        // is spent and classify the failure as Diverged, not NoConvergence.
+        let err = fixed_point(&[1.0], FixedPointConfig::default(), |x, fx| {
+            fx[0] = 2.0 * x[0] + 1.0;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            QueueingError::Diverged {
+                iterations,
+                residual,
+            } => {
+                assert!(
+                    iterations < 100,
+                    "watchdog should fire early, ran {iterations}"
+                );
+                assert!(residual > 1e6);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_point_reports_nonconvergence_when_budget_expires_first() {
+        // Same divergent map, but a budget too small for the watchdog's
+        // 40-iteration streak: the old NoConvergence classification stands.
         let cfg = FixedPointConfig {
-            max_iterations: 50,
+            max_iterations: 20,
             ..Default::default()
         };
         let err = fixed_point(&[1.0], cfg, |x, fx| {
@@ -490,6 +602,37 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, QueueingError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn watchdog_traps_non_finite_iterates_immediately() {
+        // A map that manufactures infinity: without the guard the
+        // iteration would grind NaN arithmetic for the whole budget.
+        let err = fixed_point(&[1.0], FixedPointConfig::default(), |x, fx| {
+            fx[0] = x[0] * 1e308 + 1e308;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, QueueingError::Diverged { .. }));
+    }
+
+    #[test]
+    fn watchdog_does_not_perturb_converging_solves() {
+        // A slow contraction whose residual shrinks non-monotonically
+        // would be the false-positive risk; rate-0.999 Picard is the
+        // slowest thing the model ever sees and must still converge to
+        // the same answer as before the watchdog existed.
+        let cfg = FixedPointConfig {
+            tolerance: 1e-10,
+            max_iterations: 200_000,
+            damping: 0.5,
+        };
+        let out = fixed_point(&[0.0], cfg, |x, fx| {
+            fx[0] = 0.999 * x[0] + 1.0;
+            Ok(())
+        })
+        .unwrap();
+        assert!((out.values[0] - 1000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct CalendarEntry {
 impl Eq for CalendarEntry {}
 
 impl Ord for CalendarEntry {
+    // `time` is documented never-NaN, so `partial_cmp` is total here.
+    // Ordering runs on every heap operation — kept as an expect.
+    #[allow(clippy::expect_used)]
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for use in a max-heap as a min-heap, matching the
         // traffic generator's `Pending` ordering.
@@ -204,6 +207,9 @@ impl CalendarQueue {
 
     /// Moves overflow entries that now fit under the wheel horizon into
     /// their buckets (called after every `base` advance).
+    // The pop follows a successful peek in the same loop iteration — a
+    // local invariant on the event hot path.
+    #[allow(clippy::expect_used)]
     fn migrate_overflow(&mut self) {
         let horizon = self.base + self.wheel.len() as u64;
         while let Some(top) = self.overflow.peek() {
@@ -249,6 +255,10 @@ impl CalendarQueue {
     }
 
     /// Removes and returns the earliest entry.
+    // Both expects restate `len > 0`: a non-empty queue has its minimum
+    // either in the wheel or in overflow, and the refill above moves it
+    // into the wheel. Event hot path — kept as expects.
+    #[allow(clippy::expect_used)]
     pub fn pop_min(&mut self) -> Option<CalendarEntry> {
         if self.len == 0 {
             return None;

@@ -56,6 +56,49 @@ impl EngineKind {
     }
 }
 
+/// Errors raised by [`SimConfig::validate`] — the typed replacement for
+/// the assert-style checks measurement code used to rely on, matching the
+/// `Mesh::new` / `Hypercube::new` constructor pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// The measurement window is empty: no message can ever be measured.
+    ZeroMeasureWindow,
+    /// The drain cap is zero, so every run would be declared saturated
+    /// the moment its window closes.
+    ZeroDrainCap,
+    /// Fewer than two batches: the batch-means confidence interval is
+    /// undefined (its variance needs at least two batch means).
+    TooFewBatches {
+        /// The offending batch count.
+        batches: u32,
+    },
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::ZeroMeasureWindow => {
+                write!(
+                    f,
+                    "measure_cycles must be positive (the measurement window would be empty)"
+                )
+            }
+            SimConfigError::ZeroDrainCap => {
+                write!(
+                    f,
+                    "drain_cap_cycles must be positive (a zero cap marks every run saturated)"
+                )
+            }
+            SimConfigError::TooFewBatches { batches } => write!(
+                f,
+                "batches must be at least 2 for a batch-means confidence interval (got {batches})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// Measurement orchestration parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -102,6 +145,56 @@ impl SimConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks the configuration for values no run can make sense of.
+    ///
+    /// `warmup_cycles` of zero is deliberately allowed — skipping warm-up
+    /// is a legitimate (if noisy) choice — but an empty measurement
+    /// window, a zero drain cap, or fewer than two batches each make the
+    /// produced statistics meaningless, so they are rejected here instead
+    /// of asserted (or silently clamped) downstream.
+    ///
+    /// # Errors
+    ///
+    /// The first applicable [`SimConfigError`].
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.measure_cycles == 0 {
+            return Err(SimConfigError::ZeroMeasureWindow);
+        }
+        if self.drain_cap_cycles == 0 {
+            return Err(SimConfigError::ZeroDrainCap);
+        }
+        if self.batches < 2 {
+            return Err(SimConfigError::TooFewBatches {
+                batches: self.batches,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validating constructor — [`Self::validate`] applied to the given
+    /// fields, mirroring the `Mesh::new` / `Hypercube::new` pattern.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::validate`].
+    pub fn checked(
+        warmup_cycles: u64,
+        measure_cycles: u64,
+        drain_cap_cycles: u64,
+        seed: u64,
+        batches: u32,
+    ) -> Result<Self, SimConfigError> {
+        let cfg = Self {
+            warmup_cycles,
+            measure_cycles,
+            drain_cap_cycles,
+            seed,
+            batches,
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -226,6 +319,42 @@ mod tests {
         let q = SimConfig::quick();
         assert!(q.measure_cycles < c.measure_cycles);
         assert_eq!(SimConfig::default().with_seed(42).seed, 42);
+    }
+
+    #[test]
+    fn validation_is_typed_not_asserted() {
+        assert!(SimConfig::default().validate().is_ok());
+        assert!(SimConfig::quick().validate().is_ok());
+        let no_window = SimConfig {
+            measure_cycles: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(no_window.validate(), Err(SimConfigError::ZeroMeasureWindow));
+        let no_drain = SimConfig {
+            drain_cap_cycles: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(no_drain.validate(), Err(SimConfigError::ZeroDrainCap));
+        let one_batch = SimConfig {
+            batches: 1,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            one_batch.validate(),
+            Err(SimConfigError::TooFewBatches { batches: 1 })
+        );
+        assert!(one_batch.validate().unwrap_err().to_string().contains("2"));
+        assert_eq!(
+            SimConfig::checked(0, 1000, 2000, 7, 4).unwrap(),
+            SimConfig {
+                warmup_cycles: 0,
+                measure_cycles: 1000,
+                drain_cap_cycles: 2000,
+                seed: 7,
+                batches: 4,
+            }
+        );
+        assert!(SimConfig::checked(0, 0, 2000, 7, 4).is_err());
     }
 
     #[test]

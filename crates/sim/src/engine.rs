@@ -316,6 +316,9 @@ impl<'a, R: Router> Engine<'a, R> {
     /// Panics when the network has fewer than two processors or a traffic
     /// destination pattern maps outside the PE range.
     #[must_use]
+    // `ClassAudit::new` registers every class present in the network it was
+    // built from, so the index lookup is total — construction-local invariant.
+    #[allow(clippy::expect_used)]
     pub fn with_lanes(
         router: &'a R,
         cfg: &SimConfig,
@@ -757,6 +760,9 @@ impl<'a, R: Router> Engine<'a, R> {
     /// Performs the pending advancement of a granted (or stalled) worm —
     /// its head traverses the most recently granted channel — and routes
     /// it onward: eject into drain/completion, or request the next hop.
+    // A worm being advanced has traversed at least its injection channel,
+    // so its path is non-empty. Per-advance hot path — kept as an expect.
+    #[allow(clippy::expect_used)]
     fn complete_advance(&mut self, widx: WormIdx, t: u64) {
         self.worms[widx as usize].advancements += 1;
         self.observe_advance(widx);
@@ -917,6 +923,11 @@ impl<'a, R: Router> Engine<'a, R> {
     }
 
     /// One simulated cycle.
+    // The three expects restate arbitration invariants proven in the same
+    // block: a picked index lies below `n_free`, a channel with `has_free`
+    // yields a lane, and a granted station has a queued head worm. Per-cycle
+    // hot path — kept as expects.
+    #[allow(clippy::expect_used)]
     fn step(&mut self) {
         let t = self.now;
 

@@ -79,6 +79,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod calendar;
 pub mod config;
@@ -88,7 +92,7 @@ pub mod runner;
 pub mod stats;
 pub mod traffic;
 
-pub use config::{EngineKind, SimConfig, TrafficConfig};
+pub use config::{EngineKind, SimConfig, SimConfigError, TrafficConfig};
 pub use router::{
     BftRouter, DegradedRoute, FaultedBftRouter, FaultedHypercubeRouter, FaultedMeshRouter,
     HypercubeRouter, MeshRouter, Router,

@@ -221,6 +221,9 @@ pub fn sweep_traffic_with_lanes<R: Router>(
 ///
 /// Same as [`sweep_traffic`].
 #[must_use]
+// Panics are the documented contract of the sweep family (see # Panics);
+// callers wanting typed errors validate via `TrafficConfig` first.
+#[allow(clippy::expect_used)]
 pub fn sweep_traffic_with_engine<R: Router>(
     router: &R,
     cfg: &SimConfig,
@@ -276,6 +279,9 @@ pub fn saturation_probe_seed(base_seed: u64, index: u64) -> u64 {
 ///
 /// Panics on non-finite/negative loads or zero-flit worms.
 #[must_use]
+// Documented # Panics contract; a zero-load config with a validated worm
+// length only fails on zero flits, which the message names.
+#[allow(clippy::expect_used)]
 pub fn sweep_flit_loads<R: Router>(
     router: &R,
     cfg: &SimConfig,
@@ -296,6 +302,9 @@ pub fn sweep_flit_loads<R: Router>(
 /// calling thread, so the failure is a clear message rather than a
 /// worker-thread abort).
 #[must_use]
+// Panics are the documented contract of the sweep family (see # Panics);
+// callers wanting typed errors validate via `TrafficConfig` first.
+#[allow(clippy::expect_used)]
 pub fn sweep_traffic<R: Router>(
     router: &R,
     cfg: &SimConfig,
@@ -334,6 +343,9 @@ fn worker_count(jobs: usize) -> usize {
 /// fast-forwarding, low-load points finish many times faster than
 /// high-load ones, and a contiguous split would leave one worker
 /// straggling on all the slow points.
+// Every slot is filled exactly once by the scoped workers before the scope
+// joins — a structural invariant of the chunk assignment.
+#[allow(clippy::expect_used)]
 fn run_indexed_parallel<T, F>(jobs: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -433,6 +445,9 @@ pub fn replicate_with_engine<R: Router>(
 /// returning `(last_stable_load, first_saturated_load)`; the second element
 /// is `None` when even the largest probed load stayed stable.
 #[must_use]
+// Documented # Panics contract on degenerate probe parameters; the probe
+// loads themselves are finite by construction of the scan.
+#[allow(clippy::expect_used)]
 pub fn find_saturation<R: Router>(
     router: &R,
     cfg: &SimConfig,

@@ -41,6 +41,9 @@ struct Pending {
 impl Eq for Pending {}
 
 impl Ord for Pending {
+    // Arrival times are finite by construction, so `partial_cmp` is total.
+    // Ordering runs on every heap operation — kept as an expect.
+    #[allow(clippy::expect_used)]
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; times are finite by construction, and ties
         // break on the PE index for determinism.
@@ -134,6 +137,9 @@ impl TrafficGenerator {
     /// Panics when `num_pes < 2` or the destination pattern cannot address
     /// this machine (see `DestinationPattern::validate`).
     #[must_use]
+    // Documented # Panics contract; `run_simulation` validates the pattern
+    // up front so this fires only on direct misuse.
+    #[allow(clippy::expect_used)]
     pub fn new(num_pes: usize, traffic: &TrafficConfig, rng: &mut SmallRng) -> Self {
         assert!(num_pes >= 2, "traffic needs at least two PEs");
         traffic

@@ -460,6 +460,9 @@ impl ButterflyFatTree {
     ///
     /// Panics when `node` is not a switch.
     #[must_use]
+    // Documented caller contract on the per-flit hot path; a Result here
+    // would tax every routing step for a programming error.
+    #[allow(clippy::panic)]
     pub fn switch_coords(&self, node: NodeId) -> (u32, usize) {
         match self.network.node(node).kind {
             NodeKind::Switch { level, address } => (level, address),
@@ -514,6 +517,9 @@ impl ButterflyFatTree {
     /// Routing decision for a worm whose head sits at switch `node` with
     /// destination leaf `dest`.
     #[must_use]
+    // Structural invariant established at construction: every non-root
+    // switch is wired to an up station. Hot path — kept as an expect.
+    #[allow(clippy::expect_used)]
     pub fn route(&self, node: NodeId, dest: usize) -> RouteChoice {
         let (l, a) = self.switch_coords(node);
         if self.subtree_contains(l, a, dest) {

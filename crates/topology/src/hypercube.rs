@@ -128,6 +128,8 @@ impl Hypercube {
     ///
     /// Panics when `node` is not a switch.
     #[must_use]
+    // Documented caller contract on the per-flit hot path.
+    #[allow(clippy::panic)]
     pub fn switch_address(&self, node: NodeId) -> usize {
         match self.network.node(node).kind {
             NodeKind::Switch { address, .. } => address,

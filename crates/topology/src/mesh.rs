@@ -165,6 +165,8 @@ impl Mesh {
     ///
     /// Panics when `node` is not a switch.
     #[must_use]
+    // Documented caller contract on the per-flit hot path.
+    #[allow(clippy::panic)]
     pub fn switch_address(&self, node: NodeId) -> usize {
         match self.network.node(node).kind {
             NodeKind::Switch { address, .. } => address,
@@ -181,6 +183,9 @@ impl Mesh {
     /// Dimension-order routing: next channel from switch `node` towards
     /// processor `dest`, or `None` to eject here.
     #[must_use]
+    // Structural invariant from construction: dimension-order routing only
+    // crosses interior links, which always exist. Hot path — kept as expects.
+    #[allow(clippy::expect_used)]
     pub fn route(&self, node: NodeId, dest: usize) -> Option<ChannelId> {
         let here = self.switch_address(node);
         for d in 0..self.dims {

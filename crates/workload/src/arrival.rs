@@ -114,7 +114,11 @@ impl MmppProfile {
     /// 20% of time, with 200-cycle bursts.
     #[must_use]
     pub fn default_bursty() -> Self {
-        Self::new(4.0, 0.2, 200.0).expect("default profile is valid")
+        Self {
+            peak_to_mean: 4.0,
+            duty: 0.2,
+            mean_on_cycles: 200.0,
+        }
     }
 
     /// ON-rate over mean rate.

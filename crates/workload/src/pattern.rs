@@ -128,6 +128,9 @@ impl DestinationPattern {
     /// Exact probability that a message from `src` goes to `dst`.
     /// Always 0 for `dst == src`; sums to 1 over all other PEs.
     #[must_use]
+    // Enum invariant: every non-random variant falls into the permutation
+    // arm, where `permutation_dest` is total. Kept as an expect.
+    #[allow(clippy::expect_used)]
     pub fn dest_prob(&self, src: usize, dst: usize, num_pes: usize) -> f64 {
         debug_assert!(src < num_pes && dst < num_pes);
         if dst == src {
@@ -164,6 +167,9 @@ impl DestinationPattern {
     ///
     /// Distributionally identical to [`Self::dest_prob`]; used by the
     /// simulator's traffic generator.
+    // Same enum invariant as `dest_prob`: the fallthrough arm is a
+    // permutation pattern, where `permutation_dest` is total.
+    #[allow(clippy::expect_used)]
     pub fn sample<R: Rng>(&self, src: usize, num_pes: usize, rng: &mut R) -> usize {
         match *self {
             DestinationPattern::Uniform => uniform_other(src, num_pes, rng),

@@ -116,6 +116,7 @@
 pub use wormsim_core as model;
 pub use wormsim_experiments as experiments;
 pub use wormsim_faults as faults;
+pub use wormsim_guard as guard;
 pub use wormsim_lanes as lanes;
 pub use wormsim_obs as obs;
 pub use wormsim_queueing as queueing;
@@ -135,6 +136,7 @@ pub mod prelude {
     pub use wormsim_core::throughput::SaturationPoint;
     pub use wormsim_core::ModelError;
     pub use wormsim_faults::{DegradedChoice, FaultError, FaultPlan, FaultSpec, FaultedBft};
+    pub use wormsim_guard::{Knee, KneeConfig, KneeError, Rung, SolveOutcome};
     pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
     pub use wormsim_obs::{
         ModelTelemetry, ObsConfig, SimSnapshot, SolverTrace, StallCause, StationBreakdown,

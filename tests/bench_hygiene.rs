@@ -17,8 +17,8 @@
 use std::path::Path;
 
 /// Current schema literals — keep in sync with `bench_baseline.rs`.
-const SIM_SCHEMA: &str = "wormsim-bench-sim/v5";
-const MODEL_SCHEMA: &str = "wormsim-bench-model/v2";
+const SIM_SCHEMA: &str = "wormsim-bench-sim/v6";
+const MODEL_SCHEMA: &str = "wormsim-bench-model/v3";
 
 fn read_baseline(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
@@ -64,13 +64,16 @@ fn committed_model_baseline_is_full_mode_and_current_schema() {
 
 #[test]
 fn sim_baseline_carries_the_faulted_group() {
-    // Schema v5 added the faulted operating points; a v5 file without them
-    // would mean the regeneration ran against stale code.
+    // Schema v5 added the faulted operating points; v6 added the
+    // deliberately past-knee point (saturated run, still completes and is
+    // recorded). A v6 file without them would mean the regeneration ran
+    // against stale code.
     let body = read_baseline("BENCH_sim.json");
     for point in [
         "bft64_load0.1_f0_ff",
         "bft64_load0.1_f5_ff",
         "bft64_load0.1_f5_ev",
+        "bft64_pastknee_f5_ff",
     ] {
         assert!(
             body.contains(point),
