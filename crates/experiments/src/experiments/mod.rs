@@ -19,6 +19,7 @@ pub mod lanes;
 pub mod scaling;
 pub mod tail_latency;
 pub mod throughput;
+pub mod timeline;
 pub mod trace;
 
 /// Shared experiment knobs.
@@ -204,6 +205,11 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn, &str)] = &[
         "trace",
         trace::run,
         "Obs O1: worm-lifecycle trace (JSONL + Chrome trace_event), per-level usage, solver telemetry",
+    ),
+    (
+        "timeline",
+        timeline::run,
+        "Obs O2: windowed time series (throughput/latency/busy/stall per window), MSER-5 steady state, Chrome counter tracks",
     ),
     (
         "faults",

@@ -116,17 +116,29 @@ fn chrome_event(out: &mut String, ev: &WormEvent, pid: u32) {
     }
 }
 
-/// Render the event stream in Chrome `trace_event` JSON-object format.
-/// `label` becomes the process name shown by the viewer. Worms still in
-/// flight at the end of the run appear as unclosed `B` slices, which
-/// both `about:tracing` and Perfetto tolerate.
-pub fn events_to_chrome_trace(events: &[WormEvent], label: &str) -> String {
-    let pid = 1u32;
-    let mut out = String::with_capacity(events.len() * 96 + 256);
-    out.push_str("{\"traceEvents\": [\n");
-    // Process-name metadata record. Labels come from experiment names —
-    // restrict to a safe charset rather than escape.
-    let safe: String = label
+/// One sample on a Chrome counter track: named series values at cycle `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Cycle of the sample (mapped to trace microseconds).
+    pub t: u64,
+    /// `(series name, value)` pairs plotted stacked by the viewer.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A named counter track rendered as `"ph":"C"` events — the Chrome
+/// trace form of a time series (per-window throughput, in-flight count,
+/// channel utilization, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Track name shown by the viewer.
+    pub name: String,
+    /// Samples in increasing time order.
+    pub samples: Vec<CounterSample>,
+}
+
+/// Restrict a name to the exporters' safe charset rather than escape.
+fn sanitize(label: &str) -> String {
+    label
         .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || " _-.=".contains(c) {
@@ -135,7 +147,49 @@ pub fn events_to_chrome_trace(events: &[WormEvent], label: &str) -> String {
                 '_'
             }
         })
-        .collect();
+        .collect()
+}
+
+fn chrome_counter(out: &mut String, track: &str, s: &CounterSample, pid: u32) {
+    let ts = json_num(s.t as f64);
+    let _ = write!(
+        out,
+        r#"{{"name":"{track}","cat":"counter","ph":"C","ts":{ts},"pid":{pid},"args":{{"#
+    );
+    for (i, (k, v)) in s.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Counter values must stay numeric JSON; non-finite inputs are
+        // clamped to 0 rather than emitting NaN/inf tokens.
+        let v = if v.is_finite() { *v } else { 0.0 };
+        let _ = write!(out, r#""{}":{}"#, sanitize(k), json_num(v));
+    }
+    out.push_str("}}");
+}
+
+/// Render the event stream in Chrome `trace_event` JSON-object format.
+/// `label` becomes the process name shown by the viewer. Worms still in
+/// flight at the end of the run appear as unclosed `B` slices, which
+/// both `about:tracing` and Perfetto tolerate.
+pub fn events_to_chrome_trace(events: &[WormEvent], label: &str) -> String {
+    events_to_chrome_trace_with_counters(events, &[], label)
+}
+
+/// [`events_to_chrome_trace`] plus counter tracks (`"ph":"C"` samples)
+/// interleaved after the lifecycle events.
+pub fn events_to_chrome_trace_with_counters(
+    events: &[WormEvent],
+    counters: &[CounterTrack],
+    label: &str,
+) -> String {
+    let pid = 1u32;
+    let n_samples: usize = counters.iter().map(|c| c.samples.len()).sum();
+    let mut out = String::with_capacity(events.len() * 96 + n_samples * 96 + 256);
+    out.push_str("{\"traceEvents\": [\n");
+    // Process-name metadata record. Labels come from experiment names —
+    // restrict to a safe charset rather than escape.
+    let safe = sanitize(label);
     let _ = write!(
         out,
         r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{safe}"}}}}"#
@@ -143,6 +197,13 @@ pub fn events_to_chrome_trace(events: &[WormEvent], label: &str) -> String {
     for ev in events {
         out.push_str(",\n");
         chrome_event(&mut out, ev, pid);
+    }
+    for track in counters {
+        let name = sanitize(&track.name);
+        for s in &track.samples {
+            out.push_str(",\n");
+            chrome_counter(&mut out, &name, s, pid);
+        }
     }
     out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
     out
@@ -156,6 +217,19 @@ pub fn write_jsonl(path: &Path, events: &[WormEvent]) -> io::Result<()> {
 /// Write the Chrome trace to `path`.
 pub fn write_chrome_trace(path: &Path, events: &[WormEvent], label: &str) -> io::Result<()> {
     std::fs::write(path, events_to_chrome_trace(events, label))
+}
+
+/// Write the Chrome trace with counter tracks to `path`.
+pub fn write_chrome_trace_with_counters(
+    path: &Path,
+    events: &[WormEvent],
+    counters: &[CounterTrack],
+    label: &str,
+) -> io::Result<()> {
+    std::fs::write(
+        path,
+        events_to_chrome_trace_with_counters(events, counters, label),
+    )
 }
 
 /// Minimal JSON well-formedness check (recursive descent over the full
@@ -387,6 +461,47 @@ mod tests {
         let trace = events_to_chrome_trace(&[], "we\"ird\\label\n");
         assert!(json_is_well_formed(&trace));
         assert!(trace.contains("we_ird_label_"));
+    }
+
+    #[test]
+    fn chrome_counter_tracks_are_valid_json() {
+        let counters = vec![CounterTrack {
+            name: "throughput (worms/cycle)".to_string(),
+            samples: vec![
+                CounterSample {
+                    t: 0,
+                    values: vec![("delivered".into(), 0.25), ("in_flight".into(), 3.0)],
+                },
+                CounterSample {
+                    t: 256,
+                    values: vec![("delivered".into(), 0.5), ("in_flight".into(), 1.0)],
+                },
+            ],
+        }];
+        let trace = events_to_chrome_trace_with_counters(&sample_events(), &counters, "timeline");
+        assert!(json_is_well_formed(&trace), "bad counter trace: {trace}");
+        assert_eq!(trace.matches(r#""ph":"C""#).count(), 2);
+        assert!(trace.contains(r#""cat":"counter""#));
+        assert!(trace.contains(r#""delivered":0.25"#));
+        // Lifecycle events are still present alongside the counters.
+        assert_eq!(trace.matches(r#""ph":"B""#).count(), 1);
+    }
+
+    #[test]
+    fn chrome_counter_values_stay_numeric_json() {
+        // Non-finite values and unsafe names must not corrupt the JSON.
+        let counters = vec![CounterTrack {
+            name: "bad\"name".to_string(),
+            samples: vec![CounterSample {
+                t: 1,
+                values: vec![("na\"n".into(), f64::NAN), ("inf".into(), f64::INFINITY)],
+            }],
+        }];
+        let trace = events_to_chrome_trace_with_counters(&[], &counters, "t");
+        assert!(json_is_well_formed(&trace), "bad trace: {trace}");
+        assert!(trace.contains(r#""bad_name""#));
+        assert!(!trace.contains("NaN"));
+        assert!(!trace.contains("inf\":i"));
     }
 
     #[test]

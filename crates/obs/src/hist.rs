@@ -1,0 +1,249 @@
+//! Log-linear event-count histogram with high-resolution tail quantiles.
+//!
+//! The original power-of-two histogram resolved quantiles only to within
+//! a factor of 2 — useless for comparing sim p99.9 against deterministic
+//! network-calculus bounds (ROADMAP item 5). This layout keeps the
+//! power-of-two *majors* but splits each major into
+//! [`Histogram::SUB_BUCKETS`] linear sub-buckets, so every bucket's width
+//! is at most `lower_bound / SUB_BUCKETS` and any quantile upper bound is
+//! within a `1 + 1/SUB_BUCKETS` factor of the exact order statistic
+//! (and exact below [`Histogram::SUB_BUCKETS`], where buckets are
+//! singletons).
+//!
+//! Count, sum, min and max are kept exactly — only bucket membership is
+//! quantized — so aggregate invariants (`Σ latency`, delivered counts)
+//! are unchanged from the power-of-two version.
+
+/// Sub-buckets per power-of-two major: `2^SUB_SHIFT`.
+const SUB_SHIFT: u32 = 4;
+/// Number of linear sub-buckets inside each power-of-two major.
+const SUB: usize = 1 << SUB_SHIFT;
+/// Majors `2^SUB_SHIFT ..= 2^63` each contribute `SUB` buckets, on top of
+/// the `SUB` exact singleton buckets for values `0 .. SUB`.
+const NUM_BUCKETS: usize = SUB * (64 - SUB_SHIFT as usize + 1);
+
+/// Monotone event-count histogram over `u64` samples with log-linear
+/// buckets: values below [`Histogram::SUB_BUCKETS`] land in exact
+/// singleton buckets; larger values land in one of
+/// [`Histogram::SUB_BUCKETS`] equal-width sub-buckets of their
+/// power-of-two major `[2^k, 2^(k+1))`. Exact count/sum/min/max are kept
+/// alongside, so only quantiles are approximate — to within a relative
+/// error of `1 / SUB_BUCKETS` (6.25%), not the old factor of 2.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("nonzero_buckets", &self.nonzero_buckets())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power-of-two major. Quantile upper bounds
+    /// are within a `1 + 1/SUB_BUCKETS` factor of the exact order
+    /// statistic.
+    pub const SUB_BUCKETS: u64 = SUB as u64;
+
+    /// Worst-case relative error of [`Histogram::quantile_upper_bound`]
+    /// with respect to the exact order statistic: `1 / SUB_BUCKETS`.
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUB as f64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB as u64 {
+            value as usize
+        } else {
+            // 2^k ≤ value < 2^(k+1), k ≥ SUB_SHIFT.
+            let k = 63 - value.leading_zeros();
+            let sub = ((value - (1u64 << k)) >> (k - SUB_SHIFT)) as usize;
+            SUB * (k - SUB_SHIFT + 1) as usize + sub
+        }
+    }
+
+    /// `(lower, upper)` inclusive bounds of bucket `i`.
+    fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i < SUB {
+            (i as u64, i as u64)
+        } else {
+            let group = (i / SUB) as u32; // 1-based major group
+            let k = group + SUB_SHIFT - 1;
+            let width = 1u64 << (k - SUB_SHIFT);
+            let lower = (1u64 << k) + (i % SUB) as u64 * width;
+            // `lower + width` overflows for the top bucket; add `width − 1`.
+            (lower, lower + (width - 1))
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), clamped to the exact max. `None` when empty.
+    ///
+    /// The rank is the ceiling order statistic (`⌈q·count⌉`, at least 1),
+    /// so `q = 0` is the first sample's bucket and `q = 1` the last's.
+    /// The returned bound `b` satisfies
+    /// `exact ≤ b ≤ exact · (1 + 1/SUB_BUCKETS)` where `exact` is the
+    /// true order statistic, and is exact for values below
+    /// [`Histogram::SUB_BUCKETS`].
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_bounds(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples,
+    /// in increasing value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact_singletons() {
+        let mut h = Histogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB as u64 {
+            assert!(h.nonzero_buckets().contains(&(v, v, 1)));
+        }
+        // The second major (16..32) is also singleton-exact: width 1.
+        let mut h = Histogram::new();
+        h.record(17);
+        assert_eq!(h.nonzero_buckets(), vec![(17, 17, 1)]);
+    }
+
+    #[test]
+    fn bucket_layout_is_a_partition_of_u64() {
+        // Every bucket's upper + 1 is the next bucket's lower, and
+        // bounds round-trip through bucket_index.
+        let mut expected_lower = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lower, "bucket {i} lower");
+            assert!(hi >= lo);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            expected_lower = hi.wrapping_add(1);
+        }
+        // The last bucket ends exactly at u64::MAX.
+        assert_eq!(Histogram::bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for v in [16u64, 100, 1000, 12_345, 1 << 40, u64::MAX - 7] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v && v <= hi);
+            // width ≤ lower / SUB, the advertised 1/SUB relative error.
+            assert!(hi - lo <= lo / SUB as u64, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_order_statistics() {
+        let mut h = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        // A deterministic skewed sample: quadratic spread with a heavy tail.
+        for i in 0..10_000u64 {
+            let v = 3 + i * i / 997;
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let bound = h.quantile_upper_bound(q).unwrap();
+            assert!(bound >= exact, "q={q}: bound {bound} < exact {exact}");
+            let rel = (bound - exact) as f64 / exact as f64;
+            assert!(
+                rel <= Histogram::RELATIVE_ERROR_BOUND,
+                "q={q}: rel err {rel} > {}",
+                Histogram::RELATIVE_ERROR_BOUND
+            );
+        }
+    }
+}

@@ -35,9 +35,12 @@
 
 pub mod events;
 pub mod export;
+pub mod hist;
 pub mod metrics;
 pub mod model;
 pub mod sim;
+pub mod steady;
+pub mod timeseries;
 
 pub use events::{EventSink, StallCause, WormEvent};
 pub use metrics::{Histogram, Registry};
@@ -46,3 +49,5 @@ pub use model::{
     StationBreakdown,
 };
 pub use sim::{ChannelUsage, LaneUsage, ObsConfig, SimSnapshot, SimTrace};
+pub use steady::{detect_steady_state, mser, mser5, SteadyState, Truncation};
+pub use timeseries::{TimeSeries, TimeSeriesConfig, TimeSeriesResult, WindowStats};

@@ -19,118 +19,7 @@ pub struct GaugeId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
-/// Monotone event-count histogram over `u64` samples with power-of-two
-/// buckets: bucket 0 holds the value 0, bucket `i ≥ 1` holds values `v`
-/// with `2^(i-1) ≤ v < 2^i`. Exact count/sum/min/max are kept alongside,
-/// so only quantiles are approximate (to within a factor of 2).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 65],
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: [0; 65],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    fn bucket_index(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
-        }
-    }
-
-    /// Record one sample.
-    #[inline]
-    pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_index(value)] += 1;
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of recorded samples.
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Smallest recorded sample (`None` when empty).
-    pub fn min(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Largest recorded sample (`None` when empty).
-    pub fn max(&self) -> Option<u64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// Mean of recorded samples (`None` when empty).
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 ≤ q ≤ 1.0`), clamped to the exact max. `None` when empty.
-    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if i == 0 {
-                    0
-                } else {
-                    (1u64 << i).saturating_sub(1)
-                };
-                return Some(upper.min(self.max));
-            }
-        }
-        Some(self.max)
-    }
-
-    /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                if i == 0 {
-                    (0, 0, c)
-                } else {
-                    (1u64 << (i - 1), (1u64 << i) - 1, c)
-                }
-            })
-            .collect()
-    }
-}
+pub use crate::hist::Histogram;
 
 /// Name → metric-slot table. Registration is idempotent per name and
 /// kind; registering the same name twice returns the same handle.
@@ -280,14 +169,16 @@ mod tests {
         assert_eq!(h.sum(), 1026);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(1000));
-        // bucket (1,1) holds the two 1s; (2,3) holds 2 and 3; (4,7) holds 4 and 7.
+        // Values below SUB_BUCKETS land in exact singleton buckets.
         let nz = h.nonzero_buckets();
         assert!(nz.contains(&(1, 1, 2)));
-        assert!(nz.contains(&(2, 3, 2)));
-        assert!(nz.contains(&(4, 7, 2)));
+        assert!(nz.contains(&(2, 2, 1)));
+        assert!(nz.contains(&(3, 3, 1)));
+        assert!(nz.contains(&(4, 4, 1)));
+        assert!(nz.contains(&(7, 7, 1)));
         assert_eq!(h.quantile_upper_bound(0.0), Some(0));
         assert_eq!(h.quantile_upper_bound(1.0), Some(1000));
-        // median of 9 samples is the 5th (value 3) → bucket (2,3) upper bound.
+        // median of 9 samples is the 5th (value 3): exact.
         assert_eq!(h.quantile_upper_bound(0.5), Some(3));
     }
 
@@ -299,6 +190,54 @@ mod tests {
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.quantile_upper_bound(0.5), None);
+        assert_eq!(h.quantile_upper_bound(0.0), None);
+        assert_eq!(h.quantile_upper_bound(1.0), None);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    // Contract tests locking the histogram/registry semantics the
+    // log-linear upgrade must preserve.
+
+    #[test]
+    fn insert_histogram_replaces_and_keeps_handle_stable() {
+        let mut r = Registry::new();
+        let id = r.histogram("lat");
+        r.record(id, 7);
+        assert_eq!(r.histogram_value(id).count(), 1);
+        // Installing a pre-built histogram under the same name replaces
+        // the contents but reuses the slot: the old handle still reads
+        // the new data.
+        let mut pre = Histogram::new();
+        pre.record(1);
+        pre.record(2);
+        let id2 = r.insert_histogram("lat", pre);
+        assert_eq!(id, id2);
+        assert_eq!(r.histogram_value(id).count(), 2);
+        assert_eq!(r.histogram_value(id).sum(), 3);
+        // Inserting under a fresh name registers a new slot.
+        let id3 = r.insert_histogram("other", Histogram::new());
+        assert_ne!(id3, id);
+        assert_eq!(r.histogram_value(id3).count(), 0);
+        assert_eq!(r.histograms().count(), 2);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // q = 0 and q = 1 resolve to the first/last sample's bucket,
+        // clamped to the exact min-bucket/max values.
+        let mut h = Histogram::new();
+        h.record(5);
+        // Single sample: every quantile is that sample (exact: 5 < 16).
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), Some(5));
+        }
+        // Out-of-range q clamps rather than panics.
+        assert_eq!(h.quantile_upper_bound(-1.0), Some(5));
+        assert_eq!(h.quantile_upper_bound(2.0), Some(5));
+        // Single large sample: upper bound clamps to the exact max.
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile_upper_bound(0.0), Some(1000));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1000));
     }
 }

@@ -25,6 +25,7 @@
 
 use crate::events::{EventSink, StallCause, WormEvent};
 use crate::metrics::{Histogram, Registry};
+use crate::timeseries::{TimeSeries, TimeSeriesConfig, TimeSeriesResult};
 
 /// What the observer records. The default is everything ([`ObsConfig::full`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,8 @@ pub struct ObsConfig {
     /// Maximum number of events held by the sink; later events are
     /// counted as dropped.
     pub event_capacity: usize,
+    /// Windowed time-series sampling (`None` disables it).
+    pub time_series: Option<TimeSeriesConfig>,
 }
 
 impl ObsConfig {
@@ -47,6 +50,7 @@ impl ObsConfig {
             enabled: false,
             events: false,
             event_capacity: 0,
+            time_series: None,
         }
     }
 
@@ -56,6 +60,7 @@ impl ObsConfig {
             enabled: true,
             events: false,
             event_capacity: 0,
+            time_series: None,
         }
     }
 
@@ -65,12 +70,26 @@ impl ObsConfig {
             enabled: true,
             events: true,
             event_capacity: 1 << 20,
+            time_series: None,
         }
     }
 
     /// Same config with a different event-sink capacity.
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.event_capacity = capacity;
+        self
+    }
+
+    /// Same config with windowed time-series sampling at
+    /// `window_cycles`-cycle windows (default retention).
+    pub fn with_time_series(mut self, window_cycles: u64) -> Self {
+        self.time_series = Some(TimeSeriesConfig::new(window_cycles));
+        self
+    }
+
+    /// Same config with an explicit time-series configuration.
+    pub fn with_time_series_config(mut self, cfg: TimeSeriesConfig) -> Self {
+        self.time_series = Some(cfg);
         self
     }
 }
@@ -132,6 +151,8 @@ pub struct SimTrace {
     next_worm_id: u64,
     worm_id: Vec<u64>,
     sink: EventSink,
+    // Windowed time-series sampler (None unless configured).
+    ts: Option<TimeSeries>,
 }
 
 impl SimTrace {
@@ -158,6 +179,10 @@ impl SimTrace {
             next_worm_id: 0,
             worm_id: Vec::new(),
             sink: EventSink::with_capacity(if cfg.events { cfg.event_capacity } else { 0 }),
+            ts: cfg
+                .time_series
+                .as_ref()
+                .map(|t| TimeSeries::new(num_channels, t)),
         }
     }
 
@@ -174,6 +199,9 @@ impl SimTrace {
         self.worm_id[slab] = self.next_worm_id;
         self.next_worm_id += 1;
         self.injected += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.record_inject(t);
+        }
         if self.events_on {
             self.sink.push(WormEvent::Inject {
                 t,
@@ -190,6 +218,9 @@ impl SimTrace {
     #[inline]
     pub fn on_route_chosen(&mut self, slab: usize, t: u64, station: u32, queued_behind: bool) {
         self.route_decisions += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.record_event(t);
+        }
         if self.events_on {
             self.sink.push(WormEvent::RouteChosen {
                 t,
@@ -205,6 +236,9 @@ impl SimTrace {
     /// The station granted `(channel, lane)` to the worm.
     #[inline]
     pub fn on_grant(&mut self, slab: usize, t: u64, channel: usize, lane: u16) {
+        if let Some(ts) = &mut self.ts {
+            ts.record_event(t);
+        }
         self.grants[channel] += 1;
         self.lane_grants[lane as usize] += 1;
         self.lane_grant_count += 1;
@@ -230,32 +264,47 @@ impl SimTrace {
     /// never overlap and their lengths sum to the exact union.
     #[inline]
     pub fn on_release(&mut self, t: u64, channel: usize, lane: u16, hold: u64) {
+        if let Some(ts) = &mut self.ts {
+            ts.record_event(t);
+        }
         self.lane_held[lane as usize] += hold;
         debug_assert!(self.occ[channel] > 0, "release on unoccupied channel");
         self.occ[channel] -= 1;
         if self.occ[channel] == 0 {
             // Interval [occ_start, t] inclusive.
             self.held[channel] += t - self.occ_start[channel] + 1;
+            if let Some(ts) = &mut self.ts {
+                ts.add_held_interval(self.occ_start[channel], t);
+            }
         }
     }
 
-    /// A flit crossed `channel` this cycle.
+    /// A flit crossed `channel` at cycle `t`.
     #[inline]
-    pub fn on_flit(&mut self, channel: usize) {
+    pub fn on_flit(&mut self, channel: usize, t: u64) {
         self.busy[channel] += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.add_busy_span(t, 1);
+        }
     }
 
     /// A silent drain span transmitted one flit per cycle on `channel`
-    /// for `span` consecutive cycles (batched equivalent of `on_flit`).
+    /// over cycles `[t, t + span)` (batched equivalent of `on_flit`).
     #[inline]
-    pub fn on_drain_span(&mut self, channel: usize, span: u64) {
+    pub fn on_drain_span(&mut self, channel: usize, t: u64, span: u64) {
         self.busy[channel] += span;
+        if let Some(ts) = &mut self.ts {
+            ts.add_busy_span(t, span);
+        }
     }
 
     /// The worm failed to make progress this cycle.
     #[inline]
     pub fn on_stall(&mut self, slab: usize, t: u64, cause: StallCause) {
         self.stalls[cause.index()] += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.record_event(t);
+        }
         if self.events_on {
             self.sink.push(WormEvent::Stall {
                 t,
@@ -271,9 +320,12 @@ impl SimTrace {
     /// keeping `stalls_dead_link == unroutable` as a conservation law.
     /// No worm was allocated, so there is no slab slot and no event.
     #[inline]
-    pub fn on_unroutable(&mut self, _t: u64) {
+    pub fn on_unroutable(&mut self, t: u64) {
         self.unroutable += 1;
         self.stalls[StallCause::DeadLink.index()] += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.record_unroutable(t);
+        }
     }
 
     /// A worm in flight was defensively killed because its head reached a
@@ -287,6 +339,9 @@ impl SimTrace {
         self.worm_hops += hops;
         self.unroutable += 1;
         self.stalls[StallCause::DeadLink.index()] += 1;
+        if let Some(ts) = &mut self.ts {
+            ts.record_kill(t);
+        }
         if self.events_on {
             self.sink.push(WormEvent::Stall {
                 t,
@@ -299,6 +354,9 @@ impl SimTrace {
     /// The worm's head reached its destination PE and started draining.
     #[inline]
     pub fn on_drain(&mut self, slab: usize, t: u64) {
+        if let Some(ts) = &mut self.ts {
+            ts.record_event(t);
+        }
         if self.events_on {
             self.sink.push(WormEvent::Drain {
                 t,
@@ -313,6 +371,9 @@ impl SimTrace {
         self.delivered += 1;
         self.worm_hops += hops;
         self.latency.record(latency);
+        if let Some(ts) = &mut self.ts {
+            ts.record_deliver(t, latency);
+        }
         if self.events_on {
             self.sink.push(WormEvent::Deliver {
                 t,
@@ -331,6 +392,11 @@ impl SimTrace {
         for ch in 0..self.occ.len() {
             if self.occ[ch] > 0 {
                 self.held[ch] += cycles_run.saturating_sub(self.occ_start[ch]);
+                if let Some(ts) = &mut self.ts {
+                    if cycles_run > self.occ_start[ch] {
+                        ts.add_held_interval(self.occ_start[ch], cycles_run - 1);
+                    }
+                }
                 self.occ[ch] = 0;
             }
         }
@@ -371,6 +437,7 @@ impl SimTrace {
             latency: self.latency,
             channels,
             lanes,
+            time_series: self.ts.map(|ts| ts.finish(cycles_run)),
             events,
             events_dropped,
         }
@@ -415,6 +482,8 @@ pub struct SimSnapshot {
     pub channels: Vec<ChannelUsage>,
     /// Per-lane-index usage (aggregated over channels).
     pub lanes: Vec<LaneUsage>,
+    /// Windowed time series, when `ObsConfig::time_series` was set.
+    pub time_series: Option<TimeSeriesResult>,
     /// Worm-lifecycle events, when the sink was enabled.
     pub events: Vec<WormEvent>,
     /// Events dropped because the sink hit capacity.
@@ -460,6 +529,38 @@ impl SimSnapshot {
                 "dead-link stalls {} ≠ unroutable messages {}",
                 self.stalls_dead_link, self.unroutable
             ));
+        }
+        if let Some(ts) = &self.time_series {
+            // Σ per-window figures (evicted aggregate included) must
+            // reconcile exactly with the run totals.
+            for (what, windowed, total) in [
+                ("injected", ts.total_injected(), self.injected),
+                ("delivered", ts.total_delivered(), self.delivered),
+                ("unroutable", ts.total_unroutable(), self.unroutable),
+                ("latency sum", ts.total_latency_sum(), self.latency.sum()),
+                (
+                    "busy cycles",
+                    ts.total_busy_cycles(),
+                    self.channels.iter().map(|u| u.busy_cycles).sum(),
+                ),
+                (
+                    "stalled cycles",
+                    ts.total_stalled_cycles(),
+                    self.channels.iter().map(|u| u.stalled_cycles).sum(),
+                ),
+            ] {
+                if windowed != total {
+                    return Err(format!(
+                        "time series: Σ per-window {what} {windowed} ≠ run total {total}"
+                    ));
+                }
+            }
+            if ts.cycles != self.cycles {
+                return Err(format!(
+                    "time series cycles {} ≠ run cycles {}",
+                    ts.cycles, self.cycles
+                ));
+            }
         }
         Ok(())
     }
@@ -535,15 +636,15 @@ mod tests {
         tr.on_inject(1, 1, 2, 3);
         tr.on_route_chosen(0, 1, 0, false);
         tr.on_grant(0, 1, 0, 0); // t=1 phase 2: A granted
-        tr.on_flit(0); // t=1 phase 4: A advances
+        tr.on_flit(0, 1); // t=1 phase 4: A advances
         tr.on_route_chosen(1, 2, 0, true); // t=2 phase 1: B queued behind A
         tr.on_grant(1, 2, 0, 1); // t=2 phase 2: B granted (occ 1→2)
-        tr.on_flit(0); // t=2: A advances again...
+        tr.on_flit(0, 2); // t=2: A advances again...
         tr.on_release(2, 0, 0, 2); // ...and its tail frees lane0 (hold 2)
         tr.on_drain(0, 2);
         tr.on_deliver(0, 3, 4, 1);
         tr.on_stall(1, 3, StallCause::LinkBusy);
-        tr.on_flit(0); // t=4: B advances
+        tr.on_flit(0, 4); // t=4: B advances
         tr.on_release(4, 0, 1, 3);
         tr.on_deliver(1, 5, 5, 1);
         let snap = tr.finish(10, 0);
@@ -566,7 +667,7 @@ mod tests {
         let mut tr = SimTrace::new(1, 1, &cfg);
         tr.on_inject(0, 0, 0, 1);
         tr.on_grant(0, 3, 0, 0);
-        tr.on_flit(0);
+        tr.on_flit(0, 3);
         // Never released: held should cover [3, 9] = 7 cycles of a 10-cycle run.
         let snap = tr.finish(10, 1);
         assert_eq!(snap.channels[0].busy_cycles, 1);
@@ -636,8 +737,8 @@ mod tests {
     fn drain_span_batches_busy() {
         let cfg = ObsConfig::counters_only();
         let mut tr = SimTrace::new(2, 1, &cfg);
-        tr.on_drain_span(0, 5);
-        tr.on_drain_span(1, 5);
+        tr.on_drain_span(0, 0, 5);
+        tr.on_drain_span(1, 0, 5);
         // Give the channels matching occupancy so conservation holds.
         tr.on_inject(0, 0, 0, 1);
         tr.on_grant(0, 0, 0, 0);
@@ -648,5 +749,49 @@ mod tests {
         assert_eq!(snap.channels[0].busy_cycles, 5);
         assert_eq!(snap.channels[0].stalled_cycles, 3);
         snap.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn windowed_replay_reconciles_and_is_batching_invariant() {
+        // The same replay fed per-cycle and with a batched drain span
+        // must produce identical windows, and both must reconcile with
+        // the run totals via check_conservation.
+        let cfg = ObsConfig::counters_only().with_time_series(4);
+        let replay = |batched: bool| {
+            let mut tr = SimTrace::new(1, 1, &cfg);
+            tr.on_inject(0, 1, 0, 1);
+            tr.on_route_chosen(0, 1, 0, false);
+            tr.on_grant(0, 1, 0, 0);
+            // Six flits over [2, 8): either walked or one drain span.
+            if batched {
+                tr.on_drain_span(0, 2, 6);
+            } else {
+                for t in 2..8 {
+                    tr.on_flit(0, t);
+                }
+            }
+            tr.on_release(8, 0, 0, 7);
+            tr.on_drain(0, 8);
+            tr.on_deliver(0, 9, 8, 1);
+            tr.finish(12, 0)
+        };
+        let walked = replay(false);
+        let batched = replay(true);
+        assert_eq!(walked, batched);
+        walked.check_conservation().unwrap();
+        let ts = walked.time_series.unwrap();
+        assert_eq!(ts.window_cycles, 4);
+        // Windows [0,4): flits at 2,3 → busy 2, held [1,3] = 3;
+        // [4,8): busy 4, held 4; [8,12): held [8,8] = 1, deliver at 9.
+        assert_eq!(ts.windows[0].busy_cycles, 2);
+        assert_eq!(ts.windows[0].held_cycles, 3);
+        assert_eq!(ts.windows[1].busy_cycles, 4);
+        assert_eq!(ts.windows[1].held_cycles, 4);
+        assert_eq!(ts.windows[2].busy_cycles, 0);
+        assert_eq!(ts.windows[2].held_cycles, 1);
+        assert_eq!(ts.windows[2].delivered, 1);
+        assert_eq!(ts.windows[0].in_flight_at_end, 1);
+        assert_eq!(ts.windows[1].in_flight_at_end, 1);
+        assert_eq!(ts.windows[2].in_flight_at_end, 0);
     }
 }

@@ -1,0 +1,217 @@
+//! MSER-5-style steady-state detection over a windowed throughput series.
+//!
+//! The Marginal Standard Error Rule (White 1997; the "-5" variant
+//! averages the raw series into batches of 5) picks the warmup
+//! truncation point `d*` that minimizes the squared standard error of
+//! the *remaining* data,
+//!
+//! ```text
+//! MSER(d) = (1 / (m − d)²) · Σ_{j=d..m} (z_j − z̄_d)²
+//! ```
+//!
+//! over batch means `z_0..z_m`. Truncating too little keeps biased
+//! transient observations (raising the variance term); truncating too
+//! much shrinks the sample (raising the `1/(m−d)²` term) — the minimum
+//! balances the two. The rule is restricted to `d ≤ m/2`: a minimum at
+//! the boundary means the run is too short to tell transient from
+//! steady state, reported as `well_determined = false`.
+
+use crate::timeseries::TimeSeriesResult;
+
+/// Batch size of the MSER-5 variant.
+pub const MSER_BATCH: usize = 5;
+
+/// Result of MSER truncation on a raw series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Truncation {
+    /// Number of *raw observations* to discard as warmup transient
+    /// (always a multiple of the batch size).
+    pub warmup_len: usize,
+    /// Mean of the retained observations' batch means.
+    pub mean: f64,
+    /// Population standard deviation of the retained batch means.
+    pub std_dev: f64,
+    /// Standard error of `mean` over the retained batch means.
+    pub std_error: f64,
+    /// Retained batch count.
+    pub retained_batches: usize,
+    /// `false` when the MSER minimum sat at the half-series boundary —
+    /// the run is too short to separate transient from steady state.
+    pub well_determined: bool,
+}
+
+/// MSER truncation with batch size `batch` over `series`. `None` when
+/// fewer than two full batches exist (no variance to minimize).
+pub fn mser(series: &[f64], batch: usize) -> Option<Truncation> {
+    let batch = batch.max(1);
+    let m = series.len() / batch;
+    if m < 2 {
+        return None;
+    }
+    let means: Vec<f64> = (0..m)
+        .map(|j| series[j * batch..(j + 1) * batch].iter().sum::<f64>() / batch as f64)
+        .collect();
+    // d may discard at most half the batches.
+    let d_max = m / 2;
+    let mut best = (f64::INFINITY, 0usize);
+    for d in 0..=d_max.min(m - 2) {
+        let tail = &means[d..];
+        let n = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / n;
+        let ss: f64 = tail.iter().map(|z| (z - mean) * (z - mean)).sum();
+        let stat = ss / (n * n);
+        if stat < best.0 {
+            best = (stat, d);
+        }
+    }
+    let d = best.1;
+    let tail = &means[d..];
+    let n = tail.len() as f64;
+    let mean = tail.iter().sum::<f64>() / n;
+    let var = tail.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n;
+    Some(Truncation {
+        warmup_len: d * batch,
+        mean,
+        std_dev: var.sqrt(),
+        std_error: (var / n).sqrt(),
+        retained_batches: tail.len(),
+        well_determined: d < d_max,
+    })
+}
+
+/// MSER-5: [`mser`] with the standard batch size of 5.
+pub fn mser5(series: &[f64]) -> Option<Truncation> {
+    mser(series, MSER_BATCH)
+}
+
+/// Steady-state report over a finished time series: the warmup
+/// truncation point in cycles plus truncated (steady-state) statistics,
+/// so experiments can report steady-state figures instead of whole-run
+/// means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyState {
+    /// Windows discarded as warmup transient.
+    pub warmup_windows: usize,
+    /// Cycles discarded as warmup transient (relative to the start of
+    /// the retained series).
+    pub warmup_cycles: u64,
+    /// Steady-state delivered throughput (worms/cycle): mean of the
+    /// retained windows' throughput.
+    pub throughput_mean: f64,
+    /// Population standard deviation of the retained windows' throughput.
+    pub throughput_std: f64,
+    /// Mean delivered latency over the retained windows (`None` when
+    /// they delivered nothing).
+    pub steady_latency: Option<f64>,
+    /// Mean delivered latency over *all* windows, for comparison.
+    pub whole_run_latency: Option<f64>,
+    /// `false` when the run was too short for a trustworthy truncation
+    /// (MSER minimum at the half-series boundary).
+    pub well_determined: bool,
+}
+
+/// Detect steady state in a finished time series via MSER-5 on its
+/// per-window throughput. `None` when fewer than two full batches of
+/// complete windows exist.
+pub fn detect_steady_state(ts: &TimeSeriesResult) -> Option<SteadyState> {
+    // Only complete windows enter the series: a cut-short final window
+    // has different variance and would bias the rule.
+    let complete: Vec<&crate::timeseries::WindowStats> = ts
+        .windows
+        .iter()
+        .filter(|w| ts.window_span(w) == ts.window_cycles)
+        .collect();
+    let series: Vec<f64> = complete.iter().map(|w| ts.throughput(w)).collect();
+    let tr = mser5(&series)?;
+    let retained = &complete[tr.warmup_len..];
+    let (lat_sum, lat_n) = retained.iter().fold((0u64, 0u64), |(s, n), w| {
+        (s + w.latency_sum, n + w.delivered)
+    });
+    let (all_sum, all_n) = ts.windows.iter().fold((0u64, 0u64), |(s, n), w| {
+        (s + w.latency_sum, n + w.delivered)
+    });
+    // Report the per-window mean/std of the retained raw series (batch
+    // means have artificially low variance for a per-window figure).
+    let raw = &series[tr.warmup_len..];
+    let n = raw.len() as f64;
+    let mean = raw.iter().sum::<f64>() / n;
+    let var = raw.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(SteadyState {
+        warmup_windows: tr.warmup_len,
+        warmup_cycles: tr.warmup_len as u64 * ts.window_cycles,
+        throughput_mean: mean,
+        throughput_std: var.sqrt(),
+        steady_latency: (lat_n > 0).then(|| lat_sum as f64 / lat_n as f64),
+        whole_run_latency: (all_n > 0).then(|| all_sum as f64 / all_n as f64),
+        well_determined: tr.well_determined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{TimeSeries, TimeSeriesConfig};
+
+    #[test]
+    fn stationary_series_needs_no_truncation() {
+        // Integer-valued and periodic with the batch size, so every batch
+        // mean is exactly 12.0 and the MSER statistic is exactly 0 at d=0.
+        let series: Vec<f64> = (0..100u64).map(|i| 10.0 + ((i * 7) % 5) as f64).collect();
+        let tr = mser5(&series).unwrap();
+        assert_eq!(tr.warmup_len, 0);
+        assert!(tr.well_determined);
+        assert_eq!(tr.mean, 12.0);
+    }
+
+    #[test]
+    fn initial_transient_is_truncated() {
+        // 20 windows of ramp-up, then 80 stationary.
+        let mut series: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        series.extend((0..80).map(|i| 20.0 + ((i * 3) % 7) as f64 * 0.05));
+        let tr = mser5(&series).unwrap();
+        assert!(tr.warmup_len >= 15, "warmup {} too small", tr.warmup_len);
+        assert!(tr.warmup_len <= 30, "warmup {} too large", tr.warmup_len);
+        assert!(tr.well_determined);
+        assert!((tr.mean - 20.15).abs() < 0.5);
+    }
+
+    #[test]
+    fn relentless_drift_is_flagged() {
+        // A pure ramp never reaches steady state: minimum at boundary.
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let tr = mser5(&series).unwrap();
+        assert!(!tr.well_determined);
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(mser5(&[1.0; 9]).is_none()); // one full batch only
+        assert!(mser5(&[1.0; 10]).is_some());
+        assert!(mser(&[], 5).is_none());
+    }
+
+    #[test]
+    fn detect_steady_state_over_time_series() {
+        // Build a time series with a cold first phase and busy second.
+        let mut ts = TimeSeries::new(1, &TimeSeriesConfig::new(10));
+        let mut inject = 0u64;
+        for w in 0..60u64 {
+            // Windows 0..10 deliver 1 worm, later ones deliver 5.
+            let n = if w < 10 { 1 } else { 5 };
+            for k in 0..n {
+                let t = w * 10 + k;
+                ts.record_inject(t);
+                ts.record_deliver(t, 40 + k);
+                inject += 1;
+            }
+        }
+        let r = ts.finish(600);
+        assert_eq!(r.total_delivered(), inject);
+        let ss = detect_steady_state(&r).unwrap();
+        assert!(ss.warmup_windows >= 10, "warmup {}", ss.warmup_windows);
+        assert_eq!(ss.warmup_cycles, ss.warmup_windows as u64 * 10);
+        assert!((ss.throughput_mean - 0.5).abs() < 1e-9);
+        assert!(ss.steady_latency.is_some());
+        assert!(ss.whole_run_latency.is_some());
+    }
+}

@@ -743,7 +743,7 @@ impl<'a, R: Router> Engine<'a, R> {
     /// The channels crossed are exactly the reservation span of
     /// [`Engine::try_reserve_span`] for this advancement.
     #[inline]
-    fn observe_advance(&mut self, widx: WormIdx) {
+    fn observe_advance(&mut self, widx: WormIdx, t: u64) {
         let Some(o) = self.obs.as_deref_mut() else {
             return;
         };
@@ -753,7 +753,7 @@ impl<'a, R: Router> Engine<'a, R> {
         };
         let path = &self.paths[widx as usize];
         for hop in &path[a.saturating_sub(s)..path.len().min(a)] {
-            o.on_flit(hop.ch.index());
+            o.on_flit(hop.ch.index(), t);
         }
     }
 
@@ -765,7 +765,7 @@ impl<'a, R: Router> Engine<'a, R> {
     #[allow(clippy::expect_used)]
     fn complete_advance(&mut self, widx: WormIdx, t: u64) {
         self.worms[widx as usize].advancements += 1;
-        self.observe_advance(widx);
+        self.observe_advance(widx, t);
         self.release_tail(widx, t);
         let last_ch = self.paths[widx as usize].last().expect("non-empty").ch;
         let dst_is_pe = matches!(
@@ -909,11 +909,13 @@ impl<'a, R: Router> Engine<'a, R> {
             // Every batched cycle advances every drainer by one, and a
             // silent drainer's moving span is its whole path (its head
             // has ejected and its tail has not yet started releasing), so
-            // each path channel carries one flit per batched cycle —
-            // identical to what the per-cycle walk would account.
+            // each path channel carries one flit per batched cycle over
+            // `[now, now + span)` — identical to what the per-cycle walk
+            // would account, including per-window attribution.
+            let start = self.now;
             for &widx in &self.drain_list {
                 for hop in &self.paths[widx as usize] {
-                    o.on_drain_span(hop.ch.index(), span);
+                    o.on_drain_span(hop.ch.index(), start, span);
                 }
             }
         }
@@ -1162,7 +1164,7 @@ impl<'a, R: Router> Engine<'a, R> {
                 continue;
             }
             self.worms[widx as usize].advancements += 1;
-            self.observe_advance(widx);
+            self.observe_advance(widx, t);
             self.release_tail(widx, t);
             let done = {
                 let w = &self.worms[widx as usize];

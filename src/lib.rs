@@ -31,9 +31,11 @@
 //!   graceful degradation contracts (typed disconnection errors, unroutable
 //!   accounting — never a panic or a hang).
 //! * [`obs`] — zero-cost observability: worm-lifecycle event tracing,
-//!   per-channel/per-lane usage accounting, solver convergence telemetry,
-//!   and JSONL / Chrome `trace_event` exporters. Disabled (the default)
-//!   it costs one not-taken branch per hook; enabled it is RNG-neutral —
+//!   per-channel/per-lane usage accounting, windowed time series with
+//!   MSER-5 steady-state detection, log-linear tail histograms, solver
+//!   convergence telemetry, and JSONL / Chrome `trace_event` exporters
+//!   (lifecycle slices plus counter tracks). Disabled (the default) it
+//!   costs one not-taken branch per hook; enabled it is RNG-neutral —
 //!   the observed run's results are bit-for-bit the bare run's.
 //! * [`experiments`] — the harness regenerating every figure and table.
 //!
@@ -139,7 +141,8 @@ pub mod prelude {
     pub use wormsim_guard::{Knee, KneeConfig, KneeError, Rung, SolveOutcome};
     pub use wormsim_lanes::{LaneAllocatorKind, LaneConfig, LaneError, LaneStats};
     pub use wormsim_obs::{
-        ModelTelemetry, ObsConfig, SimSnapshot, SolverTrace, StallCause, StationBreakdown,
+        detect_steady_state, Histogram, ModelTelemetry, ObsConfig, SimSnapshot, SolverTrace,
+        StallCause, StationBreakdown, SteadyState, TimeSeriesConfig, TimeSeriesResult, WindowStats,
         WormEvent,
     };
     pub use wormsim_queueing::{QueueingError, ServiceMoments};

@@ -1,0 +1,126 @@
+//! Integration tests for the perf-regression gate (`repro bench-compare`):
+//! a self-comparison of the committed baselines is clean, a synthetically
+//! perturbed candidate trips the gate on exactly the perturbed fields, and
+//! timing noise inside the tolerance band does not.
+
+use std::path::{Path, PathBuf};
+use wormsim::experiments::bench_compare::{compare_dirs, CompareConfig};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Copies the committed baselines into a scratch dir, applying `edit` to
+/// the sim file's text on the way.
+fn staged_candidate(tag: &str, edit: impl Fn(&str) -> String) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wormsim_cmp_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sim = std::fs::read_to_string(repo_root().join("BENCH_sim.json")).unwrap();
+    std::fs::write(dir.join("BENCH_sim.json"), edit(&sim)).unwrap();
+    std::fs::copy(
+        repo_root().join("BENCH_model.json"),
+        dir.join("BENCH_model.json"),
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn self_comparison_of_committed_baselines_is_clean() {
+    let root = repo_root();
+    let report = compare_dirs(&root, &root, &CompareConfig::default()).unwrap();
+    assert_eq!(report.regressions(), 0, "{}", report.render());
+    assert!(report.compared() > 50, "{}", report.render());
+    assert!(report.render().contains("0 regression(s)"));
+}
+
+#[test]
+fn perturbed_deterministic_field_trips_the_gate() {
+    // cycles_run is seed-deterministic; a drifted value is a real
+    // behavioral change no matter what the timings say.
+    let cand = staged_candidate("cycles", |sim| {
+        sim.replacen("\"cycles_run\": 4500", "\"cycles_run\": 4501", 1)
+    });
+    let report = compare_dirs(&repo_root(), &cand, &CompareConfig::default()).unwrap();
+    assert!(report.regressions() >= 1, "{}", report.render());
+    assert!(
+        report.render().contains("cycles_run"),
+        "{}",
+        report.render()
+    );
+    // Deterministic-only mode (the CI quick gate's config) still trips.
+    let det = CompareConfig {
+        deterministic_only: true,
+        ..CompareConfig::default()
+    };
+    let report = compare_dirs(&repo_root(), &cand, &det).unwrap();
+    assert!(report.regressions() >= 1, "{}", report.render());
+    let _ = std::fs::remove_dir_all(&cand);
+}
+
+#[test]
+fn timing_cliff_trips_but_tolerated_noise_does_not() {
+    let sim = std::fs::read_to_string(repo_root().join("BENCH_sim.json")).unwrap();
+    // Find one committed median to perturb textually.
+    let median = sim
+        .lines()
+        .find_map(|l| {
+            l.split("\"median_ns\": ")
+                .nth(1)?
+                .split(',')
+                .next()?
+                .parse::<u64>()
+                .ok()
+        })
+        .expect("a median_ns in the committed baseline");
+
+    // 10× one timing: far outside any sane tolerance.
+    let cliff = staged_candidate("cliff", |s| {
+        s.replacen(
+            &format!("\"median_ns\": {median},"),
+            &format!("\"median_ns\": {},", median * 10),
+            1,
+        )
+    });
+    let report = compare_dirs(&repo_root(), &cliff, &CompareConfig::default()).unwrap();
+    assert!(report.regressions() >= 1, "{}", report.render());
+    assert!(report.render().contains("median_ns"), "{}", report.render());
+
+    // +20% on the same timing: inside the default 50% band.
+    let noise = staged_candidate("noise", |s| {
+        s.replacen(
+            &format!("\"median_ns\": {median},"),
+            &format!("\"median_ns\": {},", median + median / 5),
+            1,
+        )
+    });
+    let report = compare_dirs(&repo_root(), &noise, &CompareConfig::default()).unwrap();
+    assert_eq!(report.regressions(), 0, "{}", report.render());
+
+    // But a tightened tolerance catches it.
+    let tight = CompareConfig {
+        tolerance_pct: 5.0,
+        ..CompareConfig::default()
+    };
+    let report = compare_dirs(&repo_root(), &noise, &tight).unwrap();
+    assert!(report.regressions() >= 1, "{}", report.render());
+
+    let _ = std::fs::remove_dir_all(&cliff);
+    let _ = std::fs::remove_dir_all(&noise);
+}
+
+#[test]
+fn missing_baseline_files_error_cleanly() {
+    let empty = std::env::temp_dir().join(format!("wormsim_cmp_empty_{}", std::process::id()));
+    std::fs::create_dir_all(&empty).unwrap();
+    let err = compare_dirs(&repo_root(), &empty, &CompareConfig::default()).unwrap_err();
+    assert!(err.to_string().contains("BENCH_sim.json"), "{err}");
+    let _ = std::fs::remove_dir_all(&empty);
+    let err = compare_dirs(
+        Path::new("/nonexistent"),
+        &repo_root(),
+        &CompareConfig::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("BENCH_sim.json"), "{err}");
+}

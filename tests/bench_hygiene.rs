@@ -62,6 +62,31 @@ fn committed_model_baseline_is_full_mode_and_current_schema() {
     );
 }
 
+/// Structural pedigree via the bench-compare JSON parser: the committed
+/// files must parse, carry the current schema, be full-mode, and have a
+/// non-empty point set — stronger than the substring checks above, and
+/// exactly what `repro bench-compare` will assume about them.
+#[test]
+fn committed_baselines_parse_and_validate_structurally() {
+    use wormsim::experiments::bench_compare::validate_baseline;
+    validate_baseline(&read_baseline("BENCH_sim.json"), SIM_SCHEMA)
+        .unwrap_or_else(|e| panic!("BENCH_sim.json: {e}"));
+    validate_baseline(&read_baseline("BENCH_model.json"), MODEL_SCHEMA)
+        .unwrap_or_else(|e| panic!("BENCH_model.json: {e}"));
+}
+
+/// The gate's zero line: comparing the committed baselines against
+/// themselves must report no regression — if it does, the comparator
+/// (not the baselines) is broken, and every CI verdict is suspect.
+#[test]
+fn baselines_self_compare_without_regressions() {
+    use wormsim::experiments::bench_compare::{compare_dirs, CompareConfig};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = compare_dirs(root, root, &CompareConfig::default())
+        .unwrap_or_else(|e| panic!("self-compare failed to load: {e}"));
+    assert_eq!(report.regressions(), 0, "{}", report.render());
+}
+
 #[test]
 fn sim_baseline_carries_the_faulted_group() {
     // Schema v5 added the faulted operating points; v6 added the
